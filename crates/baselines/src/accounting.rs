@@ -1,0 +1,66 @@
+//! Common cost accounting so all three schemes compare fairly.
+
+use sdr_sim::SimDuration;
+
+/// Work and latency attributed to one served request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchemeCosts {
+    /// CPU spent on *trusted* hardware (masters / owner machines).
+    pub trusted: SimDuration,
+    /// CPU spent on *untrusted* hardware (slaves / CDN replicas).
+    pub untrusted: SimDuration,
+    /// CPU spent at the client (verification).
+    pub client: SimDuration,
+    /// Bytes moved over the network.
+    pub wire_bytes: u64,
+    /// End-to-end latency experienced by the client.
+    pub latency: SimDuration,
+}
+
+impl SchemeCosts {
+    /// Element-wise accumulation (latency takes the max, everything else
+    /// sums) — used when aggregating per-request costs into totals.
+    pub fn accumulate(&mut self, other: &SchemeCosts) {
+        self.trusted += other.trusted;
+        self.untrusted += other.untrusted;
+        self.client += other.client;
+        self.wire_bytes += other.wire_bytes;
+        self.latency = self.latency.max(other.latency);
+    }
+
+    /// Total CPU across all parties.
+    pub fn total_cpu(&self) -> SimDuration {
+        self.trusted + self.untrusted + self.client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_and_maxes() {
+        let mut a = SchemeCosts {
+            trusted: SimDuration::from_micros(10),
+            untrusted: SimDuration::from_micros(20),
+            client: SimDuration::from_micros(5),
+            wire_bytes: 100,
+            latency: SimDuration::from_millis(3),
+        };
+        let b = SchemeCosts {
+            trusted: SimDuration::from_micros(1),
+            untrusted: SimDuration::from_micros(2),
+            client: SimDuration::from_micros(3),
+            wire_bytes: 50,
+            latency: SimDuration::from_millis(7),
+        };
+        a.accumulate(&b);
+        assert_eq!(a.trusted, SimDuration::from_micros(11));
+        assert_eq!(a.wire_bytes, 150);
+        assert_eq!(a.latency, SimDuration::from_millis(7));
+        assert_eq!(
+            a.total_cpu(),
+            SimDuration::from_micros(11 + 22 + 8)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Comparator systems from the paper's related-work section.
+//!
+//! The paper positions its design against two generic mechanisms
+//! (Sections 1 and 5):
+//!
+//! * **State signing** ([`state_signing`]) — "the data content is divided
+//!   into small (disjunct) subsets which are signed with a content private
+//!   key … some form of hash-tree authentication is normally used".
+//!   Clients verify subset reads themselves, but "dynamic queries on the
+//!   data need to be executed on trusted hosts", which must first fetch
+//!   and verify all relevant data.
+//! * **State machine replication** ([`smr`]) — "execute the same operation
+//!   on a number of untrusted hosts (quorum), and accept the result only
+//!   when a majority of these hosts agree … greatly increases the amount
+//!   of computing resources needed … the request latency is dictated by
+//!   the slowest server in the quorum group".
+//!
+//! Both are implemented over the same `sdr-store` content and the same
+//! `sdr-sim` cost model as the paper's system, so experiment E6 compares
+//! all three on identical workloads with identical accounting
+//! ([`accounting::SchemeCosts`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod smr;
+pub mod state_signing;
+
+pub use accounting::SchemeCosts;
+pub use smr::SmrCluster;
+pub use state_signing::{SignedState, SubsetProof};

@@ -1,0 +1,289 @@
+//! The state-machine-replication baseline: quorum execution + voting.
+//!
+//! Every request executes on `q = 2f + 1` untrusted replicas; the client
+//! accepts a result once `f + 1` identical answers arrive.  Two costs the
+//! paper attributes to this approach are modeled directly:
+//!
+//! * compute: the same query burns CPU on *every* quorum member
+//!   (plus one signature each);
+//! * latency: the client waits for the `(f+1)`-th fastest replica, and in
+//!   the worst case "the request latency is dictated by the slowest server
+//!   in the quorum group".
+//!
+//! Malicious replicas can collude on an identical wrong answer; the client
+//! is only fooled when `f + 1` of the `q` contacted replicas collude — the
+//! probability experiment E9/E6 sweeps.
+
+use crate::accounting::SchemeCosts;
+use rand::Rng;
+use sdr_sim::{CostModel, LatencyModel, SimDuration};
+use sdr_store::{execute, Database, Query, QueryResult, StoreError};
+
+/// One replica: a full copy of the content plus a collusion flag.
+struct Replica {
+    db: Database,
+    colluding: bool,
+}
+
+/// A quorum-replication cluster.
+pub struct SmrCluster {
+    replicas: Vec<Replica>,
+    latency: LatencyModel,
+}
+
+/// Outcome of one quorum read.
+#[derive(Clone, Debug)]
+pub struct QuorumOutcome {
+    /// The result the client accepted (`None` = no quorum agreement).
+    pub result: Option<QueryResult>,
+    /// Whether the accepted result was the colluders' forgery.
+    pub fooled: bool,
+    /// Cost breakdown.
+    pub costs: SchemeCosts,
+}
+
+impl SmrCluster {
+    /// Builds a cluster of `n` replicas over `db`; `colluding` marks the
+    /// replicas that return an identical forged answer.
+    pub fn new(db: &Database, n: usize, colluding: &[usize], latency: LatencyModel) -> Self {
+        let replicas = (0..n)
+            .map(|i| Replica {
+                db: db.clone(),
+                colluding: colluding.contains(&i),
+            })
+            .collect();
+        SmrCluster {
+            replicas,
+            latency,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Executes `query` on a quorum of size `q` (the first `q` replicas),
+    /// accepting with `majority = q/2 + 1` matching answers.
+    ///
+    /// `rng` drives per-replica latency sampling.
+    pub fn quorum_read<R: Rng>(
+        &self,
+        query: &Query,
+        q: usize,
+        costs: &CostModel,
+        rng: &mut R,
+    ) -> Result<QuorumOutcome, StoreError> {
+        assert!(q >= 1 && q <= self.replicas.len(), "quorum size out of range");
+        let majority = q / 2 + 1;
+        let mut out = SchemeCosts::default();
+
+        // Execute everywhere in the quorum.
+        let mut answers: Vec<(Vec<u8>, QueryResult, SimDuration, bool)> = Vec::with_capacity(q);
+        for replica in &self.replicas[..q] {
+            let (honest_result, qcost) = execute(&replica.db, query)?;
+            let result = if replica.colluding {
+                crate::smr::forge(&honest_result)
+            } else {
+                honest_result
+            };
+            // Each member pays the execution + a signature on its reply.
+            let exec = costs.query_fixed
+                + costs.row_scan * qcost.rows_scanned
+                + costs.index_probe * qcost.index_probes
+                + costs.grep_cost(qcost.bytes_processed as usize)
+                + costs.sign;
+            out.untrusted += exec;
+            out.wire_bytes += result.size() as u64 + 64;
+            // Request leg + replica work + response leg.
+            let net = self.latency.sample(rng) + self.latency.sample(rng);
+            answers.push((result.encode(), result, exec + net, replica.colluding));
+        }
+
+        // Client: verify each signature and vote; accepts at the time the
+        // (majority)-th member of the winning answer-set arrives.
+        out.client += costs.verify * q as u64;
+
+        answers.sort_by_key(|(_, _, t, _)| *t);
+        let mut counts: Vec<(Vec<u8>, usize, SimDuration, bool)> = Vec::new();
+        let mut winner: Option<(QueryResult, SimDuration, bool)> = None;
+        for (enc, result, t, colluding) in &answers {
+            let slot = counts.iter_mut().find(|(e, _, _, _)| e == enc);
+            match slot {
+                Some((_, c, latest, _)) => {
+                    *c += 1;
+                    *latest = (*latest).max(*t);
+                    if *c >= majority && winner.is_none() {
+                        winner = Some((result.clone(), *latest, *colluding));
+                    }
+                }
+                None => {
+                    counts.push((enc.clone(), 1, *t, *colluding));
+                    if majority == 1 && winner.is_none() {
+                        winner = Some((result.clone(), *t, *colluding));
+                    }
+                }
+            }
+        }
+
+        match winner {
+            Some((result, when, fooled)) => {
+                out.latency = when;
+                Ok(QuorumOutcome {
+                    result: Some(result),
+                    fooled,
+                    costs: out,
+                })
+            }
+            None => {
+                // No agreement: the client waited for everyone.
+                out.latency = answers.last().map(|(_, _, t, _)| *t).unwrap_or_default();
+                Ok(QuorumOutcome {
+                    result: None,
+                    fooled: false,
+                    costs: out,
+                })
+            }
+        }
+    }
+}
+
+/// The colluders' agreed-upon forgery (identical across colluders, always
+/// different from the honest answer).
+pub fn forge(honest: &QueryResult) -> QueryResult {
+    match honest {
+        QueryResult::Scalar(sdr_store::Value::Int(i)) => {
+            QueryResult::Scalar(sdr_store::Value::Int(i.wrapping_add(1_000_000)))
+        }
+        _ => QueryResult::Text(Some("colluders' forgery".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sdr_store::{Document, UpdateOp};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.apply_write(&[
+            UpdateOp::CreateTable {
+                table: "t".into(),
+                indexes: vec![],
+            },
+            UpdateOp::Insert {
+                table: "t".into(),
+                key: 1,
+                doc: Document::new().with("v", 10i64),
+            },
+        ])
+        .unwrap();
+        db
+    }
+
+    fn q() -> Query {
+        Query::GetRow {
+            table: "t".into(),
+            key: 1,
+        }
+    }
+
+    #[test]
+    fn honest_quorum_agrees() {
+        let cluster = SmrCluster::new(
+            &db(),
+            5,
+            &[],
+            LatencyModel::Constant(SimDuration::from_millis(10)),
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        let o = cluster
+            .quorum_read(&q(), 5, &CostModel::standard(), &mut rng)
+            .unwrap();
+        assert!(o.result.is_some());
+        assert!(!o.fooled);
+    }
+
+    #[test]
+    fn minority_colluders_cannot_fool() {
+        let cluster = SmrCluster::new(
+            &db(),
+            5,
+            &[0, 1],
+            LatencyModel::Constant(SimDuration::from_millis(10)),
+        );
+        let mut rng = SmallRng::seed_from_u64(2);
+        let o = cluster
+            .quorum_read(&q(), 5, &CostModel::standard(), &mut rng)
+            .unwrap();
+        assert!(o.result.is_some());
+        assert!(!o.fooled, "2/5 colluders must not win");
+    }
+
+    #[test]
+    fn majority_colluders_do_fool() {
+        let cluster = SmrCluster::new(
+            &db(),
+            5,
+            &[0, 1, 2],
+            LatencyModel::Constant(SimDuration::from_millis(10)),
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let o = cluster
+            .quorum_read(&q(), 5, &CostModel::standard(), &mut rng)
+            .unwrap();
+        assert!(o.fooled, "3/5 colluders control the quorum");
+    }
+
+    #[test]
+    fn compute_cost_scales_with_quorum() {
+        let cluster = SmrCluster::new(
+            &db(),
+            9,
+            &[],
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        let mut rng = SmallRng::seed_from_u64(4);
+        let costs = CostModel::standard();
+        let o3 = cluster.quorum_read(&q(), 3, &costs, &mut rng).unwrap();
+        let o9 = cluster.quorum_read(&q(), 9, &costs, &mut rng).unwrap();
+        assert_eq!(o9.costs.untrusted, o3.costs.untrusted * 3);
+    }
+
+    #[test]
+    fn latency_set_by_majority_arrival_under_spread() {
+        let cluster = SmrCluster::new(
+            &db(),
+            5,
+            &[],
+            LatencyModel::Uniform(SimDuration::from_millis(1), SimDuration::from_millis(200)),
+        );
+        let mut rng = SmallRng::seed_from_u64(5);
+        let o = cluster
+            .quorum_read(&q(), 5, &CostModel::standard(), &mut rng)
+            .unwrap();
+        // Latency must be at least the median-ish arrival, far above the
+        // fastest single response.
+        assert!(o.costs.latency > SimDuration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum size out of range")]
+    fn oversized_quorum_panics() {
+        let cluster = SmrCluster::new(
+            &db(),
+            3,
+            &[],
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = cluster.quorum_read(&q(), 4, &CostModel::standard(), &mut rng);
+    }
+}

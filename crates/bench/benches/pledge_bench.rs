@@ -1,0 +1,107 @@
+//! Criterion benchmarks for the pledge pipeline (E11): what a slave pays
+//! per read (hash + sign) vs. what a client pays (hash + 2 verifies) vs.
+//! what the auditor pays (hash compare only — no signing, no replies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdr_core::config::HashAlgo;
+use sdr_core::messages::VersionStamp;
+use sdr_core::pledge::{Pledge, ResultHash};
+use sdr_crypto::{HmacSigner, MssKeypair, MssSigner, Signer};
+use sdr_sim::{NodeId, SimTime};
+use sdr_store::{Document, Query, QueryResult};
+use std::hint::black_box;
+
+fn fixture() -> (Query, QueryResult, VersionStamp, HmacSigner, HmacSigner) {
+    let mut master = HmacSigner::from_seed_label(1, b"master");
+    let slave = HmacSigner::from_seed_label(2, b"slave");
+    let query = Query::Filter {
+        table: "products".into(),
+        predicate: sdr_store::Predicate::eq("category", "tools"),
+        projection: None,
+        limit: None,
+    };
+    let result = QueryResult::Rows(
+        (0..20)
+            .map(|i| {
+                (
+                    i,
+                    Document::new()
+                        .with("name", format!("product-{i}"))
+                        .with("price", i as i64 * 7),
+                )
+            })
+            .collect(),
+    );
+    let stamp =
+        VersionStamp::build(42, SimTime::from_millis(5), NodeId(0), &mut master).expect("stamp");
+    (query, result, stamp, master, slave)
+}
+
+fn bench_slave_side(c: &mut Criterion) {
+    let (query, result, stamp, _master, mut slave) = fixture();
+    c.bench_function("pledge/slave_build_hmac", |b| {
+        b.iter(|| {
+            let hash = ResultHash::of(&result, HashAlgo::Sha1);
+            black_box(
+                Pledge::build(query.clone(), hash, stamp.clone(), NodeId(3), &mut slave)
+                    .expect("pledge"),
+            )
+        })
+    });
+
+    // MSS keys are one-time-per-leaf: hand each iteration a fresh clone so
+    // criterion's iteration count can never exhaust the key.
+    let mss_kp = MssKeypair::generate([3u8; 32], 4).expect("keygen");
+    c.bench_function("pledge/slave_build_mss", |b| {
+        b.iter_batched(
+            || MssSigner::from_keypair(mss_kp.clone()),
+            |mut signer| {
+                let hash = ResultHash::of(&result, HashAlgo::Sha1);
+                black_box(
+                    Pledge::build(query.clone(), hash, stamp.clone(), NodeId(3), &mut signer)
+                        .expect("capacity"),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_client_side(c: &mut Criterion) {
+    let (query, result, stamp, master, mut slave) = fixture();
+    let pledge = Pledge::build(
+        query,
+        ResultHash::of(&result, HashAlgo::Sha1),
+        stamp,
+        NodeId(3),
+        &mut slave,
+    )
+    .expect("pledge");
+    let slave_pk = slave.public_key();
+    let master_pk = master.public_key();
+
+    c.bench_function("pledge/client_verify_full", |b| {
+        b.iter(|| {
+            // The three client checks of Section 3.2.
+            assert!(pledge.matches_result(&result));
+            pledge.verify_signature(&slave_pk).expect("valid");
+            pledge.stamp.verify(&master_pk).expect("valid");
+        })
+    });
+}
+
+fn bench_auditor_side(c: &mut Criterion) {
+    let (_query, result, _stamp, _master, _slave) = fixture();
+    let pledged = ResultHash::of(&result, HashAlgo::Sha1);
+    c.bench_function("pledge/auditor_hash_compare", |b| {
+        b.iter(|| {
+            // The auditor's marginal per-pledge work after re-execution:
+            // hash the recomputed result and compare (no signing, ever).
+            let recomputed = ResultHash::of(&result, HashAlgo::Sha1);
+            assert!(black_box(recomputed == pledged));
+        })
+    });
+}
+
+criterion_group!(benches, bench_slave_side, bench_client_side, bench_auditor_side);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the query engine: the relative cost of the
+//! paper's read shapes (point reads vs. "very complex" aggregations and
+//! greps) on the standard dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdr_core::dataset::DatasetSpec;
+use sdr_store::{execute, Aggregate, CmpOp, Predicate, Query};
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let db = DatasetSpec::default().build();
+
+    let cases: Vec<(&str, Query)> = vec![
+        (
+            "get_row",
+            Query::GetRow {
+                table: "products".into(),
+                key: 250,
+            },
+        ),
+        (
+            "range_25",
+            Query::Range {
+                table: "products".into(),
+                low: 100,
+                high: 125,
+                limit: None,
+            },
+        ),
+        (
+            "filter_indexed",
+            Query::Filter {
+                table: "products".into(),
+                predicate: Predicate::eq("category", "tools"),
+                projection: None,
+                limit: None,
+            },
+        ),
+        (
+            "filter_scan",
+            Query::Filter {
+                table: "products".into(),
+                predicate: Predicate::cmp("price", CmpOp::Ge, 500i64),
+                projection: None,
+                limit: None,
+            },
+        ),
+        (
+            "aggregate_group_by",
+            Query::Aggregate {
+                table: "products".into(),
+                predicate: Predicate::True,
+                agg: Aggregate::Avg("price".into()),
+                group_by: Some("category".into()),
+            },
+        ),
+        (
+            "join_products_reviews",
+            Query::Join {
+                left: "products".into(),
+                right: "reviews".into(),
+                left_field: "id".into(),
+                right_field: "product_id".into(),
+                predicate: Predicate::cmp("r.stars", CmpOp::Ge, 4i64),
+                limit: None,
+            },
+        ),
+        (
+            "grep_docs",
+            Query::Grep {
+                pattern: "error".into(),
+                prefix: "/docs".into(),
+            },
+        ),
+        (
+            "read_file",
+            Query::ReadFile {
+                path: "/docs/file-000.log".into(),
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("query");
+    for (name, query) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(execute(&db, &query).expect("query ok")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_state_digest(c: &mut Criterion) {
+    let db = DatasetSpec::default().build();
+    c.bench_function("state_digest", |b| b.iter(|| black_box(db.state_digest())));
+}
+
+criterion_group!(benches, bench_queries, bench_state_digest);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs every experiment binary's headline configuration in sequence.
+//!
+//! A smoke-test driver for the full E1..E12 suite; each experiment's
+//! dedicated binary prints richer sweeps.  See DESIGN.md for the index and
+//! EXPERIMENTS.md for the recorded results.
+
+use std::process::Command;
+
+fn main() {
+    let exes = [
+        "e1_detection",
+        "e2_audit",
+        "e3_freshness",
+        "e4_writes",
+        "e5_master_load",
+        "e6_comparison",
+        "e7_auditor",
+        "e8_greedy",
+        "e9_quorum_reads",
+        "e10_levels",
+        "e11_crypto",
+        "e12_failover",
+    ];
+    // Re-exec sibling binaries so one command regenerates everything.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for exe in exes {
+        println!("\n================ {exe} ================");
+        let path = dir.join(exe);
+        match Command::new(&path).status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exe} exited with {s}");
+                failures.push(exe);
+            }
+            Err(e) => {
+                eprintln!("could not run {}: {e} (build with `cargo build --release -p sdr-bench --bins` first)", path.display());
+                failures.push(exe);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed.");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,98 @@
+//! E1 — Detection speed vs. double-check probability (paper §3.3).
+//!
+//! Claim: a client double-checks each read with probability `p`, so a slave
+//! that always lies survives ~geometric(1/p) reads before being caught
+//! "red-handed"; raising `p` buys faster detection at more master load.
+//!
+//! This binary sweeps `p`, plants one always-lying slave, and reports the
+//! number of lies told before exclusion and the time to exclusion,
+//! alongside the geometric expectation 1/p.
+
+use sdr_bench::{f, note, print_table, run_system};
+use sdr_core::{SlaveBehavior, SystemConfig, Workload};
+use sdr_sim::SimDuration;
+
+fn main() {
+    let sweeps = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
+    let mut rows = Vec::new();
+
+    for (pi, &p) in sweeps.iter().enumerate() {
+        // Average over a few seeds to smooth the geometric tail; seeds
+        // differ per sweep point so coin draws are uncorrelated across
+        // rows.
+        let seeds = [
+            1_000 + 7 * pi as u64,
+            2_000 + 7 * pi as u64,
+            3_000 + 7 * pi as u64,
+            4_000 + 7 * pi as u64,
+            5_000 + 7 * pi as u64,
+        ];
+        let mut lies_sum = 0.0;
+        let mut time_sum = 0.0;
+        let mut caught = 0u32;
+        for &seed in &seeds {
+            let cfg = SystemConfig {
+                n_masters: 3,
+                n_slaves: 4,
+                n_clients: 8,
+                double_check_prob: p,
+                audit_fraction: 0.0, // Isolate the double-check mechanism.
+                seed,
+                ..SystemConfig::default()
+            };
+            let mut behaviors = vec![SlaveBehavior::Honest; 4];
+            behaviors[0] = SlaveBehavior::ConsistentLiar {
+                prob: 1.0,
+                collude: false,
+            };
+            let workload = Workload {
+                reads_per_sec: 8.0,
+                writes_per_sec: 0.0,
+                ..Workload::default()
+            };
+            let mut sys = run_system(cfg, behaviors, workload, SimDuration::from_secs(600));
+            let stats = sys.stats();
+            let excl_at = sys
+                .world
+                .metrics()
+                .series("exclusion.at_us")
+                .first()
+                .map(|(t, _)| t.as_secs_f64());
+            if let Some(t) = excl_at {
+                caught += 1;
+                time_sum += t;
+                lies_sum += stats.lies_told as f64;
+            }
+        }
+        let n = seeds.len() as f64;
+        rows.push(vec![
+            f(p, 3),
+            format!("{caught}/{}", seeds.len()),
+            if caught > 0 {
+                f(lies_sum / f64::from(caught), 1)
+            } else {
+                "-".into()
+            },
+            f(1.0 / p, 1),
+            if caught > 0 {
+                f(time_sum / f64::from(caught), 1)
+            } else {
+                "-".into()
+            },
+        ]);
+        let _ = n;
+    }
+
+    print_table(
+        "E1: detection speed vs double-check probability p (always-lying slave, audit off)",
+        &[
+            "p",
+            "caught",
+            "lies before exclusion",
+            "geometric 1/p",
+            "time to exclusion (s)",
+        ],
+        &rows,
+    );
+    note("lies-before-exclusion should track 1/p: small p = slow immediate detection (paper relies on the audit as the backstop).");
+}

@@ -1,0 +1,74 @@
+//! E8 — Greedy-client detection (paper §3.3).
+//!
+//! Claim: "by keeping track of the number of double-check requests it
+//! receives from each of its clients, a master can identify statistically
+//! anomalous client behavior … [and] enforce fair play by simply ignoring a
+//! large fraction of the double-check requests coming from clients
+//! suspected to be greedy."
+
+use sdr_bench::{f, note, print_table, run_system};
+use sdr_core::{SlaveBehavior, SystemConfig, Workload};
+use sdr_sim::SimDuration;
+
+fn main() {
+    let greedy_probs = [0.02, 0.05, 0.1, 0.3, 0.6, 0.9];
+    let mut rows = Vec::new();
+
+    for &gp in &greedy_probs {
+        let cfg = SystemConfig {
+            n_masters: 3,
+            n_slaves: 4,
+            n_clients: 10,
+            double_check_prob: 0.02, // Honest rate.
+            seed: 81,
+            ..SystemConfig::default()
+        };
+        let workload = Workload {
+            reads_per_sec: 8.0,
+            writes_per_sec: 0.0,
+            greedy_clients: vec![(0, gp)],
+            ..Workload::default()
+        };
+        let mut sys = run_system(
+            cfg,
+            vec![SlaveBehavior::Honest; 4],
+            workload,
+            SimDuration::from_secs(120),
+        );
+        let stats = sys.stats();
+
+        let g = &stats.per_client[0];
+        let g_throttle_rate = if g.dc_sent > 0 {
+            g.dc_throttled as f64 / g.dc_sent as f64
+        } else {
+            0.0
+        };
+        let honest_sent: u64 = stats.per_client[1..].iter().map(|c| c.dc_sent).sum();
+        let honest_throttled: u64 = stats.per_client[1..].iter().map(|c| c.dc_throttled).sum();
+        let h_throttle_rate = if honest_sent > 0 {
+            honest_throttled as f64 / honest_sent as f64
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            f(gp, 2),
+            g.dc_sent.to_string(),
+            f(g_throttle_rate * 100.0, 1),
+            honest_sent.to_string(),
+            f(h_throttle_rate * 100.0, 1),
+        ]);
+    }
+
+    print_table(
+        "E8: greedy-client throttling vs greediness (honest p = 0.02, window 30 s)",
+        &[
+            "greedy client p",
+            "greedy DCs sent",
+            "greedy throttled (%)",
+            "honest DCs sent",
+            "honest throttled (%)",
+        ],
+        &rows,
+    );
+    note("at p = 0.02 the 'greedy' client is indistinguishable from honest (false-positive row ≈ 0%); as its rate departs from the population median the master ignores most of its quota abuse.");
+}

@@ -1,0 +1,70 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Each paper claim (E1..E12, see DESIGN.md) has a binary under `src/bin/`
+//! that builds a deployment, runs it, and prints the table or series the
+//! claim predicts.  This library holds the table formatter and common
+//! run shorthand so the binaries stay focused on their experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sdr_core::{SlaveBehavior, System, SystemBuilder, SystemConfig, Workload};
+use sdr_sim::SimDuration;
+
+/// Prints a fixed-width table with a title and column headers.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: String = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>w$}", h, w = widths[i] + 2))
+        .collect();
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let line: String = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8) + 2))
+            .collect();
+        println!("{line}");
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats microseconds as milliseconds.
+pub fn ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1000.0)
+}
+
+/// Builds and runs a system, returning it for stats harvesting.
+pub fn run_system(
+    cfg: SystemConfig,
+    behaviors: Vec<SlaveBehavior>,
+    workload: Workload,
+    duration: SimDuration,
+) -> System {
+    let mut sys = SystemBuilder::new(cfg)
+        .behaviors(behaviors)
+        .workload(workload)
+        .build();
+    sys.run_for(duration);
+    sys
+}
+
+/// Prints a one-line experiment note (keeps binary output self-describing).
+pub fn note(text: &str) {
+    println!("  note: {text}");
+}

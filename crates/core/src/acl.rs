@@ -1,0 +1,149 @@
+//! Write access control.
+//!
+//! Section 2: the content owner "is in charge of setting an access control
+//! policy … only concerned with operations that modify the content" (data
+//! secrecy is explicitly out of scope).
+
+use sdr_sim::NodeId;
+use sdr_store::UpdateOp;
+use std::collections::HashSet;
+
+/// The content owner's write policy, enforced by every master.
+#[derive(Clone, Debug, Default)]
+pub struct WritePolicy {
+    /// Clients allowed to write anywhere.
+    writers: HashSet<NodeId>,
+    /// Clients allowed to write only under specific path prefixes /
+    /// tables: `(client, prefix-or-table)` pairs.
+    scoped: HashSet<(NodeId, String)>,
+    /// When true, unknown clients may write (open policy — test rigs).
+    pub open: bool,
+}
+
+impl WritePolicy {
+    /// A policy that rejects every write from everyone.
+    pub fn deny_all() -> Self {
+        WritePolicy::default()
+    }
+
+    /// A policy that lets anyone write (simulation default).
+    pub fn allow_all() -> Self {
+        WritePolicy {
+            open: true,
+            ..WritePolicy::default()
+        }
+    }
+
+    /// Grants `client` unrestricted write access.
+    pub fn grant(&mut self, client: NodeId) {
+        self.writers.insert(client);
+    }
+
+    /// Grants `client` write access to one table name or path prefix.
+    pub fn grant_scope(&mut self, client: NodeId, scope: impl Into<String>) {
+        self.scoped.insert((client, scope.into()));
+    }
+
+    /// Revokes all grants for `client`.
+    pub fn revoke(&mut self, client: NodeId) {
+        self.writers.remove(&client);
+        self.scoped.retain(|(c, _)| *c != client);
+    }
+
+    fn op_scope(op: &UpdateOp) -> &str {
+        match op {
+            UpdateOp::CreateTable { table, .. }
+            | UpdateOp::Insert { table, .. }
+            | UpdateOp::Upsert { table, .. }
+            | UpdateOp::Update { table, .. }
+            | UpdateOp::Delete { table, .. } => table,
+            UpdateOp::WriteFile { path, .. }
+            | UpdateOp::AppendFile { path, .. }
+            | UpdateOp::DeleteFile { path } => path,
+        }
+    }
+
+    /// Whether `client` may apply every operation in `ops`.
+    pub fn allows(&self, client: NodeId, ops: &[UpdateOp]) -> bool {
+        if self.open || self.writers.contains(&client) {
+            return true;
+        }
+        ops.iter().all(|op| {
+            let scope = Self::op_scope(op);
+            self.scoped
+                .iter()
+                .any(|(c, s)| *c == client && scope.starts_with(s.as_str()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_store::Document;
+
+    fn table_op(table: &str) -> UpdateOp {
+        UpdateOp::Upsert {
+            table: table.into(),
+            key: 1,
+            doc: Document::new(),
+        }
+    }
+
+    fn file_op(path: &str) -> UpdateOp {
+        UpdateOp::WriteFile {
+            path: path.into(),
+            contents: String::new(),
+        }
+    }
+
+    #[test]
+    fn deny_all_denies() {
+        let p = WritePolicy::deny_all();
+        assert!(!p.allows(NodeId(1), &[table_op("t")]));
+    }
+
+    #[test]
+    fn allow_all_allows() {
+        let p = WritePolicy::allow_all();
+        assert!(p.allows(NodeId(1), &[table_op("t"), file_op("/x")]));
+    }
+
+    #[test]
+    fn full_grant() {
+        let mut p = WritePolicy::deny_all();
+        p.grant(NodeId(1));
+        assert!(p.allows(NodeId(1), &[table_op("t")]));
+        assert!(!p.allows(NodeId(2), &[table_op("t")]));
+    }
+
+    #[test]
+    fn scoped_grant_checks_prefix() {
+        let mut p = WritePolicy::deny_all();
+        p.grant_scope(NodeId(1), "/home/alice");
+        assert!(p.allows(NodeId(1), &[file_op("/home/alice/notes")]));
+        assert!(!p.allows(NodeId(1), &[file_op("/home/bob/notes")]));
+        // Mixed batches need every op allowed.
+        assert!(!p.allows(
+            NodeId(1),
+            &[file_op("/home/alice/a"), file_op("/etc/passwd")]
+        ));
+    }
+
+    #[test]
+    fn scoped_grant_on_tables() {
+        let mut p = WritePolicy::deny_all();
+        p.grant_scope(NodeId(3), "inventory");
+        assert!(p.allows(NodeId(3), &[table_op("inventory")]));
+        assert!(!p.allows(NodeId(3), &[table_op("payroll")]));
+    }
+
+    #[test]
+    fn revoke_removes_everything() {
+        let mut p = WritePolicy::deny_all();
+        p.grant(NodeId(1));
+        p.grant_scope(NodeId(1), "t");
+        p.revoke(NodeId(1));
+        assert!(!p.allows(NodeId(1), &[table_op("t")]));
+    }
+}

@@ -1,0 +1,721 @@
+//! Clients: issue reads/writes, verify everything, sample double-checks.
+//!
+//! The client-side read protocol is Section 3.2 verbatim: compute the
+//! result hash and compare with the pledge, verify the slave's signature,
+//! verify the master stamp, and check the stamp is no older than
+//! `max_latency` (possibly the client's *own* bound — the paper's
+//! slow-client accommodation).  Accepted results are either double-checked
+//! with the master (probability `p`) or their pledge is forwarded to the
+//! auditor — acceptance happens only after the pledge is on its way, as
+//! Section 3.4 requires.
+//!
+//! The Section 4 variants live here too: security-sensitive reads go
+//! straight to the trusted master, and `read_quorum > 1` sends the same
+//! query to several slaves, auto-double-checking on any disagreement.
+
+use crate::config::SystemConfig;
+use crate::messages::{CheckVerdict, Msg, RefuseReason, WriteOutcome};
+use crate::pledge::Pledge;
+use crate::workload::Workload;
+use rand::Rng;
+use sdr_crypto::{CertRole, PublicKey};
+use sdr_sim::{Ctx, NodeId, Process, SimDuration, SimTime};
+use sdr_store::{Query, QueryResult, UpdateOp};
+use std::collections::{HashMap, HashSet};
+
+const K_BOOT: u64 = 1;
+const K_NEXT_READ: u64 = 2;
+const K_NEXT_WRITE: u64 = 3;
+const K_READ_TIMEOUT: u64 = 4;
+const K_WRITE_TIMEOUT: u64 = 5;
+const K_SETUP_TIMEOUT: u64 = 6;
+
+fn tag(kind: u64, req: u64) -> u64 {
+    (kind << 40) | req
+}
+fn tag_kind(t: u64) -> u64 {
+    t >> 40
+}
+fn tag_req(t: u64) -> u64 {
+    t & ((1 << 40) - 1)
+}
+
+/// Setup/operation phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Boot,
+    AwaitDir,
+    AwaitSetup,
+    Ready,
+}
+
+struct PendingRead {
+    query: Query,
+    sensitive: bool,
+    attempts: u32,
+    issued_at: SimTime,
+    awaiting: HashSet<NodeId>,
+    responses: Vec<(NodeId, QueryResult, Pledge)>,
+    mismatch_check_sent: bool,
+}
+
+/// Per-client counters used by experiments (E8 needs per-client views).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientCounters {
+    /// Reads issued.
+    pub reads_issued: u64,
+    /// Reads accepted after full verification.
+    pub reads_accepted: u64,
+    /// Reads that exhausted their retries.
+    pub reads_failed: u64,
+    /// Double-checks sent.
+    pub dc_sent: u64,
+    /// Double-checks the master throttled (greedy enforcement).
+    pub dc_throttled: u64,
+    /// Stale-stamp rejections observed.
+    pub stale_rejections: u64,
+    /// Times this client had to redo the setup phase.
+    pub re_setups: u64,
+}
+
+/// A client process.
+pub struct ClientProcess {
+    cfg: SystemConfig,
+    workload: Workload,
+    index: usize,
+    directory: NodeId,
+    content_key: PublicKey,
+    is_writer: bool,
+    dc_prob: f64,
+    my_max_latency: SimDuration,
+
+    phase: Phase,
+    masters: Vec<(NodeId, PublicKey)>,
+    master: Option<(NodeId, PublicKey)>,
+    blacklist: HashSet<NodeId>,
+    slaves: Vec<(NodeId, PublicKey)>,
+    auditor: NodeId,
+
+    next_req: u64,
+    pending: HashMap<u64, PendingRead>,
+    pending_writes: HashMap<u64, (SimTime, Vec<UpdateOp>)>,
+
+    /// `(slave, accepted result-hash bytes)` — joined post-run against
+    /// slave lie logs to count wrong answers that slipped through.
+    acceptances: Vec<(NodeId, Vec<u8>)>,
+    counters: ClientCounters,
+}
+
+impl ClientProcess {
+    /// Creates a client.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: SystemConfig,
+        workload: Workload,
+        index: usize,
+        directory: NodeId,
+        content_key: PublicKey,
+        is_writer: bool,
+    ) -> Self {
+        let dc_prob = workload
+            .greedy_clients
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, p)| *p)
+            .unwrap_or(cfg.double_check_prob);
+        let my_max_latency = workload
+            .client_max_latency
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, d)| *d)
+            .unwrap_or(cfg.max_latency);
+        ClientProcess {
+            cfg,
+            workload,
+            index,
+            directory,
+            content_key,
+            is_writer,
+            dc_prob,
+            my_max_latency,
+            phase: Phase::Boot,
+            masters: Vec::new(),
+            master: None,
+            blacklist: HashSet::new(),
+            slaves: Vec::new(),
+            auditor: NodeId(0),
+            next_req: 1,
+            pending: HashMap::new(),
+            pending_writes: HashMap::new(),
+            acceptances: Vec::new(),
+            counters: ClientCounters::default(),
+        }
+    }
+
+    /// Acceptance log: `(slave, result-hash bytes)` of every accepted read.
+    pub fn acceptances(&self) -> &[(NodeId, Vec<u8>)] {
+        &self.acceptances
+    }
+
+    /// Per-client counters.
+    pub fn counters(&self) -> ClientCounters {
+        self.counters
+    }
+
+    /// The client's assigned slaves (test inspection).
+    pub fn assigned_slaves(&self) -> Vec<NodeId> {
+        self.slaves.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Whether setup completed.
+    pub fn is_ready(&self) -> bool {
+        self.phase == Phase::Ready
+    }
+
+    fn boot(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.phase = Phase::AwaitDir;
+        self.master = None;
+        self.slaves.clear();
+        ctx.send(self.directory, Msg::DirLookup);
+        ctx.set_timer(self.cfg.read_timeout * 4, tag(K_SETUP_TIMEOUT, 0));
+    }
+
+    fn choose_master(&mut self, auditor: NodeId) -> Option<(NodeId, PublicKey)> {
+        let eligible: Vec<&(NodeId, PublicKey)> = self
+            .masters
+            .iter()
+            .filter(|(n, _)| *n != auditor && !self.blacklist.contains(n))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        // Deterministic spread of clients across masters ("the closest one
+        // for example" — we model proximity as static preference).
+        Some(*eligible[self.index % eligible.len()])
+    }
+
+    fn schedule_next_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        let gap = self.workload.read_gap(ctx.rng(), now);
+        ctx.set_timer(gap, tag(K_NEXT_READ, 0));
+    }
+
+    fn schedule_next_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let gap = self.workload.write_gap(ctx.rng(), 1);
+        ctx.set_timer(gap, tag(K_NEXT_WRITE, 0));
+    }
+
+    fn issue_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.phase != Phase::Ready || self.slaves.is_empty() {
+            return;
+        }
+        let query = self.workload.mix.sample(ctx.rng(), &self.workload.dataset);
+        let req = self.next_req;
+        self.next_req += 1;
+        self.counters.reads_issued += 1;
+        ctx.metrics().inc("read.issued");
+
+        let sensitive =
+            self.cfg.sensitive_fraction > 0.0 && ctx.coin() < self.cfg.sensitive_fraction;
+        let mut awaiting = HashSet::new();
+        if sensitive {
+            // Section 4 variant: run on trusted hardware only.
+            ctx.metrics().inc("read.sensitive");
+            let (m, _) = self.master.expect("ready implies master");
+            ctx.send(
+                m,
+                Msg::TrustedRead {
+                    req_id: req,
+                    query: query.clone(),
+                },
+            );
+            awaiting.insert(m);
+        } else {
+            for (s, _) in &self.slaves {
+                ctx.send(
+                    *s,
+                    Msg::ReadRequest {
+                        req_id: req,
+                        query: query.clone(),
+                    },
+                );
+                awaiting.insert(*s);
+            }
+        }
+        self.pending.insert(
+            req,
+            PendingRead {
+                query,
+                sensitive,
+                attempts: 0,
+                issued_at: ctx.now(),
+                awaiting,
+                responses: Vec::new(),
+                mismatch_check_sent: false,
+            },
+        );
+        ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
+    }
+
+    fn retry_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: u64) {
+        let Some(p) = self.pending.get_mut(&req) else { return };
+        p.attempts += 1;
+        if p.attempts > self.cfg.read_retries {
+            self.pending.remove(&req);
+            self.counters.reads_failed += 1;
+            ctx.metrics().inc("read.failed");
+            return;
+        }
+        ctx.metrics().inc("read.retry");
+        p.responses.clear();
+        p.mismatch_check_sent = false;
+        p.awaiting.clear();
+        if p.sensitive {
+            let (m, _) = self.master.expect("ready implies master");
+            ctx.send(
+                m,
+                Msg::TrustedRead {
+                    req_id: req,
+                    query: p.query.clone(),
+                },
+            );
+            p.awaiting.insert(m);
+        } else {
+            let targets: Vec<NodeId> = self.slaves.iter().map(|(n, _)| *n).collect();
+            for s in targets {
+                let q = self.pending.get(&req).expect("present").query.clone();
+                ctx.send(s, Msg::ReadRequest { req_id: req, query: q });
+                self.pending
+                    .get_mut(&req)
+                    .expect("present")
+                    .awaiting
+                    .insert(s);
+            }
+        }
+        ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
+    }
+
+    /// Full verification of one slave response (Section 3.2's three client
+    /// checks).  Returns false when the response must be discarded.
+    fn verify_response(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        slave: NodeId,
+        result: &QueryResult,
+        pledge: &Pledge,
+    ) -> bool {
+        // 1. Hash of the delivered result matches the pledge.
+        ctx.charge(ctx.costs().hash_cost(result.size()));
+        if !pledge.matches_result(result) {
+            ctx.metrics().inc("read.rejected.hash");
+            return false;
+        }
+        // 2. Slave signature on the pledge.
+        ctx.charge(ctx.costs().verify);
+        let Some((_, key)) = self.slaves.iter().find(|(n, _)| *n == slave) else {
+            ctx.metrics().inc("read.rejected.unknown_slave");
+            return false;
+        };
+        if pledge.verify_signature(key).is_err() {
+            ctx.metrics().inc("read.rejected.sig");
+            return false;
+        }
+        // 3. Master stamp signature + freshness under *this client's*
+        // max_latency.
+        ctx.charge(ctx.costs().verify);
+        let stamp_ok = self
+            .masters
+            .iter()
+            .find(|(n, _)| *n == pledge.stamp.master)
+            .is_some_and(|(_, k)| pledge.stamp.verify(k).is_ok());
+        if !stamp_ok {
+            ctx.metrics().inc("read.rejected.stamp_sig");
+            return false;
+        }
+        if !pledge.is_fresh(ctx.now(), self.my_max_latency) {
+            self.counters.stale_rejections += 1;
+            ctx.metrics().inc("read.rejected.stale");
+            return false;
+        }
+        true
+    }
+
+    fn finalize_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: u64) {
+        let Some(p) = self.pending.get(&req) else { return };
+        debug_assert!(!p.responses.is_empty());
+
+        let first_hash = p.responses[0].2.result_hash;
+        let unanimous = p
+            .responses
+            .iter()
+            .all(|(_, _, pl)| pl.result_hash == first_hash);
+
+        if !unanimous {
+            // Section 4: "If not all answers match, the client
+            // automatically double-checks, since at least one of the
+            // slaves has to be malicious."
+            if !p.mismatch_check_sent {
+                ctx.metrics().inc("read.quorum_mismatch");
+                let (m, _) = self.master.expect("ready implies master");
+                let pledges: Vec<Pledge> =
+                    p.responses.iter().map(|(_, _, pl)| pl.clone()).collect();
+                self.pending.get_mut(&req).expect("present").mismatch_check_sent = true;
+                for pl in pledges {
+                    self.counters.dc_sent += 1;
+                    ctx.metrics().inc("dc.sent");
+                    ctx.send(m, Msg::DoubleCheck { req_id: req, pledge: pl });
+                }
+            }
+            return;
+        }
+
+        let p = self.pending.remove(&req).expect("present");
+        // Forward pledges to the auditor *before* accepting (Section 3.4),
+        // unless this read is the sampled double-check.
+        let double_check = ctx.coin() < self.dc_prob;
+        if double_check {
+            let (m, _) = self.master.expect("ready implies master");
+            self.counters.dc_sent += 1;
+            ctx.metrics().inc("dc.sent");
+            ctx.send(
+                m,
+                Msg::DoubleCheck {
+                    req_id: req,
+                    pledge: p.responses[0].2.clone(),
+                },
+            );
+        } else {
+            for (_, _, pl) in &p.responses {
+                ctx.send(self.auditor, Msg::AuditSubmit { pledge: pl.clone() });
+            }
+        }
+        for (slave, _, pl) in &p.responses {
+            self.acceptances.push((*slave, pl.result_hash.bytes().to_vec()));
+        }
+        self.counters.reads_accepted += 1;
+        ctx.metrics().inc("read.accepted");
+        let latency = ctx.now().since(p.issued_at);
+        ctx.metrics().observe("read.latency_us", latency.as_micros());
+    }
+
+    fn handle_reassign(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        excluded: NodeId,
+        replacement: Option<(NodeId, sdr_crypto::Certificate)>,
+    ) {
+        if excluded == NodeId(u32::MAX) {
+            // Master retiring (became auditor): full re-setup.
+            self.counters.re_setups += 1;
+            self.phase = Phase::Boot;
+            self.boot(ctx);
+            return;
+        }
+        ctx.metrics().inc("client.reassigned");
+        self.slaves.retain(|(n, _)| *n != excluded);
+        if let Some((node, cert)) = replacement {
+            ctx.charge(ctx.costs().verify);
+            let master_key = self.master.map(|(_, k)| k);
+            let valid = master_key.is_some_and(|k| cert.verify_role(&k, CertRole::Slave).is_ok());
+            if valid {
+                self.slaves.push((node, cert.body.subject_key));
+            }
+        }
+        if self.slaves.is_empty() {
+            // No replacement capacity here: redo setup.
+            self.counters.re_setups += 1;
+            self.boot(ctx);
+            return;
+        }
+        // Re-issue still-pending reads that were waiting on the excluded
+        // slave ("the client that has made the discovery connects to its
+        // newly assigned slave and issues the same read request again").
+        let stalled: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.awaiting.contains(&excluded) && !p.sensitive)
+            .map(|(r, _)| *r)
+            .collect();
+        for req in stalled {
+            self.retry_read(ctx, req);
+        }
+    }
+}
+
+impl Process<Msg> for ClientProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Jittered boot spreads directory load and client phase.
+        let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..200_000));
+        ctx.set_timer(jitter, tag(K_BOOT, 0));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, t: u64) {
+        match (tag_kind(t), tag_req(t)) {
+            (K_BOOT, _) => self.boot(ctx),
+            (K_NEXT_READ, _) => {
+                self.issue_read(ctx);
+                self.schedule_next_read(ctx);
+            }
+            (K_NEXT_WRITE, _) => {
+                if self.phase == Phase::Ready {
+                    if let Some((m, _)) = self.master {
+                        let req = self.next_req;
+                        self.next_req += 1;
+                        let ops = self.workload.sample_write(ctx.rng());
+                        ctx.metrics().inc("write.issued");
+                        self.pending_writes.insert(req, (ctx.now(), ops.clone()));
+                        ctx.send(m, Msg::WriteRequest { req_id: req, ops });
+                        ctx.set_timer(
+                            self.cfg.max_latency * 4 + self.cfg.read_timeout,
+                            tag(K_WRITE_TIMEOUT, req),
+                        );
+                    }
+                }
+                self.schedule_next_write(ctx);
+            }
+            (K_READ_TIMEOUT, req)
+                if self.pending.contains_key(&req) => {
+                    let sensitive = self.pending.get(&req).map(|p| p.sensitive).unwrap_or(false);
+                    let got_nothing = self
+                        .pending
+                        .get(&req)
+                        .map(|p| p.responses.is_empty())
+                        .unwrap_or(false);
+                    ctx.metrics().inc("read.timeout");
+                    if sensitive && got_nothing {
+                        // Master unresponsive: fail over.
+                        if let Some((m, _)) = self.master {
+                            self.blacklist.insert(m);
+                        }
+                        self.pending.remove(&req);
+                        self.counters.re_setups += 1;
+                        self.boot(ctx);
+                    } else {
+                        self.retry_read(ctx, req);
+                    }
+                }
+            (K_WRITE_TIMEOUT, req)
+                if self.pending_writes.remove(&req).is_some() => {
+                    ctx.metrics().inc("write.timeout");
+                    // Master presumed crashed: redo the setup phase
+                    // (Section 3: "all the clients connected to the crashed
+                    // server will have to go through the setup process
+                    // again").
+                    if let Some((m, _)) = self.master {
+                        self.blacklist.insert(m);
+                    }
+                    self.counters.re_setups += 1;
+                    self.boot(ctx);
+                }
+            (K_SETUP_TIMEOUT, _)
+                if self.phase != Phase::Ready => {
+                    if let Some((m, _)) = self.master.take() {
+                        self.blacklist.insert(m);
+                    }
+                    self.boot(ctx);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::DirResponse {
+                certs,
+                nodes,
+                auditor,
+            } => {
+                if self.phase != Phase::AwaitDir {
+                    return;
+                }
+                self.masters.clear();
+                for (cert, node) in certs.iter().zip(nodes.iter()) {
+                    ctx.charge(ctx.costs().verify);
+                    if cert.verify_role(&self.content_key, CertRole::Master).is_ok() {
+                        self.masters.push((*node, cert.body.subject_key));
+                    } else {
+                        ctx.metrics().inc("client.bad_master_cert");
+                    }
+                }
+                self.auditor = auditor;
+                match self.choose_master(auditor) {
+                    Some(m) => {
+                        self.master = Some(m);
+                        self.phase = Phase::AwaitSetup;
+                        ctx.send(m.0, Msg::SetupRequest);
+                    }
+                    None => {
+                        // All masters blacklisted: clear and retry later.
+                        self.blacklist.clear();
+                        ctx.set_timer(self.cfg.read_timeout, tag(K_BOOT, 0));
+                    }
+                }
+            }
+            Msg::SetupResponse { slaves, auditor } => {
+                if self.phase != Phase::AwaitSetup {
+                    return;
+                }
+                let Some((_, mkey)) = self.master else { return };
+                if slaves.is_empty() {
+                    // This master has no capacity (e.g. it is the auditor).
+                    self.blacklist.insert(from);
+                    self.boot(ctx);
+                    return;
+                }
+                self.slaves.clear();
+                for (node, cert) in slaves {
+                    ctx.charge(ctx.costs().verify);
+                    if cert.verify_role(&mkey, CertRole::Slave).is_ok() {
+                        self.slaves.push((node, cert.body.subject_key));
+                    } else {
+                        ctx.metrics().inc("client.bad_slave_cert");
+                    }
+                }
+                if self.slaves.is_empty() {
+                    self.blacklist.insert(from);
+                    self.boot(ctx);
+                    return;
+                }
+                self.auditor = auditor;
+                let first_ready = self.phase != Phase::Ready;
+                self.phase = Phase::Ready;
+                ctx.metrics().inc("client.ready");
+                if first_ready {
+                    self.schedule_next_read(ctx);
+                    if self.is_writer {
+                        self.schedule_next_write(ctx);
+                    }
+                }
+            }
+            Msg::ReadResponse {
+                req_id,
+                result,
+                pledge,
+            } => {
+                if !self.pending.contains_key(&req_id) {
+                    return;
+                }
+                let valid = self.verify_response(ctx, from, &result, &pledge);
+                let Some(p) = self.pending.get_mut(&req_id) else { return };
+                if !p.awaiting.remove(&from) {
+                    return; // Duplicate or unsolicited.
+                }
+                if valid {
+                    p.responses.push((from, result, pledge));
+                }
+                if p.awaiting.is_empty() {
+                    if p.responses.is_empty() {
+                        self.retry_read(ctx, req_id);
+                    } else {
+                        self.finalize_read(ctx, req_id);
+                    }
+                }
+            }
+            Msg::ReadRefused { req_id, reason } => {
+                if !self.pending.contains_key(&req_id) {
+                    return;
+                }
+                ctx.metrics().inc("read.refused");
+                match reason {
+                    RefuseReason::Excluded => {
+                        // Learn of exclusions we missed; ask for a new slave.
+                        self.slaves.retain(|(n, _)| *n != from);
+                        if let Some((m, _)) = self.master {
+                            self.phase = Phase::AwaitSetup;
+                            ctx.send(m, Msg::SetupRequest);
+                            ctx.set_timer(self.cfg.read_timeout * 4, tag(K_SETUP_TIMEOUT, 0));
+                        }
+                        self.retry_read(ctx, req_id);
+                    }
+                    RefuseReason::OutOfSync => {
+                        let Some(p) = self.pending.get_mut(&req_id) else { return };
+                        p.awaiting.remove(&from);
+                        if p.awaiting.is_empty() && p.responses.is_empty() {
+                            // Everyone refused: retry after timeout fires.
+                        } else if p.awaiting.is_empty() {
+                            self.finalize_read(ctx, req_id);
+                        }
+                    }
+                }
+            }
+            Msg::TrustedReadResponse { req_id, result } => {
+                if let Some(p) = self.pending.remove(&req_id) {
+                    // Results from trusted hardware are authoritative.
+                    self.counters.reads_accepted += 1;
+                    ctx.metrics().inc("read.accepted");
+                    ctx.metrics().inc("read.accepted_sensitive");
+                    let latency = ctx.now().since(p.issued_at);
+                    ctx.metrics().observe("read.latency_us", latency.as_micros());
+                    ctx.metrics()
+                        .observe("read.sensitive_latency_us", latency.as_micros());
+                    let _ = result;
+                }
+            }
+            Msg::DoubleCheckResponse { req_id, verdict } => match verdict {
+                CheckVerdict::Match => {
+                    ctx.metrics().inc("client.dc_match");
+                    // Quorum-mismatch path: a Match identifies an honest
+                    // pledge; accept pending read if still open.
+                    if self.pending.contains_key(&req_id) {
+                        let p = self.pending.remove(&req_id).expect("present");
+                        self.counters.reads_accepted += 1;
+                        ctx.metrics().inc("read.accepted");
+                        let latency = ctx.now().since(p.issued_at);
+                        ctx.metrics().observe("read.latency_us", latency.as_micros());
+                    }
+                }
+                CheckVerdict::Mismatch { correct } => {
+                    ctx.metrics().inc("client.dc_mismatch");
+                    ctx.charge(ctx.costs().hash_cost(correct.size()));
+                    if self.pending.contains_key(&req_id) {
+                        let p = self.pending.remove(&req_id).expect("present");
+                        // The master's answer is authoritative.
+                        self.counters.reads_accepted += 1;
+                        ctx.metrics().inc("read.accepted");
+                        ctx.metrics().inc("read.corrected_by_master");
+                        let latency = ctx.now().since(p.issued_at);
+                        ctx.metrics().observe("read.latency_us", latency.as_micros());
+                    }
+                }
+                CheckVerdict::VersionUnavailable => {
+                    ctx.metrics().inc("client.dc_version_unavailable");
+                    self.pending.remove(&req_id);
+                }
+                CheckVerdict::Throttled => {
+                    self.counters.dc_throttled += 1;
+                    ctx.metrics().inc("client.dc_throttled");
+                    self.pending.remove(&req_id);
+                }
+            },
+            Msg::WriteResponse { req_id, outcome } => {
+                if let Some((sent_at, _)) = self.pending_writes.remove(&req_id) {
+                    match outcome {
+                        WriteOutcome::Committed { .. } => {
+                            ctx.metrics().inc("write.committed");
+                            let latency = ctx.now().since(sent_at);
+                            ctx.metrics().observe("write.latency_us", latency.as_micros());
+                        }
+                        WriteOutcome::AccessDenied => {
+                            ctx.metrics().inc("write.denied_seen");
+                        }
+                        WriteOutcome::Failed(_) => {
+                            ctx.metrics().inc("write.failed_seen");
+                        }
+                    }
+                }
+            }
+            Msg::Reassign {
+                excluded,
+                replacement,
+            } => self.handle_reassign(ctx, excluded, replacement),
+            Msg::AuditorChanged { auditor } => {
+                self.auditor = auditor;
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("client-{}", self.index)
+    }
+}

@@ -1,0 +1,67 @@
+//! The public directory of master certificates.
+//!
+//! Section 2: certificates "are stored in a public directory, indexed by
+//! content public key.  Thus, by knowing the content public key and the
+//! address of the directory, any client can securely get the addresses and
+//! public keys of all the master servers replicating that content."
+//!
+//! The directory itself is untrusted *for integrity* — clients verify every
+//! certificate against the content key — but must be available.  It also
+//! tracks which master is currently the elected auditor so clients know
+//! where to forward pledges (masters update it on view changes).
+
+use crate::messages::Msg;
+use sdr_crypto::Certificate;
+use sdr_sim::{Ctx, NodeId, Process, SimDuration};
+
+/// The directory process.
+pub struct DirectoryProcess {
+    certs: Vec<Certificate>,
+    nodes: Vec<NodeId>,
+    auditor: NodeId,
+}
+
+impl DirectoryProcess {
+    /// Creates a directory serving the given master certificates.
+    pub fn new(certs: Vec<Certificate>, nodes: Vec<NodeId>, auditor: NodeId) -> Self {
+        assert_eq!(certs.len(), nodes.len());
+        DirectoryProcess {
+            certs,
+            nodes,
+            auditor,
+        }
+    }
+
+    /// The currently recorded auditor.
+    pub fn auditor(&self) -> NodeId {
+        self.auditor
+    }
+}
+
+impl Process<Msg> for DirectoryProcess {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::DirLookup => {
+                ctx.charge(SimDuration::from_micros(20));
+                ctx.metrics().inc("directory.lookups");
+                ctx.send(
+                    from,
+                    Msg::DirResponse {
+                        certs: self.certs.clone(),
+                        nodes: self.nodes.clone(),
+                        auditor: self.auditor,
+                    },
+                );
+            }
+            Msg::AuditorChanged { auditor } => {
+                self.auditor = auditor;
+                ctx.metrics().inc("directory.auditor_changes");
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        "directory".to_string()
+    }
+}

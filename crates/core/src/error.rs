@@ -1,0 +1,61 @@
+//! Error type for protocol-level operations.
+
+use std::fmt;
+
+/// Errors surfaced by the replication protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A pledge failed verification (reason).
+    BadPledge(&'static str),
+    /// A version stamp failed verification (reason).
+    BadStamp(&'static str),
+    /// Evidence failed verification (reason).
+    BadEvidence(&'static str),
+    /// A write was rejected by access control.
+    AccessDenied,
+    /// Store-level failure.
+    Store(sdr_store::StoreError),
+    /// Crypto-level failure.
+    Crypto(sdr_crypto::CryptoError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadPledge(why) => write!(f, "bad pledge: {why}"),
+            CoreError::BadStamp(why) => write!(f, "bad stamp: {why}"),
+            CoreError::BadEvidence(why) => write!(f, "bad evidence: {why}"),
+            CoreError::AccessDenied => write!(f, "write denied by access control"),
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<sdr_store::StoreError> for CoreError {
+    fn from(e: sdr_store::StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<sdr_crypto::CryptoError> for CoreError {
+    fn from(e: sdr_crypto::CryptoError) -> Self {
+        CoreError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = sdr_store::StoreError::NoSuchKey(7).into();
+        assert!(e.to_string().contains("7"));
+        let e: CoreError = sdr_crypto::CryptoError::InvalidSignature.into();
+        assert!(e.to_string().contains("signature"));
+        assert!(CoreError::AccessDenied.to_string().contains("denied"));
+    }
+}

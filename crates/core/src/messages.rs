@@ -1,0 +1,387 @@
+//! Wire messages exchanged by directory, masters, slaves, and clients.
+
+use crate::evidence::Evidence;
+use crate::pledge::Pledge;
+use sdr_broadcast::{MemberId, TobMessage};
+use sdr_crypto::{Certificate, CryptoError, PublicKey, Signature, Signer};
+use sdr_sim::{NodeId, Payload, SimTime};
+use sdr_store::{Query, QueryResult, UpdateOp};
+use serde::{Deserialize, Serialize};
+
+/// The "signed and time-stamped value of the `content_version` variable"
+/// (Section 3.1) — attached to state updates, keep-alives, and pledges.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VersionStamp {
+    /// The content version.
+    pub version: u64,
+    /// When the issuing master signed it.
+    pub timestamp: SimTime,
+    /// The issuing master.
+    pub master: NodeId,
+    /// Master signature over [`VersionStamp::signing_bytes`].
+    pub signature: Signature,
+}
+
+impl VersionStamp {
+    /// Canonical bytes the master signs (version + timestamp).
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        Self::signing_bytes_raw(self.version, self.timestamp)
+    }
+
+    fn signing_bytes_raw(version: u64, timestamp: SimTime) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(b"sdr/stamp/v1");
+        out.extend_from_slice(&version.to_be_bytes());
+        out.extend_from_slice(&timestamp.as_micros().to_be_bytes());
+        out
+    }
+
+    /// Builds and signs a stamp.
+    pub fn build(
+        version: u64,
+        timestamp: SimTime,
+        master: NodeId,
+        signer: &mut dyn Signer,
+    ) -> Result<Self, CryptoError> {
+        let signature = signer.sign(&Self::signing_bytes_raw(version, timestamp))?;
+        Ok(VersionStamp {
+            version,
+            timestamp,
+            master,
+            signature,
+        })
+    }
+
+    /// Verifies the master's signature.
+    pub fn verify(&self, master_key: &PublicKey) -> Result<(), CryptoError> {
+        master_key.verify(&self.signing_bytes(), &self.signature)
+    }
+}
+
+/// Outcome of a write request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WriteOutcome {
+    /// Committed at this content version.
+    Committed {
+        /// The version the write produced.
+        version: u64,
+    },
+    /// Rejected by the access-control policy.
+    AccessDenied,
+    /// Rejected because an operation failed (description).
+    Failed(String),
+}
+
+/// Why a slave refused to serve a read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefuseReason {
+    /// The slave's freshest keep-alive exceeded `max_latency` — it gated
+    /// itself off, as Section 3 requires of correct slaves.
+    OutOfSync,
+    /// The slave is shutting down (excluded).
+    Excluded,
+}
+
+/// Verdict returned by a master for a double-check.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CheckVerdict {
+    /// Slave's answer matched the master's re-execution.
+    Match,
+    /// Slave lied; the master returns the correct result.
+    Mismatch {
+        /// The authoritative result.
+        correct: QueryResult,
+    },
+    /// The master no longer holds the pledge's version (client should
+    /// simply re-read).
+    VersionUnavailable,
+    /// Request ignored: the client exceeded its double-check quota
+    /// (greedy-client enforcement).  In the real system the master would
+    /// silently drop; an explicit message keeps the simulation observable.
+    Throttled,
+}
+
+/// Events masters submit to their total-order broadcast.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MasterEvent {
+    /// A client write admitted by some master.
+    Write {
+        /// Master that admitted the write.
+        origin_master: MemberId,
+        /// The requesting client.
+        client: NodeId,
+        /// Client-chosen request id (for the response).
+        req_id: u64,
+        /// The operations.
+        ops: Vec<UpdateOp>,
+    },
+    /// Periodic slave-list gossip ("masters also periodically broadcast
+    /// their slave list to the master set, so in the event of a master
+    /// crash the remaining ones will divide its slave set").
+    SlaveList {
+        /// The gossiping master.
+        master: MemberId,
+        /// Its current slaves.
+        slaves: Vec<NodeId>,
+    },
+    /// Agreed exclusion of a slave caught red-handed.
+    Exclude {
+        /// The provably malicious slave.
+        slave: NodeId,
+    },
+}
+
+/// All messages carried by the simulated network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Msg {
+    // ----- Directory -----
+    /// Client → directory: who replicates this content?
+    DirLookup,
+    /// Directory → client: master certificates plus the current auditor.
+    DirResponse {
+        /// Certificates of all masters (issued by the content owner).
+        certs: Vec<Certificate>,
+        /// Node ids corresponding to `certs` (same order).
+        nodes: Vec<NodeId>,
+        /// The currently elected auditor (excluded from client setup).
+        auditor: NodeId,
+    },
+    /// Master → directory: the elected auditor changed.
+    AuditorChanged {
+        /// New auditor node.
+        auditor: NodeId,
+    },
+
+    // ----- Client ↔ master: setup -----
+    /// Client → master: assign me a slave.
+    SetupRequest,
+    /// Master → client: your slave assignment (Section 2's setup phase).
+    SetupResponse {
+        /// Assigned slaves (one for the basic protocol, `k` for the
+        /// quorum-read variant) with their certificates.
+        slaves: Vec<(NodeId, Certificate)>,
+        /// The current auditor, so pledges can be forwarded.
+        auditor: NodeId,
+    },
+
+    // ----- Client ↔ master: writes -----
+    /// Client → master: commit these operations.
+    WriteRequest {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// Operations to apply.
+        ops: Vec<UpdateOp>,
+    },
+    /// Master → client: write outcome.
+    WriteResponse {
+        /// Echoed request id.
+        req_id: u64,
+        /// What happened.
+        outcome: WriteOutcome,
+    },
+
+    // ----- Master ↔ master -----
+    /// Total-order broadcast traffic.
+    Tob(TobMessage<MasterEvent>),
+    /// A non-sequencer master hands a client write to the sequencer, which
+    /// owns the global `max_latency` spacing of writes (Section 3.1's "two
+    /// write operations cannot be, time-wise, closer than max_latency").
+    WriteForward {
+        /// The requesting client (gets the response directly).
+        client: NodeId,
+        /// Client-chosen request id.
+        req_id: u64,
+        /// The operations.
+        ops: Vec<UpdateOp>,
+    },
+
+    // ----- Master → slave -----
+    /// Committed state update pushed lazily to slaves (Section 3.1).
+    StateUpdate {
+        /// The version this update produces.
+        version: u64,
+        /// Operations of the committed write.
+        ops: Vec<UpdateOp>,
+        /// Signed stamp for the new version.
+        stamp: VersionStamp,
+    },
+    /// Signed keep-alive (slaves may serve only while fresh).
+    KeepAlive {
+        /// Signed stamp of the current version.
+        stamp: VersionStamp,
+    },
+    /// Slave → master: I am missing updates from `from_version`.
+    SlaveSyncRequest {
+        /// First version the slave lacks.
+        from_version: u64,
+    },
+    /// Master → slave: you are excluded (corrective action).
+    ExcludeNotice,
+
+    // ----- Client ↔ slave: reads -----
+    /// Client → slave: execute this query.
+    ReadRequest {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// The query.
+        query: Query,
+    },
+    /// Slave → client: result plus signed pledge.
+    ReadResponse {
+        /// Echoed request id.
+        req_id: u64,
+        /// The (claimed) query result.
+        result: QueryResult,
+        /// The signed pledge.
+        pledge: Pledge,
+    },
+    /// Slave → client: refusing to serve (self-gated or excluded).
+    ReadRefused {
+        /// Echoed request id.
+        req_id: u64,
+        /// Why.
+        reason: RefuseReason,
+    },
+
+    // ----- Client ↔ master: reads (sensitive + double-check) -----
+    /// Client → master: execute this read on trusted hardware
+    /// (Section 4 security-sensitive variant).
+    TrustedRead {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// The query.
+        query: Query,
+    },
+    /// Master → client: authoritative result of a trusted read.
+    TrustedReadResponse {
+        /// Echoed request id.
+        req_id: u64,
+        /// The result.
+        result: QueryResult,
+    },
+    /// Client → master: double-check this pledge (Section 3.3).
+    DoubleCheck {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// The pledge under suspicion.
+        pledge: Pledge,
+    },
+    /// Master → client: double-check verdict.
+    DoubleCheckResponse {
+        /// Echoed request id.
+        req_id: u64,
+        /// The verdict.
+        verdict: CheckVerdict,
+    },
+
+    // ----- Audit path -----
+    /// Client → auditor: pledge for background verification (Section 3.4).
+    AuditSubmit {
+        /// The pledge to verify.
+        pledge: Pledge,
+    },
+    /// Auditor/client → responsible master: proof of slave misbehaviour.
+    Accusation {
+        /// Self-contained evidence.
+        evidence: Evidence,
+    },
+
+    // ----- Corrective action -----
+    /// Master → client: your slave was excluded; here is a replacement
+    /// (Section 3.5).
+    Reassign {
+        /// The excluded slave.
+        excluded: NodeId,
+        /// Replacement assignment (when capacity remains).
+        replacement: Option<(NodeId, Certificate)>,
+    },
+}
+
+impl Payload for Msg {
+    fn wire_len(&self) -> usize {
+        match self {
+            Msg::DirLookup | Msg::SetupRequest => 16,
+            Msg::DirResponse { certs, .. } => 64 + certs.len() * 128,
+            Msg::AuditorChanged { .. } => 24,
+            Msg::SetupResponse { slaves, .. } => 32 + slaves.len() * 128,
+            Msg::WriteRequest { ops, .. } | Msg::WriteForward { ops, .. } => {
+                16 + ops.iter().map(UpdateOp::size).sum::<usize>()
+            }
+            Msg::WriteResponse { .. } => 32,
+            Msg::Tob(m) => match m {
+                TobMessage::Publish { payload, .. } | TobMessage::Ordered { payload, .. } => {
+                    32 + master_event_len(payload)
+                }
+                TobMessage::StateReply { log, .. } | TobMessage::NewView { log, .. } => {
+                    32 + log.iter().map(|(_, _, _, e)| master_event_len(e)).sum::<usize>()
+                }
+                _ => 32,
+            },
+            Msg::StateUpdate { ops, .. } => {
+                96 + ops.iter().map(UpdateOp::size).sum::<usize>()
+            }
+            Msg::KeepAlive { .. } => 96,
+            Msg::SlaveSyncRequest { .. } => 16,
+            Msg::ExcludeNotice => 8,
+            Msg::ReadRequest { query, .. } => 16 + query.encode().len(),
+            Msg::ReadResponse { result, pledge, .. } => 16 + result.size() + pledge.wire_len(),
+            Msg::ReadRefused { .. } => 16,
+            Msg::TrustedRead { query, .. } => 16 + query.encode().len(),
+            Msg::TrustedReadResponse { result, .. } => 16 + result.size(),
+            Msg::DoubleCheck { pledge, .. } => 16 + pledge.wire_len(),
+            Msg::DoubleCheckResponse { verdict, .. } => match verdict {
+                CheckVerdict::Mismatch { correct } => 16 + correct.size(),
+                _ => 24,
+            },
+            Msg::AuditSubmit { pledge } => 8 + pledge.wire_len(),
+            Msg::Accusation { evidence } => 64 + evidence.pledge.wire_len(),
+            Msg::Reassign { .. } => 160,
+        }
+    }
+}
+
+fn master_event_len(e: &MasterEvent) -> usize {
+    match e {
+        MasterEvent::Write { ops, .. } => 24 + ops.iter().map(UpdateOp::size).sum::<usize>(),
+        MasterEvent::SlaveList { slaves, .. } => 16 + slaves.len() * 4,
+        MasterEvent::Exclude { .. } => 12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_crypto::HmacSigner;
+
+    #[test]
+    fn stamp_sign_verify() {
+        let mut m = HmacSigner::from_seed_label(1, b"m");
+        let stamp = VersionStamp::build(7, SimTime::from_millis(100), NodeId(0), &mut m).unwrap();
+        stamp.verify(&m.public_key()).unwrap();
+
+        let other = HmacSigner::from_seed_label(2, b"m");
+        assert!(stamp.verify(&other.public_key()).is_err());
+    }
+
+    #[test]
+    fn tampered_stamp_rejected() {
+        let mut m = HmacSigner::from_seed_label(1, b"m");
+        let mut stamp =
+            VersionStamp::build(7, SimTime::from_millis(100), NodeId(0), &mut m).unwrap();
+        stamp.version = 8;
+        assert!(stamp.verify(&m.public_key()).is_err());
+    }
+
+    #[test]
+    fn wire_lengths_are_plausible() {
+        assert!(Msg::DirLookup.wire_len() < Msg::ExcludeNotice.wire_len() + 100);
+        let big = Msg::WriteRequest {
+            req_id: 1,
+            ops: vec![UpdateOp::WriteFile {
+                path: "/a".into(),
+                contents: "x".repeat(1000),
+            }],
+        };
+        assert!(big.wire_len() > 1000);
+    }
+}

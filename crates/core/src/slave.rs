@@ -1,0 +1,485 @@
+//! Slave servers: marginally-trusted replicas with behaviour models.
+//!
+//! Honest slaves execute queries over their replica, sign pledges, apply
+//! lazy state updates in order, and self-gate when out of sync (Section 3).
+//! Byzantine behaviour is a pluggable [`SlaveBehavior`]:
+//!
+//! * [`SlaveBehavior::ConsistentLiar`] — the dangerous attacker: corrupts
+//!   the result *and pledges the corrupted hash*, so the client's hash
+//!   check passes and only double-checking or auditing can catch it.
+//! * [`SlaveBehavior::InconsistentLiar`] — a sloppy attacker whose pledge
+//!   hash does not match the shipped result; clients reject instantly.
+//! * [`SlaveBehavior::StaleServer`] — stops applying state updates but
+//!   keeps answering with fresh stamps (detected by the audit because the
+//!   pledged version's correct state no longer matches its answers).
+//! * [`SlaveBehavior::Refuser`] — denial of service: claims to be out of
+//!   sync with some probability.
+
+use crate::config::SystemConfig;
+use crate::messages::{Msg, RefuseReason, VersionStamp};
+use crate::pledge::{Pledge, ResultHash};
+use sdr_crypto::{PublicKey, Signer};
+use sdr_sim::{Ctx, NodeId, Process, SimTime};
+use sdr_store::fsview::GrepMatch;
+use sdr_store::{execute, Database, Document, Query, QueryResult, UpdateOp, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Behaviour model of a slave.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SlaveBehavior {
+    /// Follows the protocol.
+    Honest,
+    /// With probability `prob`, returns a corrupted result with a
+    /// self-consistent pledge (hash matches the corrupted result).
+    ///
+    /// When `collude` is true, every colluding liar forges the *same*
+    /// wrong answer (salt 0), which is what defeating the quorum-read
+    /// variant requires; otherwise each liar corrupts with its own salt.
+    ConsistentLiar {
+        /// Lie probability per read.
+        prob: f64,
+        /// Forge identically to other colluders.
+        collude: bool,
+    },
+    /// With probability `prob`, ships a corrupted result but pledges the
+    /// hash of the *correct* one.
+    InconsistentLiar {
+        /// Lie probability per read.
+        prob: f64,
+    },
+    /// Applies keep-alive stamps but silently drops state updates once the
+    /// version reaches `freeze_at`, serving stale data with fresh stamps.
+    StaleServer {
+        /// Version after which updates are ignored.
+        freeze_at: u64,
+    },
+    /// With probability `prob`, falsely claims to be out of sync.
+    Refuser {
+        /// Refusal probability per read.
+        prob: f64,
+    },
+}
+
+impl SlaveBehavior {
+    /// Whether this behaviour ever produces wrong answers.
+    pub fn is_malicious(&self) -> bool {
+        !matches!(self, SlaveBehavior::Honest)
+    }
+}
+
+/// Deterministically corrupts a query result (the lie a malicious slave
+/// tells).  Guaranteed to differ from the input under the canonical
+/// encoding; different `salt` values produce different forgeries, so
+/// independent (non-colluding) liars disagree with each other too.
+pub fn corrupt(result: &QueryResult, salt: u64) -> QueryResult {
+    let s = salt as i64 + 1;
+    match result {
+        QueryResult::Rows(rows) => {
+            let mut rows = rows.clone();
+            if rows.is_empty() {
+                rows.push((u64::MAX, Document::new().with("forged", s)));
+            } else {
+                rows.pop();
+                rows.push((u64::MAX - 1, Document::new().with("forged", s)));
+            }
+            QueryResult::Rows(rows)
+        }
+        QueryResult::Scalar(v) => QueryResult::Scalar(match v {
+            Value::Int(i) => Value::Int(i.wrapping_add(s)),
+            Value::Float(f) => Value::Float(f + s as f64),
+            _ => Value::Int(666 + s),
+        }),
+        QueryResult::Groups(groups) => {
+            let mut groups = groups.clone();
+            match groups.first_mut() {
+                Some((_, v)) => {
+                    *v = match v {
+                        Value::Int(i) => Value::Int(i.wrapping_add(s)),
+                        Value::Float(f) => Value::Float(*f + s as f64),
+                        _ => Value::Int(666 + s),
+                    }
+                }
+                None => groups.push((Value::Null, Value::Int(666 + s))),
+            }
+            QueryResult::Groups(groups)
+        }
+        QueryResult::Text(t) => QueryResult::Text(Some(format!(
+            "{}[tampered:{salt}]",
+            t.clone().unwrap_or_default()
+        ))),
+        QueryResult::Matches(ms) => {
+            let mut ms = ms.clone();
+            if ms.is_empty() {
+                ms.push(GrepMatch {
+                    path: format!("/forged-{salt}"),
+                    line: 1,
+                    text: "forged".into(),
+                });
+            } else {
+                ms.pop();
+            }
+            QueryResult::Matches(ms)
+        }
+        QueryResult::Paths(ps) => {
+            let mut ps = ps.clone();
+            if ps.is_empty() {
+                ps.push(format!("/forged-{salt}"));
+            } else {
+                ps.pop();
+            }
+            QueryResult::Paths(ps)
+        }
+    }
+}
+
+/// A slave server process.
+pub struct SlaveProcess {
+    cfg: SystemConfig,
+    db: Database,
+    behavior: SlaveBehavior,
+    signer: Box<dyn Signer>,
+    master_keys: HashMap<NodeId, PublicKey>,
+    latest_stamp: Option<VersionStamp>,
+    last_keepalive_at: SimTime,
+    pending_updates: BTreeMap<u64, (Vec<UpdateOp>, VersionStamp)>,
+    excluded: bool,
+    /// Earliest time the next sync request may be sent (rate limit: the
+    /// simulated network reorders packets, so most gaps heal by
+    /// themselves; only persistent gaps are worth a replay).
+    sync_cooldown_until: SimTime,
+    /// Highest version this slave consumed-but-dropped (StaleServer only);
+    /// keeps gap detection from re-requesting updates it chose to ignore.
+    dropped_up_to: u64,
+    /// Result-hash bytes of every lie told (joined post-run against client
+    /// acceptance logs to measure wrong-accepted reads — the ground-truth
+    /// oracle described in DESIGN.md).
+    lies_told: HashSet<Vec<u8>>,
+    reads_served: u64,
+}
+
+impl SlaveProcess {
+    /// Creates a slave starting from `db` with the given behaviour.
+    pub fn new(
+        cfg: SystemConfig,
+        db: Database,
+        behavior: SlaveBehavior,
+        signer: Box<dyn Signer>,
+        master_keys: HashMap<NodeId, PublicKey>,
+    ) -> Self {
+        SlaveProcess {
+            cfg,
+            db,
+            behavior,
+            signer,
+            master_keys,
+            latest_stamp: None,
+            last_keepalive_at: SimTime::ZERO,
+            pending_updates: BTreeMap::new(),
+            excluded: false,
+            sync_cooldown_until: SimTime::ZERO,
+            dropped_up_to: 0,
+            lies_told: HashSet::new(),
+            reads_served: 0,
+        }
+    }
+
+    /// The slave's verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.signer.public_key()
+    }
+
+    /// Result hashes of lies told so far (test/stats oracle).
+    pub fn lies_told(&self) -> &HashSet<Vec<u8>> {
+        &self.lies_told
+    }
+
+    /// Number of reads served.
+    pub fn reads_served(&self) -> u64 {
+        self.reads_served
+    }
+
+    /// Current replica version (test inspection).
+    pub fn version(&self) -> u64 {
+        self.db.version()
+    }
+
+    /// State digest (test inspection).
+    pub fn state_digest(&self) -> sdr_crypto::Hash256 {
+        self.db.state_digest()
+    }
+
+    /// Whether this slave has been excluded.
+    pub fn is_excluded(&self) -> bool {
+        self.excluded
+    }
+
+    fn is_fresh(&self, now: SimTime) -> bool {
+        match &self.latest_stamp {
+            Some(stamp) => now.since(stamp.timestamp) <= self.cfg.max_latency,
+            None => false,
+        }
+    }
+
+    fn accept_stamp(&mut self, stamp: VersionStamp) {
+        let newer = match &self.latest_stamp {
+            Some(cur) => {
+                stamp.version > cur.version
+                    || (stamp.version == cur.version && stamp.timestamp > cur.timestamp)
+            }
+            None => true,
+        };
+        if newer {
+            self.latest_stamp = Some(stamp);
+        }
+    }
+
+    /// The version this slave *appears* to be at: applied updates plus any
+    /// it silently dropped (StaleServer keeps consuming the stream so it
+    /// never looks like it has a gap).
+    fn effective_version(&self) -> u64 {
+        self.db.version().max(self.dropped_up_to)
+    }
+
+    fn apply_ready_updates(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        while let Some((&version, _)) = self.pending_updates.first_key_value() {
+            if version != self.effective_version() + 1 {
+                break;
+            }
+            let (ops, stamp) = self.pending_updates.remove(&version).expect("present");
+            let frozen = matches!(self.behavior, SlaveBehavior::StaleServer { freeze_at }
+                if self.effective_version() >= freeze_at);
+            if frozen {
+                // StaleServer: keep the fresh stamp, drop the data.
+                self.dropped_up_to = version;
+                self.accept_stamp(stamp);
+                ctx.metrics().inc("slave.updates_dropped");
+                continue;
+            }
+            let bytes: usize = ops.iter().map(UpdateOp::size).sum();
+            ctx.charge(ctx.costs().write_apply * ops.len() as u64);
+            ctx.charge(ctx.costs().serde_cost(bytes));
+            if self.db.apply_write(&ops).is_ok() {
+                ctx.metrics().inc("slave.updates_applied");
+            }
+            self.accept_stamp(stamp);
+        }
+    }
+
+    fn serve_read(&mut self, ctx: &mut Ctx<'_, Msg>, client: NodeId, req_id: u64, query: Query) {
+        if self.excluded {
+            ctx.send(
+                client,
+                Msg::ReadRefused {
+                    req_id,
+                    reason: RefuseReason::Excluded,
+                },
+            );
+            return;
+        }
+        // Freshness self-gate (correct-slave duty from Section 3): "if they
+        // behave correctly they should stop handling user requests until
+        // they are back in sync".
+        if !self.is_fresh(ctx.now()) {
+            ctx.metrics().inc("slave.refused_stale");
+            ctx.send(
+                client,
+                Msg::ReadRefused {
+                    req_id,
+                    reason: RefuseReason::OutOfSync,
+                },
+            );
+            return;
+        }
+        if let SlaveBehavior::Refuser { prob } = self.behavior {
+            if ctx.coin() < prob {
+                ctx.metrics().inc("slave.refused_malicious");
+                ctx.send(
+                    client,
+                    Msg::ReadRefused {
+                        req_id,
+                        reason: RefuseReason::OutOfSync,
+                    },
+                );
+                return;
+            }
+        }
+
+        let Ok((result, qcost)) = execute(&self.db, &query) else {
+            ctx.metrics().inc("slave.query_errors");
+            ctx.send(
+                client,
+                Msg::ReadRefused {
+                    req_id,
+                    reason: RefuseReason::OutOfSync,
+                },
+            );
+            return;
+        };
+        ctx.charge(crate::cost::query_charge(&qcost, result.size(), ctx.costs()));
+        self.reads_served += 1;
+        ctx.metrics().inc("slave.reads");
+
+        // Behaviour: decide what to ship and what to pledge.
+        let (shipped, pledged_hash_src, lie) = match self.behavior {
+            SlaveBehavior::ConsistentLiar { prob, collude } if ctx.coin() < prob => {
+                let salt = if collude { 0 } else { u64::from(ctx.id().0) };
+                let bad = corrupt(&result, salt);
+                (bad.clone(), bad, true)
+            }
+            SlaveBehavior::InconsistentLiar { prob } if ctx.coin() < prob => {
+                // Pledge the correct hash but ship garbage.
+                (corrupt(&result, 1), result.clone(), true)
+            }
+            _ => (result.clone(), result, false),
+        };
+
+        let result_hash = ResultHash::of(&pledged_hash_src, self.cfg.pledge_hash);
+        ctx.charge(ctx.costs().hash_cost(pledged_hash_src.size()));
+        if lie {
+            ctx.metrics().inc("slave.lies");
+            self.lies_told
+                .insert(ResultHash::of(&shipped, self.cfg.pledge_hash).bytes().to_vec());
+        }
+
+        let stamp = self.latest_stamp.clone().expect("fresh implies stamp");
+        ctx.charge(ctx.costs().sign);
+        let Ok(pledge) = Pledge::build(
+            query,
+            result_hash,
+            stamp,
+            ctx.id(),
+            self.signer.as_mut(),
+        ) else {
+            ctx.metrics().inc("slave.sign_failures");
+            ctx.send(
+                client,
+                Msg::ReadRefused {
+                    req_id,
+                    reason: RefuseReason::OutOfSync,
+                },
+            );
+            return;
+        };
+        ctx.send(
+            client,
+            Msg::ReadResponse {
+                req_id,
+                result: shipped,
+                pledge,
+            },
+        );
+    }
+}
+
+impl Process<Msg> for SlaveProcess {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::ReadRequest { req_id, query } => self.serve_read(ctx, from, req_id, query),
+            Msg::KeepAlive { stamp } => {
+                // Only stamps genuinely signed by a known master count.
+                ctx.charge(ctx.costs().verify);
+                let valid = self
+                    .master_keys
+                    .get(&stamp.master)
+                    .is_some_and(|k| stamp.verify(k).is_ok());
+                if valid {
+                    self.last_keepalive_at = ctx.now();
+                    self.accept_stamp(stamp);
+                } else {
+                    ctx.metrics().inc("slave.bad_keepalives");
+                }
+            }
+            Msg::StateUpdate {
+                version,
+                ops,
+                stamp,
+            } => {
+                ctx.charge(ctx.costs().verify);
+                let valid = self
+                    .master_keys
+                    .get(&stamp.master)
+                    .is_some_and(|k| stamp.verify(k).is_ok());
+                if !valid {
+                    ctx.metrics().inc("slave.bad_updates");
+                    return;
+                }
+                if version > self.effective_version() {
+                    self.pending_updates.insert(version, (ops, stamp));
+                }
+                self.apply_ready_updates(ctx);
+                // Gap detection: ask the master for anything still missing,
+                // rate-limited so transient network reordering (which heals
+                // by itself) does not trigger replay storms.
+                if let Some((&lowest, _)) = self.pending_updates.first_key_value() {
+                    if lowest > self.effective_version() + 1
+                        && ctx.now() >= self.sync_cooldown_until
+                    {
+                        self.sync_cooldown_until = ctx.now() + self.cfg.keepalive_period;
+                        ctx.metrics().inc("slave.sync_requests");
+                        ctx.send(
+                            from,
+                            Msg::SlaveSyncRequest {
+                                from_version: self.effective_version() + 1,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::ExcludeNotice => {
+                self.excluded = true;
+                ctx.metrics().inc("slave.excluded_notices");
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("slave({:?})", self.behavior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_always_changes_hash() {
+        let samples = vec![
+            QueryResult::Rows(vec![]),
+            QueryResult::Rows(vec![(1, Document::new().with("a", 1i64))]),
+            QueryResult::Scalar(Value::Int(5)),
+            QueryResult::Scalar(Value::Str("x".into())),
+            QueryResult::Groups(vec![]),
+            QueryResult::Groups(vec![(Value::Int(1), Value::Int(2))]),
+            QueryResult::Text(None),
+            QueryResult::Text(Some("abc".into())),
+            QueryResult::Matches(vec![]),
+            QueryResult::Paths(vec![]),
+            QueryResult::Paths(vec!["/a".into()]),
+        ];
+        for r in samples {
+            let c = corrupt(&r, 0);
+            assert_ne!(r.sha1(), c.sha1(), "corrupt({r:?}) did not change hash");
+            // Different salts give different forgeries for non-empty cases
+            // where the salt lands in the payload.
+            let c2 = corrupt(&r, 7);
+            if matches!(
+                r,
+                QueryResult::Scalar(_) | QueryResult::Text(_) | QueryResult::Rows(_)
+            ) {
+                assert_ne!(c.sha1(), c2.sha1(), "salt ignored for {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn behavior_malice_flags() {
+        assert!(!SlaveBehavior::Honest.is_malicious());
+        assert!(SlaveBehavior::ConsistentLiar {
+            prob: 0.1,
+            collude: false
+        }
+        .is_malicious());
+        assert!(SlaveBehavior::StaleServer { freeze_at: 1 }.is_malicious());
+    }
+}

@@ -1,0 +1,223 @@
+//! Experiment-facing statistics extraction.
+
+use crate::client::ClientCounters;
+use crate::system::System;
+use sdr_sim::Summary;
+use std::collections::{HashMap, HashSet};
+
+/// Aggregated statistics for one run.
+#[derive(Clone, Debug)]
+pub struct SystemStats {
+    /// Reads issued by clients.
+    pub reads_issued: u64,
+    /// Reads fully verified and accepted.
+    pub reads_accepted: u64,
+    /// Reads that exhausted retries.
+    pub reads_failed: u64,
+    /// Responses rejected for staleness.
+    pub rejected_stale: u64,
+    /// Responses rejected for hash mismatch (inconsistent liars).
+    pub rejected_hash: u64,
+    /// Read retries.
+    pub read_retries: u64,
+    /// Reads served by the trusted masters (sensitive variant).
+    pub reads_sensitive: u64,
+    /// Lies slaves told (ground truth).
+    pub lies_told: u64,
+    /// Accepted reads whose result was a lie (oracle join).
+    pub wrong_accepted: u64,
+    /// Double-checks sent by clients.
+    pub dc_sent: u64,
+    /// Double-check mismatches (immediate discoveries at the master).
+    pub dc_mismatch: u64,
+    /// Double-checks throttled by greedy enforcement.
+    pub dc_throttled: u64,
+    /// Immediate discoveries (Section 3.5).
+    pub discovery_immediate: u64,
+    /// Delayed discoveries via the audit (Section 3.5).
+    pub discovery_delayed: u64,
+    /// Slaves excluded.
+    pub exclusions: u64,
+    /// Client reassignments after exclusions.
+    pub reassignments: u64,
+    /// Pledges submitted to the auditor.
+    pub audit_submitted: u64,
+    /// Pledges actually checked.
+    pub audit_checked: u64,
+    /// Auditor cache hits.
+    pub audit_cache_hits: u64,
+    /// Audit mismatches found.
+    pub audit_mismatch: u64,
+    /// Pledges skipped by sampled auditing.
+    pub audit_skipped: u64,
+    /// Writes committed.
+    pub writes_committed: u64,
+    /// Writes denied by ACL.
+    pub writes_denied: u64,
+    /// Read latency summary (µs).
+    pub read_latency: Summary,
+    /// Write commit latency summary (µs).
+    pub write_latency: Summary,
+    /// Audit lag summary (µs).
+    pub audit_lag: Summary,
+    /// Final auditor backlog.
+    pub audit_backlog: u64,
+    /// Per-master CPU utilisation (0..=1), by rank.
+    pub master_utilisation: Vec<f64>,
+    /// Per-slave CPU utilisation (0..=1), by index.
+    pub slave_utilisation: Vec<f64>,
+    /// Per-client counters, by index.
+    pub per_client: Vec<ClientCounters>,
+}
+
+impl SystemStats {
+    /// Collects statistics from a (finished or running) system.
+    pub fn collect(sys: &mut System) -> Self {
+        // Oracle join: which accepted result hashes were lies?  The set is
+        // for the join; the *count* of lie events comes from the metric
+        // (identical lies to repeated queries hash identically).
+        let mut lie_sets: HashMap<usize, HashSet<Vec<u8>>> = HashMap::new();
+        for i in 0..sys.slaves.len() {
+            let lies = sys.with_slave(i, |s| s.lies_told().clone());
+            lie_sets.insert(i, lies);
+        }
+        let lies_told = sys.world.metrics().counter("slave.lies");
+        let slave_index: HashMap<_, _> = sys
+            .slaves
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, i))
+            .collect();
+
+        let mut wrong_accepted = 0u64;
+        let mut per_client = Vec::with_capacity(sys.clients.len());
+        for i in 0..sys.clients.len() {
+            let (acc, counters) =
+                sys.with_client(i, |c| (c.acceptances().to_vec(), c.counters()));
+            for (slave, hash) in acc {
+                if let Some(idx) = slave_index.get(&slave) {
+                    if lie_sets.get(idx).is_some_and(|l| l.contains(&hash)) {
+                        wrong_accepted += 1;
+                    }
+                }
+            }
+            per_client.push(counters);
+        }
+
+        let master_utilisation: Vec<f64> = sys
+            .masters
+            .clone()
+            .into_iter()
+            .map(|n| sys.world.utilisation(n))
+            .collect();
+        let slave_utilisation: Vec<f64> = sys
+            .slaves
+            .clone()
+            .into_iter()
+            .map(|n| sys.world.utilisation(n))
+            .collect();
+
+        let m = sys.world.metrics_mut();
+        SystemStats {
+            reads_issued: m.counter("read.issued"),
+            reads_accepted: m.counter("read.accepted"),
+            reads_failed: m.counter("read.failed"),
+            rejected_stale: m.counter("read.rejected.stale"),
+            rejected_hash: m.counter("read.rejected.hash"),
+            read_retries: m.counter("read.retry"),
+            reads_sensitive: m.counter("read.sensitive"),
+            lies_told,
+            wrong_accepted,
+            dc_sent: m.counter("dc.sent"),
+            dc_mismatch: m.counter("dc.mismatch"),
+            dc_throttled: m.counter("dc.throttled"),
+            discovery_immediate: m.counter("discovery.immediate"),
+            discovery_delayed: m.counter("discovery.delayed"),
+            exclusions: m.counter("exclusion.count"),
+            reassignments: m.counter("reassign.count"),
+            audit_submitted: m.counter("audit.submitted"),
+            audit_checked: m.counter("audit.checked"),
+            audit_cache_hits: m.counter("audit.cache_hit"),
+            audit_mismatch: m.counter("audit.mismatch"),
+            audit_skipped: m.counter("audit.skipped_sampling"),
+            writes_committed: m.counter("write.committed"),
+            writes_denied: m.counter("write.denied"),
+            read_latency: m.summary("read.latency_us"),
+            write_latency: m.summary("write.latency_us"),
+            audit_lag: m.summary("audit.lag_hist_us"),
+            audit_backlog: {
+                // Final backlog from the elected auditor.
+                0 // Filled below after the metrics borrow ends.
+            },
+            master_utilisation,
+            slave_utilisation,
+            per_client,
+        }
+        .fill_auditor(sys)
+    }
+
+    fn fill_auditor(mut self, sys: &mut System) -> Self {
+        for rank in 0..sys.masters.len() {
+            let (is_auditor, backlog) =
+                sys.with_master(rank, |m| (m.is_auditor(), m.auditor_state().backlog()));
+            if is_auditor {
+                self.audit_backlog = backlog;
+                break;
+            }
+        }
+        self
+    }
+
+    /// Fraction of accepted reads that were wrong (the headline
+    /// correctness metric).
+    pub fn wrong_accept_rate(&self) -> f64 {
+        if self.reads_accepted == 0 {
+            0.0
+        } else {
+            self.wrong_accepted as f64 / self.reads_accepted as f64
+        }
+    }
+
+    /// Total misbehaviour discoveries.
+    pub fn discoveries(&self) -> u64 {
+        self.discovery_immediate + self.discovery_delayed
+    }
+
+    /// Compact human-readable summary (used by examples).
+    pub fn render(&self) -> String {
+        format!(
+            "reads: issued={} accepted={} failed={} stale_rejects={} sensitive={}\n\
+             writes: committed={} denied={}\n\
+             lies: told={} wrong_accepted={} ({:.4}%)\n\
+             double-check: sent={} mismatch={} throttled={}\n\
+             discovery: immediate={} delayed={} exclusions={} reassignments={}\n\
+             audit: submitted={} checked={} cache_hits={} mismatch={} backlog={}\n\
+             read latency: p50={}us p90={}us p99={}us",
+            self.reads_issued,
+            self.reads_accepted,
+            self.reads_failed,
+            self.rejected_stale,
+            self.reads_sensitive,
+            self.writes_committed,
+            self.writes_denied,
+            self.lies_told,
+            self.wrong_accepted,
+            100.0 * self.wrong_accept_rate(),
+            self.dc_sent,
+            self.dc_mismatch,
+            self.dc_throttled,
+            self.discovery_immediate,
+            self.discovery_delayed,
+            self.exclusions,
+            self.reassignments,
+            self.audit_submitted,
+            self.audit_checked,
+            self.audit_cache_hits,
+            self.audit_mismatch,
+            self.audit_backlog,
+            self.read_latency.p50,
+            self.read_latency.p90,
+            self.read_latency.p99,
+        )
+    }
+}

@@ -1,0 +1,369 @@
+//! Wires a full deployment into a simulation world.
+//!
+//! The [`SystemBuilder`] plays the *content owner*: it generates the
+//! content key, signs master certificates, loads the initial data content
+//! onto every replica, assigns slaves to masters (the highest-ranked
+//! master is the initial elected auditor and gets none), and spawns
+//! directory, masters, slaves, and clients into an `sdr-sim` [`World`].
+
+use crate::client::ClientProcess;
+use crate::config::SystemConfig;
+use crate::dataset::DatasetSpec;
+use crate::directory::DirectoryProcess;
+use crate::master::MasterProcess;
+use crate::messages::Msg;
+use crate::slave::{SlaveBehavior, SlaveProcess};
+use crate::stats::SystemStats;
+use crate::workload::Workload;
+use crate::acl::WritePolicy;
+use sdr_broadcast::MemberId;
+use sdr_crypto::{
+    content_id_for_key, CertRole, Certificate, CertificateBody, HmacDrbg, HmacSigner, MssSigner,
+    PublicKey, SignatureScheme, Signer,
+};
+use sdr_sim::{CostModel, LinkModel, NetworkConfig, NodeId, SimDuration, SimTime, World};
+use std::collections::HashMap;
+
+/// Builder for a complete simulated deployment.
+pub struct SystemBuilder {
+    config: SystemConfig,
+    workload: Workload,
+    behaviors: Vec<SlaveBehavior>,
+    net: Option<NetworkConfig>,
+    costs: CostModel,
+    policy: WritePolicy,
+}
+
+impl SystemBuilder {
+    /// Starts a builder from a configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        let behaviors = vec![SlaveBehavior::Honest; config.n_slaves];
+        SystemBuilder {
+            config,
+            workload: Workload::default(),
+            behaviors,
+            net: None,
+            costs: CostModel::standard(),
+            policy: WritePolicy::allow_all(),
+        }
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Sets one slave's behaviour.
+    pub fn slave_behavior(mut self, index: usize, b: SlaveBehavior) -> Self {
+        self.behaviors[index] = b;
+        self
+    }
+
+    /// Sets every slave's behaviour at once (length must match).
+    pub fn behaviors(mut self, b: Vec<SlaveBehavior>) -> Self {
+        assert_eq!(b.len(), self.config.n_slaves);
+        self.behaviors = b;
+        self
+    }
+
+    /// Overrides the network model (default: 10 ms WAN-ish links).
+    pub fn network(mut self, net: NetworkConfig) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Overrides the virtual cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Overrides the write policy (default: allow all).
+    pub fn policy(mut self, policy: WritePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn make_signer(scheme: SignatureScheme, mss_height: u8, seed: u64, label: &str) -> Box<dyn Signer> {
+        match scheme {
+            SignatureScheme::Hmac => {
+                Box::new(HmacSigner::from_seed_label(seed, label.as_bytes()))
+            }
+            SignatureScheme::Mss => {
+                let mut drbg = HmacDrbg::from_seed_label(seed, label.as_bytes());
+                let key_seed: [u8; 32] = drbg.gen_array();
+                Box::new(
+                    MssSigner::generate(key_seed, mss_height)
+                        .expect("valid MSS height"),
+                )
+            }
+        }
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`SystemConfig::validate`].
+    pub fn build(self) -> System {
+        let cfg = self.config;
+        cfg.validate().unwrap_or_else(|e| panic!("bad config: {e}"));
+        let seed = cfg.seed;
+
+        let net = self.net.unwrap_or_else(|| {
+            NetworkConfig::new(LinkModel::wan(SimDuration::from_millis(10)))
+        });
+        let mut world: World<Msg> = World::new(seed, net, self.costs);
+
+        // Deterministic node-id layout (spawn order below must match):
+        // masters, slaves, directory, clients.
+        let nm = cfg.n_masters;
+        let ns = cfg.n_slaves;
+        let master_ids: Vec<NodeId> = (0..nm).map(|i| NodeId(i as u32)).collect();
+        let slave_ids: Vec<NodeId> = (0..ns).map(|i| NodeId((nm + i) as u32)).collect();
+        let directory_id = NodeId((nm + ns) as u32);
+        let client_ids: Vec<NodeId> =
+            (0..cfg.n_clients).map(|i| NodeId((nm + ns + 1 + i) as u32)).collect();
+
+        // The content owner and its key.
+        let mut owner_signer =
+            Self::make_signer(cfg.signer, cfg.mss_height, seed, "content-owner");
+        let content_key = owner_signer.public_key();
+        let content_id = content_id_for_key(&content_key);
+
+        // Per-node signers and public keys.
+        let mut master_signers: Vec<Box<dyn Signer>> = (0..nm)
+            .map(|i| Self::make_signer(cfg.signer, cfg.mss_height, seed, &format!("master-{i}")))
+            .collect();
+        let master_keys: HashMap<NodeId, PublicKey> = master_ids
+            .iter()
+            .zip(master_signers.iter())
+            .map(|(id, s)| (*id, s.public_key()))
+            .collect();
+        let slave_signers: Vec<Box<dyn Signer>> = (0..ns)
+            .map(|i| Self::make_signer(cfg.signer, cfg.mss_height, seed, &format!("slave-{i}")))
+            .collect();
+        let slave_keys: HashMap<NodeId, PublicKey> = slave_ids
+            .iter()
+            .zip(slave_signers.iter())
+            .map(|(id, s)| (*id, s.public_key()))
+            .collect();
+
+        // Master certificates signed with the content key (Section 2).
+        let master_certs: Vec<Certificate> = master_ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                Certificate::issue(
+                    CertificateBody {
+                        serial: i as u64 + 1,
+                        role: CertRole::Master,
+                        subject_addr: format!("master-{i}"),
+                        subject_key: master_keys[id],
+                        issued_at_us: 0,
+                        content_id,
+                    },
+                    owner_signer.as_mut(),
+                )
+                .expect("owner cert issuance")
+            })
+            .collect();
+
+        // Slave assignment: the initial auditor (highest rank) gets none.
+        let auditor_rank = nm - 1;
+        let eligible: Vec<usize> = (0..nm).filter(|&r| r != auditor_rank).collect();
+        let mut assignment: Vec<Vec<NodeId>> = vec![Vec::new(); nm];
+        let mut slave_owner: HashMap<NodeId, MemberId> = HashMap::new();
+        for (i, sid) in slave_ids.iter().enumerate() {
+            let owner = eligible[i % eligible.len()];
+            assignment[owner].push(*sid);
+            slave_owner.insert(*sid, MemberId(owner as u32));
+        }
+
+        // Initial content, identical everywhere.
+        let initial_db = self.workload.dataset.build();
+
+        // Spawn masters (ranks 0..nm).
+        for (rank, signer) in master_signers.drain(..).enumerate() {
+            let process = MasterProcess::new(
+                cfg.clone(),
+                MemberId(rank as u32),
+                master_ids.clone(),
+                master_keys.clone(),
+                signer,
+                content_id,
+                initial_db.clone(),
+                self.policy.clone(),
+                assignment[rank].clone(),
+                slave_keys.clone(),
+                slave_owner.clone(),
+                directory_id,
+            );
+            let id = world.spawn(format!("master-{rank}"), Box::new(process));
+            debug_assert_eq!(id, master_ids[rank]);
+        }
+
+        // Spawn slaves.
+        let mut behaviors = self.behaviors;
+        for (i, signer) in slave_signers.into_iter().enumerate() {
+            let process = SlaveProcess::new(
+                cfg.clone(),
+                initial_db.clone(),
+                behaviors[i],
+                signer,
+                master_keys.clone(),
+            );
+            let id = world.spawn(format!("slave-{i}"), Box::new(process));
+            debug_assert_eq!(id, slave_ids[i]);
+        }
+        behaviors.clear();
+
+        // Spawn the directory.
+        let auditor_node = master_ids[auditor_rank];
+        let id = world.spawn(
+            "directory",
+            Box::new(DirectoryProcess::new(
+                master_certs,
+                master_ids.clone(),
+                auditor_node,
+            )),
+        );
+        debug_assert_eq!(id, directory_id);
+
+        // Spawn clients.
+        let n_writers = ((cfg.n_clients as f64) * self.workload.writer_fraction).ceil() as usize;
+        for (i, expected_id) in client_ids.iter().enumerate() {
+            let process = ClientProcess::new(
+                cfg.clone(),
+                self.workload.clone(),
+                i,
+                directory_id,
+                content_key,
+                i < n_writers,
+            );
+            let id = world.spawn(format!("client-{i}"), Box::new(process));
+            debug_assert_eq!(id, *expected_id);
+        }
+
+        System {
+            world,
+            config: cfg,
+            masters: master_ids,
+            slaves: slave_ids,
+            directory: directory_id,
+            clients: client_ids,
+            content_key,
+            initial_dataset: self.workload.dataset,
+        }
+    }
+}
+
+/// A running deployment: the world plus the node roster.
+pub struct System {
+    /// The simulation world.
+    pub world: World<Msg>,
+    /// The configuration it was built with.
+    pub config: SystemConfig,
+    /// Master nodes, by rank.
+    pub masters: Vec<NodeId>,
+    /// Slave nodes, by index.
+    pub slaves: Vec<NodeId>,
+    /// The directory node.
+    pub directory: NodeId,
+    /// Client nodes, by index.
+    pub clients: Vec<NodeId>,
+    /// The content public key.
+    pub content_key: PublicKey,
+    /// Dataset spec the content was generated from.
+    pub initial_dataset: DatasetSpec,
+}
+
+impl System {
+    /// Runs the world for `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Runs the world until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Crashes a master at time `at` (fault injection for E12).
+    pub fn crash_master_at(&mut self, at: SimTime, rank: usize) {
+        let node = self.masters[rank];
+        self.world.schedule_crash(at, node);
+    }
+
+    /// Typed access to a master by rank.
+    pub fn with_master<R>(&mut self, rank: usize, f: impl FnOnce(&mut MasterProcess) -> R) -> R {
+        let node = self.masters[rank];
+        self.world.with_process::<MasterProcess, R>(node, f)
+    }
+
+    /// Typed access to a slave by index.
+    pub fn with_slave<R>(&mut self, index: usize, f: impl FnOnce(&mut SlaveProcess) -> R) -> R {
+        let node = self.slaves[index];
+        self.world.with_process::<SlaveProcess, R>(node, f)
+    }
+
+    /// Typed access to a client by index.
+    pub fn with_client<R>(&mut self, index: usize, f: impl FnOnce(&mut ClientProcess) -> R) -> R {
+        let node = self.clients[index];
+        self.world.with_process::<ClientProcess, R>(node, f)
+    }
+
+    /// Harvests statistics (metrics + the lie/acceptance oracle join).
+    pub fn stats(&mut self) -> SystemStats {
+        SystemStats::collect(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_spawns_expected_roster() {
+        let cfg = SystemConfig {
+            n_masters: 3,
+            n_slaves: 4,
+            n_clients: 5,
+            ..SystemConfig::default()
+        };
+        let sys = SystemBuilder::new(cfg).build();
+        // masters + slaves + directory + clients
+        assert_eq!(sys.world.node_count(), 3 + 4 + 1 + 5);
+        assert_eq!(sys.masters.len(), 3);
+        assert_eq!(sys.clients.len(), 5);
+    }
+
+    #[test]
+    fn initial_auditor_has_no_slaves() {
+        let cfg = SystemConfig::default();
+        let nm = cfg.n_masters;
+        let mut sys = SystemBuilder::new(cfg).build();
+        let auditor_slaves = sys.with_master(nm - 1, |m| m.slaves().len());
+        assert_eq!(auditor_slaves, 0);
+        let total: usize = (0..nm - 1)
+            .map(|r| sys.with_master(r, |m| m.slaves().len()))
+            .sum();
+        assert_eq!(total, sys.slaves.len());
+    }
+
+    #[test]
+    fn replicas_start_identical() {
+        let mut sys = SystemBuilder::new(SystemConfig::default()).build();
+        let d0 = sys.with_master(0, |m| m.state_digest());
+        let d1 = sys.with_master(1, |m| m.state_digest());
+        let ds = sys.with_slave(0, |s| s.state_digest());
+        assert_eq!(d0, d1);
+        assert_eq!(d0, ds);
+    }
+}

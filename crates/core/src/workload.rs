@@ -1,0 +1,323 @@
+//! Workload generation: read/write mixes, query shapes, diurnal load, and
+//! greedy clients.
+
+use crate::dataset::{DatasetSpec, CATEGORIES, LOG_WORDS};
+use rand::Rng;
+use sdr_sim::{SimDuration, SimTime};
+use sdr_store::{Aggregate, CmpOp, Document, Predicate, Query, UpdateOp};
+
+/// Relative weights of query shapes in the read mix.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryMix {
+    /// Point reads by primary key.
+    pub get: u32,
+    /// Primary-key range scans.
+    pub range: u32,
+    /// Predicate filters (indexed and scanning).
+    pub filter: u32,
+    /// Aggregations with and without group-by.
+    pub aggregate: u32,
+    /// Two-table joins.
+    pub join: u32,
+    /// File greps (the expensive reads).
+    pub grep: u32,
+    /// Whole-file reads.
+    pub read_file: u32,
+}
+
+impl QueryMix {
+    /// A read-mostly catalogue mix: cheap point reads dominate, with a
+    /// tail of expensive aggregations and greps.
+    pub fn catalogue() -> Self {
+        QueryMix {
+            get: 50,
+            range: 10,
+            filter: 15,
+            aggregate: 10,
+            join: 5,
+            grep: 7,
+            read_file: 3,
+        }
+    }
+
+    /// A mix dominated by expensive queries (stress for the auditor).
+    pub fn heavy() -> Self {
+        QueryMix {
+            get: 10,
+            range: 5,
+            filter: 15,
+            aggregate: 25,
+            join: 15,
+            grep: 25,
+            read_file: 5,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.get + self.range + self.filter + self.aggregate + self.join + self.grep
+            + self.read_file
+    }
+
+    /// Samples a query against the generated dataset.
+    pub fn sample<R: Rng>(&self, rng: &mut R, spec: &DatasetSpec) -> Query {
+        let n = spec.n_products.max(1) as u64;
+        let mut pick = rng.gen_range(0..self.total());
+        let mut take = |w: u32| {
+            if pick < w {
+                true
+            } else {
+                pick -= w;
+                false
+            }
+        };
+        if take(self.get) {
+            Query::GetRow {
+                table: "products".into(),
+                key: 1 + rng.gen_range(0..n),
+            }
+        } else if take(self.range) {
+            let low = 1 + rng.gen_range(0..n);
+            Query::Range {
+                table: "products".into(),
+                low,
+                high: low + rng.gen_range(1..25),
+                limit: Some(25),
+            }
+        } else if take(self.filter) {
+            if rng.gen_bool(0.5) {
+                // Indexed filter.
+                let cat = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+                Query::Filter {
+                    table: "products".into(),
+                    predicate: Predicate::eq("category", cat),
+                    projection: None,
+                    limit: None,
+                }
+            } else {
+                // Scanning filter.
+                let floor = rng.gen_range(0..900) as i64;
+                Query::Filter {
+                    table: "products".into(),
+                    predicate: Predicate::cmp("price", CmpOp::Ge, floor)
+                        .and(Predicate::cmp("stock", CmpOp::Gt, 0i64)),
+                    projection: Some(vec!["name".into(), "price".into()]),
+                    limit: Some(50),
+                }
+            }
+        } else if take(self.aggregate) {
+            let (agg, group_by) = match rng.gen_range(0..4) {
+                0 => (Aggregate::Count, Some("category".to_string())),
+                1 => (Aggregate::Avg("price".into()), Some("category".to_string())),
+                2 => (Aggregate::Sum("stock".into()), None),
+                _ => (Aggregate::Max("price".into()), None),
+            };
+            Query::Aggregate {
+                table: "products".into(),
+                predicate: Predicate::True,
+                agg,
+                group_by,
+            }
+        } else if take(self.join) {
+            // Products carry their key mirrored in the `id` field; reviews
+            // reference it via `product_id`.
+            Query::Join {
+                left: "products".into(),
+                right: "reviews".into(),
+                left_field: "id".into(),
+                right_field: "product_id".into(),
+                predicate: Predicate::cmp("r.stars", CmpOp::Ge, 4i64),
+                limit: Some(100),
+            }
+        } else if take(self.grep) {
+            let word = LOG_WORDS[rng.gen_range(0..LOG_WORDS.len())];
+            Query::Grep {
+                pattern: word.to_string(),
+                prefix: "/docs".into(),
+            }
+        } else {
+            Query::ReadFile {
+                path: format!("/docs/file-{:03}.log", rng.gen_range(0..spec.n_files.max(1))),
+            }
+        }
+    }
+}
+
+/// Diurnal load modulation (Section 3.4's "daily peak patterns … few
+/// requests at 3AM").
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalPattern {
+    /// Length of one simulated "day".
+    pub period: SimDuration,
+    /// Trough rate as a fraction of peak (e.g. 0.1 = night is 10% of peak).
+    pub trough: f64,
+}
+
+impl DiurnalPattern {
+    /// Rate multiplier at time `t` (1.0 at midday peak, `trough` at t=0).
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        let phase = (t.as_micros() % self.period.as_micros()) as f64
+            / self.period.as_micros() as f64;
+        let wave = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * phase).cos();
+        self.trough + (1.0 - self.trough) * wave
+    }
+}
+
+/// Per-run workload description.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Dataset shape (queries are sampled against it).
+    pub dataset: DatasetSpec,
+    /// Mean reads per second per client (peak rate when diurnal).
+    pub reads_per_sec: f64,
+    /// Mean writes per second across the whole system.
+    pub writes_per_sec: f64,
+    /// Fraction of clients that issue writes.
+    pub writer_fraction: f64,
+    /// Query shape mix.
+    pub mix: QueryMix,
+    /// Optional diurnal modulation of read rate.
+    pub diurnal: Option<DiurnalPattern>,
+    /// Per-client double-check-probability overrides: `(client_index,
+    /// probability)` — used to model greedy clients (Section 3.3).
+    pub greedy_clients: Vec<(usize, f64)>,
+    /// Per-client `max_latency` overrides (Section 3.2's client-chosen
+    /// freshness): `(client_index, bound)`.
+    pub client_max_latency: Vec<(usize, SimDuration)>,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            dataset: DatasetSpec::default(),
+            reads_per_sec: 4.0,
+            writes_per_sec: 0.2,
+            writer_fraction: 0.25,
+            mix: QueryMix::catalogue(),
+            diurnal: None,
+            greedy_clients: Vec::new(),
+            client_max_latency: Vec::new(),
+        }
+    }
+}
+
+impl Workload {
+    /// Samples an exponential inter-arrival gap for rate `per_sec`
+    /// (modulated by the diurnal pattern at time `now`).
+    pub fn read_gap<R: Rng>(&self, rng: &mut R, now: SimTime) -> SimDuration {
+        let mut rate = self.reads_per_sec;
+        if let Some(d) = &self.diurnal {
+            rate *= d.multiplier(now).max(1e-3);
+        }
+        sample_exp_gap(rng, rate)
+    }
+
+    /// Samples a write inter-arrival gap for one writer client.
+    pub fn write_gap<R: Rng>(&self, rng: &mut R, n_writers: usize) -> SimDuration {
+        let rate = self.writes_per_sec / n_writers.max(1) as f64;
+        sample_exp_gap(rng, rate)
+    }
+
+    /// Samples a write operation batch (small catalogue touch-ups).
+    pub fn sample_write<R: Rng>(&self, rng: &mut R) -> Vec<UpdateOp> {
+        let n = self.dataset.n_products.max(1) as u64;
+        match rng.gen_range(0..3) {
+            0 => vec![UpdateOp::Update {
+                table: "products".into(),
+                key: 1 + rng.gen_range(0..n),
+                changes: Document::new().with("price", rng.gen_range(5..1000) as i64),
+            }],
+            1 => vec![UpdateOp::Update {
+                table: "products".into(),
+                key: 1 + rng.gen_range(0..n),
+                changes: Document::new().with("stock", rng.gen_range(0..200) as i64),
+            }],
+            _ => vec![UpdateOp::AppendFile {
+                path: format!(
+                    "/docs/file-{:03}.log",
+                    rng.gen_range(0..self.dataset.n_files.max(1))
+                ),
+                contents: format!("entry upd {} code={:04}\n", "restock", rng.gen_range(0..10_000)),
+            }],
+        }
+    }
+}
+
+fn sample_exp_gap<R: Rng>(rng: &mut R, rate_per_sec: f64) -> SimDuration {
+    if rate_per_sec <= 0.0 {
+        return SimDuration::from_secs(3_600);
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let secs = -u.ln() / rate_per_sec;
+    SimDuration::from_micros((secs * 1e6).min(3.6e9) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_samples_every_shape() {
+        let mix = QueryMix::catalogue();
+        let spec = DatasetSpec::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..500 {
+            kinds.insert(mix.sample(&mut rng, &spec).kind());
+        }
+        for k in ["get", "range", "filter", "aggregate", "grep", "read_file"] {
+            assert!(kinds.contains(k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn diurnal_trough_and_peak() {
+        let d = DiurnalPattern {
+            period: SimDuration::from_secs(100),
+            trough: 0.1,
+        };
+        let at = |s| d.multiplier(SimTime::from_secs(s));
+        assert!((at(0) - 0.1).abs() < 1e-9);
+        assert!((at(50) - 1.0).abs() < 1e-9);
+        assert!(at(25) > 0.1 && at(25) < 1.0);
+        // Periodicity.
+        assert!((at(0) - at(100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_gap_mean_close() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let w = Workload {
+            reads_per_sec: 10.0,
+            ..Workload::default()
+        };
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| w.read_gap(&mut rng, SimTime::ZERO).as_micros())
+            .sum();
+        let mean_us = total as f64 / n as f64;
+        assert!((80_000.0..120_000.0).contains(&mean_us), "mean {mean_us}");
+    }
+
+    #[test]
+    fn zero_rate_yields_huge_gap() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w = Workload {
+            writes_per_sec: 0.0,
+            ..Workload::default()
+        };
+        assert!(w.write_gap(&mut rng, 1) >= SimDuration::from_secs(3_600));
+    }
+
+    #[test]
+    fn writes_are_valid_ops() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let w = Workload::default();
+        let mut db = w.dataset.build();
+        for _ in 0..50 {
+            let ops = w.sample_write(&mut rng);
+            db.apply_write(&ops).unwrap();
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Focused protocol-unit tests: exercise single mechanisms through small
+//! worlds where the surrounding noise (workload randomness) is disabled.
+
+use sdr_core::{SlaveBehavior, System, SystemBuilder, SystemConfig, Workload};
+use sdr_sim::SimDuration;
+
+/// A quiet system: no reads, no writes — only protocol background traffic.
+fn quiet(seed: u64, n_masters: usize, n_slaves: usize) -> System {
+    let cfg = SystemConfig {
+        n_masters,
+        n_slaves,
+        n_clients: 2,
+        seed,
+        ..SystemConfig::default()
+    };
+    let workload = Workload {
+        reads_per_sec: 0.0,
+        writes_per_sec: 0.0,
+        ..Workload::default()
+    };
+    SystemBuilder::new(cfg)
+        .behaviors(vec![SlaveBehavior::Honest; n_slaves])
+        .workload(workload)
+        .build()
+}
+
+#[test]
+fn keepalives_keep_slaves_fresh_without_writes() {
+    let mut sys = quiet(1, 3, 4);
+    sys.run_for(SimDuration::from_secs(20));
+    // Keep-alives flowed...
+    assert!(sys.world.metrics().counter("keepalive.sent") >= 30);
+    // ...and no slave ever refused for staleness (nobody read, but the
+    // mechanism's health shows in zero bad-keepalive counts).
+    assert_eq!(sys.world.metrics().counter("slave.bad_keepalives"), 0);
+}
+
+#[test]
+fn clients_complete_setup_and_get_distinct_masters() {
+    let mut sys = quiet(2, 4, 6);
+    sys.run_for(SimDuration::from_secs(5));
+    let mut ready = 0;
+    for i in 0..2 {
+        if sys.with_client(i, |c| c.is_ready()) {
+            ready += 1;
+        }
+    }
+    assert_eq!(ready, 2, "both clients should finish setup");
+    // Each client got read_quorum slaves.
+    for i in 0..2 {
+        let slaves = sys.with_client(i, |c| c.assigned_slaves());
+        assert_eq!(slaves.len(), 1);
+    }
+}
+
+#[test]
+fn auditor_advances_versions_while_lagging() {
+    let cfg = SystemConfig {
+        n_masters: 3,
+        n_slaves: 2,
+        n_clients: 2,
+        max_latency: SimDuration::from_millis(500),
+        keepalive_period: SimDuration::from_millis(125),
+        seed: 3,
+        ..SystemConfig::default()
+    };
+    let workload = Workload {
+        reads_per_sec: 1.0,
+        writes_per_sec: 1.0, // Saturates the 2-per-second spacing budget.
+        writer_fraction: 1.0,
+        ..Workload::default()
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        .behaviors(vec![SlaveBehavior::Honest; 2])
+        .workload(workload)
+        .build();
+    sys.run_for(SimDuration::from_secs(20));
+
+    let master_version = sys.with_master(0, |m| m.version());
+    let (audit_version, backlog) = sys.with_master(2, |m| {
+        (m.auditor_state().audit_version(), m.auditor_state().backlog())
+    });
+    assert!(master_version > 8, "writes should commit: {master_version}");
+    // The auditor lags by design but stays within a few versions once the
+    // max_latency horizon passes.
+    assert!(audit_version <= master_version);
+    assert!(
+        master_version - audit_version <= 4,
+        "auditor stuck: audit at {audit_version}, masters at {master_version} (backlog {backlog})"
+    );
+}
+
+#[test]
+fn version_stamps_advance_monotonically_at_slaves() {
+    let cfg = SystemConfig {
+        n_masters: 3,
+        n_slaves: 3,
+        n_clients: 2,
+        seed: 4,
+        ..SystemConfig::default()
+    };
+    let workload = Workload {
+        reads_per_sec: 0.5,
+        writes_per_sec: 0.4,
+        writer_fraction: 1.0,
+        ..Workload::default()
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        .behaviors(vec![SlaveBehavior::Honest; 3])
+        .workload(workload)
+        .build();
+
+    let mut last = [0u64; 3];
+    for _ in 0..10 {
+        sys.run_for(SimDuration::from_secs(3));
+        for (i, prev) in last.iter_mut().enumerate() {
+            let v = sys.with_slave(i, |s| s.version());
+            assert!(v >= *prev, "slave {i} version went backwards");
+            *prev = v;
+        }
+    }
+    // All slaves ended up past the initial dataset version.
+    assert!(last.iter().all(|&v| v > 4));
+}
+
+#[test]
+fn overload_backpressure_rejects_excess_writes_quickly() {
+    let cfg = SystemConfig {
+        n_masters: 3,
+        n_slaves: 2,
+        n_clients: 4,
+        max_latency: SimDuration::from_millis(2_000),
+        seed: 5,
+        ..SystemConfig::default()
+    };
+    let workload = Workload {
+        reads_per_sec: 0.5,
+        writes_per_sec: 10.0, // 20x the spacing capacity.
+        writer_fraction: 1.0,
+        ..Workload::default()
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        .behaviors(vec![SlaveBehavior::Honest; 2])
+        .workload(workload)
+        .build();
+    sys.run_for(SimDuration::from_secs(30));
+    let m = sys.world.metrics();
+
+    assert!(m.counter("write.overloaded") > 0, "no backpressure seen");
+    // Overload must not be misread as master crashes.
+    assert_eq!(m.counter("write.timeout"), 0, "writes timed out");
+    // Committed rate respects the spacing bound (1 per 2 s, ~15 total,
+    // plus slack for the pipeline).
+    let committed = m.counter("write.committed");
+    assert!(committed <= 20, "spacing violated: {committed} commits in 30s");
+    assert!(committed >= 10, "write path starved: {committed}");
+}
+
+#[test]
+fn excluded_slave_refuses_and_clients_rehome() {
+    let cfg = SystemConfig {
+        n_masters: 3,
+        n_slaves: 4,
+        n_clients: 6,
+        double_check_prob: 0.5,
+        seed: 6,
+        ..SystemConfig::default()
+    };
+    let mut behaviors = vec![SlaveBehavior::Honest; 4];
+    behaviors[0] = SlaveBehavior::ConsistentLiar {
+        prob: 1.0,
+        collude: false,
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        .behaviors(behaviors)
+        .workload(Workload {
+            reads_per_sec: 4.0,
+            writes_per_sec: 0.0,
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(30));
+    let stats = sys.stats();
+
+    assert!(stats.exclusions >= 1, "{}", stats.render());
+    assert!(sys.with_slave(0, |s| s.is_excluded()));
+    // No client still has the excluded slave assigned.
+    let excluded_node = sys.slaves[0];
+    for i in 0..6 {
+        let assigned = sys.with_client(i, |c| c.assigned_slaves());
+        assert!(
+            !assigned.contains(&excluded_node),
+            "client {i} still assigned to excluded slave"
+        );
+    }
+    // And the excluded slave serves nothing after exclusion: its reads
+    // stop growing.
+    let served_at_exclusion = sys.with_slave(0, |s| s.reads_served());
+    sys.run_for(SimDuration::from_secs(10));
+    let served_later = sys.with_slave(0, |s| s.reads_served());
+    assert_eq!(served_at_exclusion, served_later);
+}
+
+#[test]
+fn auditor_election_follows_view() {
+    let mut sys = quiet(7, 4, 4);
+    sys.run_for(SimDuration::from_secs(5));
+    // Initially rank 3 is the auditor.
+    assert!(sys.with_master(3, |m| m.is_auditor()));
+    assert!(!sys.with_master(2, |m| m.is_auditor()));
+
+    // Kill it; rank 2 must take over.
+    let t = sys.now();
+    sys.crash_master_at(t + SimDuration::from_secs(1), 3);
+    sys.run_for(SimDuration::from_secs(15));
+    assert!(
+        sys.with_master(2, |m| m.is_auditor()),
+        "auditor duty did not move to the highest survivor"
+    );
+    // And the old auditor's (empty) duties moved without slave loss.
+    let total: usize = (0..3).map(|r| sys.with_master(r, |m| m.slaves().len())).sum();
+    assert_eq!(total, 4);
+}

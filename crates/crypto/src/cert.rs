@@ -1,0 +1,197 @@
+//! Certificates binding a server's contact address to its public key.
+//!
+//! Exactly the paper's Section 2 construction: "These certificates bind each
+//! server's contact address (IP address and port number) to its public key",
+//! are issued by the content owner, and signed with the *content key*.
+//! Clients that know the content public key can therefore authenticate every
+//! master, and (transitively, via master-issued slave certificates) every
+//! slave.
+
+use crate::digest::{Digest, Hash256};
+use crate::error::CryptoError;
+use crate::sha256::Sha256;
+use crate::sign::{PublicKey, Signature, Signer};
+use serde::{Deserialize, Serialize};
+
+/// Role a certificate grants to its subject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CertRole {
+    /// The content owner itself (root of trust; self-signed).
+    ContentOwner,
+    /// A trusted master server.
+    Master,
+    /// A marginally-trusted slave server.
+    Slave,
+    /// The elected auditor.
+    Auditor,
+}
+
+impl CertRole {
+    fn tag(self) -> u8 {
+        match self {
+            CertRole::ContentOwner => 0,
+            CertRole::Master => 1,
+            CertRole::Slave => 2,
+            CertRole::Auditor => 3,
+        }
+    }
+}
+
+/// The signed portion of a certificate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CertificateBody {
+    /// Monotonic serial number assigned by the issuer.
+    pub serial: u64,
+    /// Role granted to the subject.
+    pub role: CertRole,
+    /// Contact address ("ip:port" in the paper; any routable name here).
+    pub subject_addr: String,
+    /// The subject's verification key.
+    pub subject_key: PublicKey,
+    /// Issuance timestamp (simulation microseconds).
+    pub issued_at_us: u64,
+    /// Identifier of the content this certificate belongs to (hash of the
+    /// content public key, as in self-certifying names [5]).
+    pub content_id: Hash256,
+}
+
+impl CertificateBody {
+    /// Canonical byte encoding of the body (what gets signed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.subject_addr.len());
+        out.extend_from_slice(b"sdr/cert/v1");
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        out.push(self.role.tag());
+        out.extend_from_slice(&(self.subject_addr.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.subject_addr.as_bytes());
+        let key = self.subject_key.encode();
+        out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&key);
+        out.extend_from_slice(&self.issued_at_us.to_be_bytes());
+        out.extend_from_slice(self.content_id.as_ref());
+        out
+    }
+}
+
+/// A certificate: body plus the issuer's signature over its encoding.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The signed statement.
+    pub body: CertificateBody,
+    /// Issuer signature over [`CertificateBody::encode`].
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Issues a certificate by signing `body` with `issuer`.
+    pub fn issue(body: CertificateBody, issuer: &mut dyn Signer) -> Result<Self, CryptoError> {
+        let signature = issuer.sign(&body.encode())?;
+        Ok(Certificate { body, signature })
+    }
+
+    /// Verifies the certificate against the issuer's public key.
+    pub fn verify(&self, issuer_key: &PublicKey) -> Result<(), CryptoError> {
+        issuer_key
+            .verify(&self.body.encode(), &self.signature)
+            .map_err(|_| CryptoError::InvalidCertificate("bad issuer signature"))
+    }
+
+    /// Verifies and additionally checks the expected role.
+    pub fn verify_role(&self, issuer_key: &PublicKey, role: CertRole) -> Result<(), CryptoError> {
+        self.verify(issuer_key)?;
+        if self.body.role != role {
+            return Err(CryptoError::InvalidCertificate("unexpected role"));
+        }
+        Ok(())
+    }
+}
+
+/// Derives a content identifier from the content public key, following the
+/// self-certifying-name idea the paper cites ([5]).
+pub fn content_id_for_key(content_key: &PublicKey) -> Hash256 {
+    Sha256::digest_parts(&[b"sdr/content-id", &content_key.encode()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::HmacSigner;
+
+    fn body(serial: u64, owner_key: &PublicKey) -> CertificateBody {
+        CertificateBody {
+            serial,
+            role: CertRole::Master,
+            subject_addr: "10.0.0.1:7000".to_string(),
+            subject_key: HmacSigner::from_seed_label(serial, b"subject").public_key(),
+            issued_at_us: 1_000,
+            content_id: content_id_for_key(owner_key),
+        }
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let mut owner = HmacSigner::from_seed_label(1, b"owner");
+        let owner_pk = owner.public_key();
+        let cert = Certificate::issue(body(1, &owner_pk), &mut owner).unwrap();
+        cert.verify(&owner_pk).unwrap();
+        cert.verify_role(&owner_pk, CertRole::Master).unwrap();
+    }
+
+    #[test]
+    fn wrong_issuer_rejected() {
+        let mut owner = HmacSigner::from_seed_label(1, b"owner");
+        let mallory = HmacSigner::from_seed_label(2, b"mallory");
+        let owner_pk = owner.public_key();
+        let cert = Certificate::issue(body(1, &owner_pk), &mut owner).unwrap();
+        assert!(cert.verify(&mallory.public_key()).is_err());
+    }
+
+    #[test]
+    fn tampered_address_rejected() {
+        let mut owner = HmacSigner::from_seed_label(1, b"owner");
+        let owner_pk = owner.public_key();
+        let mut cert = Certificate::issue(body(1, &owner_pk), &mut owner).unwrap();
+        cert.body.subject_addr = "6.6.6.6:666".to_string();
+        assert!(cert.verify(&owner_pk).is_err());
+    }
+
+    #[test]
+    fn tampered_key_rejected() {
+        let mut owner = HmacSigner::from_seed_label(1, b"owner");
+        let owner_pk = owner.public_key();
+        let mut cert = Certificate::issue(body(1, &owner_pk), &mut owner).unwrap();
+        cert.body.subject_key = HmacSigner::from_seed_label(99, b"evil").public_key();
+        assert!(cert.verify(&owner_pk).is_err());
+    }
+
+    #[test]
+    fn role_check_enforced() {
+        let mut owner = HmacSigner::from_seed_label(1, b"owner");
+        let owner_pk = owner.public_key();
+        let cert = Certificate::issue(body(1, &owner_pk), &mut owner).unwrap();
+        assert_eq!(
+            cert.verify_role(&owner_pk, CertRole::Slave),
+            Err(CryptoError::InvalidCertificate("unexpected role"))
+        );
+    }
+
+    #[test]
+    fn content_id_stable_and_distinct() {
+        let a = HmacSigner::from_seed_label(1, b"k").public_key();
+        let b = HmacSigner::from_seed_label(2, b"k").public_key();
+        assert_eq!(content_id_for_key(&a), content_id_for_key(&a));
+        assert_ne!(content_id_for_key(&a), content_id_for_key(&b));
+    }
+
+    #[test]
+    fn encoding_is_injective_on_fields() {
+        let owner_pk = HmacSigner::from_seed_label(1, b"owner").public_key();
+        let b1 = body(1, &owner_pk);
+        let mut b2 = b1.clone();
+        b2.serial = 2;
+        assert_ne!(b1.encode(), b2.encode());
+        let mut b3 = b1.clone();
+        b3.issued_at_us += 1;
+        assert_ne!(b1.encode(), b3.encode());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A one-time / many-time signing key has no signatures left.
+    KeyExhausted,
+    /// A signature failed verification.
+    InvalidSignature,
+    /// An input had the wrong length (expected, actual).
+    InvalidLength(usize, usize),
+    /// A Merkle proof did not authenticate against the expected root.
+    InvalidProof,
+    /// A certificate failed validation (reason).
+    InvalidCertificate(&'static str),
+    /// Mismatched key or signature scheme (e.g. HMAC signature checked
+    /// against an MSS public key).
+    SchemeMismatch,
+    /// A structurally malformed input was supplied.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::KeyExhausted => write!(f, "signing key exhausted"),
+            CryptoError::InvalidSignature => write!(f, "invalid signature"),
+            CryptoError::InvalidLength(want, got) => {
+                write!(f, "invalid length: expected {want}, got {got}")
+            }
+            CryptoError::InvalidProof => write!(f, "Merkle proof does not authenticate"),
+            CryptoError::InvalidCertificate(why) => write!(f, "invalid certificate: {why}"),
+            CryptoError::SchemeMismatch => write!(f, "signature/key scheme mismatch"),
+            CryptoError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = CryptoError::InvalidLength(32, 20).to_string();
+        assert!(msg.contains("32") && msg.contains("20"));
+        assert!(CryptoError::KeyExhausted.to_string().contains("exhausted"));
+    }
+}

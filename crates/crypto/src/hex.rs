@@ -1,0 +1,60 @@
+//! Minimal hex encoding/decoding helpers.
+
+/// Encodes `bytes` as a lowercase hex string.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase) into bytes.
+///
+/// Returns `None` on odd length or non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    fn nibble(c: u8) -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    }
+    let raw = s.as_bytes();
+    if !raw.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0xab, 0xff];
+        assert_eq!(encode(&data), "0001abff");
+        assert_eq!(decode("0001abff").unwrap(), data);
+        assert_eq!(decode("0001ABFF").unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("abc").is_none());
+        assert!(decode("zz").is_none());
+    }
+
+    #[test]
+    fn empty_ok() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

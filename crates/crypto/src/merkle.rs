@@ -1,0 +1,249 @@
+//! Merkle hash trees with authentication paths.
+//!
+//! Used in two places: the Merkle signature scheme (`crate::mss`) certifies
+//! one-time keys with a tree, and the *state signing* baseline
+//! (`sdr-baselines`) signs a whole content snapshot by signing a tree root,
+//! exactly the "hash-tree authentication [12]" the paper's related-work
+//! section describes.
+
+use crate::digest::{Digest, Hash256};
+use crate::error::CryptoError;
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// Domain-separation prefixes so leaves can never collide with nodes.
+const LEAF_PREFIX: u8 = 0x00;
+const NODE_PREFIX: u8 = 0x01;
+
+/// Hashes raw leaf data into a leaf hash.
+pub fn leaf_hash(data: &[u8]) -> Hash256 {
+    Sha256::digest_parts(&[&[LEAF_PREFIX], data])
+}
+
+/// Hashes two child hashes into a parent node hash.
+pub fn node_hash(left: &Hash256, right: &Hash256) -> Hash256 {
+    Sha256::digest_parts(&[&[NODE_PREFIX], left.as_ref(), right.as_ref()])
+}
+
+/// A Merkle tree over a list of leaf hashes.
+///
+/// Odd nodes at any level are paired with themselves (duplicated), so the
+/// tree is defined for any non-zero leaf count.  All levels are retained,
+/// making proof generation O(log n) with no recomputation.
+///
+/// # Examples
+///
+/// ```
+/// use sdr_crypto::merkle::{leaf_hash, MerkleTree};
+///
+/// let items = [b"alpha".as_ref(), b"beta".as_ref(), b"gamma".as_ref()];
+/// let tree = MerkleTree::from_data(&items).unwrap();
+/// let proof = tree.prove(1).unwrap();
+/// MerkleTree::verify(&tree.root(), &leaf_hash(b"beta"), &proof).unwrap();
+/// assert!(MerkleTree::verify(&tree.root(), &leaf_hash(b"evil"), &proof).is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Hash256>>,
+}
+
+/// An authentication path proving a leaf belongs to a root.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: u64,
+    /// Sibling hashes from the leaf level up to (excluding) the root.
+    pub siblings: Vec<Hash256>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from pre-hashed leaves.
+    ///
+    /// Returns an error when `leaves` is empty.
+    pub fn from_leaves(leaves: Vec<Hash256>) -> Result<Self, CryptoError> {
+        if leaves.is_empty() {
+            return Err(CryptoError::Malformed("empty Merkle tree"));
+        }
+        let mut levels = vec![leaves];
+        while levels.last().map(Vec::len) != Some(1) {
+            let prev = levels.last().expect("levels is non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left);
+                next.push(node_hash(left, right));
+            }
+            levels.push(next);
+        }
+        Ok(MerkleTree { levels })
+    }
+
+    /// Builds a tree by hashing raw leaf data with [`leaf_hash`].
+    pub fn from_data<T: AsRef<[u8]>>(items: &[T]) -> Result<Self, CryptoError> {
+        Self::from_leaves(items.iter().map(|d| leaf_hash(d.as_ref())).collect())
+    }
+
+    /// The tree root.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Returns the leaf hash at `index`, if present.
+    pub fn leaf(&self, index: usize) -> Option<&Hash256> {
+        self.levels[0].get(index)
+    }
+
+    /// Produces the authentication path for the leaf at `index`.
+    pub fn prove(&self, index: usize) -> Result<MerkleProof, CryptoError> {
+        if index >= self.leaf_count() {
+            return Err(CryptoError::Malformed("leaf index out of range"));
+        }
+        let mut siblings = Vec::with_capacity(self.levels.len() - 1);
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            let sibling = level.get(sibling_idx).unwrap_or(&level[idx]);
+            siblings.push(*sibling);
+            idx /= 2;
+        }
+        Ok(MerkleProof {
+            leaf_index: index as u64,
+            siblings,
+        })
+    }
+
+    /// Verifies that `leaf` at the proof's index folds up to `root`.
+    pub fn verify(root: &Hash256, leaf: &Hash256, proof: &MerkleProof) -> Result<(), CryptoError> {
+        let computed = Self::fold(leaf, proof);
+        if computed == *root {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidProof)
+        }
+    }
+
+    /// Folds a leaf up an authentication path, returning the implied root.
+    pub fn fold(leaf: &Hash256, proof: &MerkleProof) -> Hash256 {
+        let mut acc = *leaf;
+        let mut idx = proof.leaf_index;
+        for sibling in &proof.siblings {
+            acc = if idx & 1 == 0 {
+                node_hash(&acc, sibling)
+            } else {
+                node_hash(sibling, &acc)
+            };
+            idx >>= 1;
+        }
+        acc
+    }
+
+    /// Height of the tree (number of levels above the leaves).
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n)
+            .map(|i| leaf_hash(format!("leaf-{i}").as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        assert_eq!(tree.root(), l[0]);
+        assert_eq!(tree.height(), 0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(MerkleTree::from_leaves(vec![]).is_err());
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=33 {
+            let l = leaves(n);
+            let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                MerkleTree::verify(&tree.root(), leaf, &proof)
+                    .unwrap_or_else(|e| panic!("n={n} i={i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l).unwrap();
+        let proof = tree.prove(3).unwrap();
+        let bogus = leaf_hash(b"not a real leaf");
+        assert_eq!(
+            MerkleTree::verify(&tree.root(), &bogus, &proof),
+            Err(CryptoError::InvalidProof)
+        );
+    }
+
+    #[test]
+    fn wrong_index_fails() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let mut proof = tree.prove(3).unwrap();
+        proof.leaf_index = 4;
+        assert!(MerkleTree::verify(&tree.root(), &l[3], &proof).is_err());
+    }
+
+    #[test]
+    fn tampered_sibling_fails() {
+        let l = leaves(16);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let mut proof = tree.prove(7).unwrap();
+        proof.siblings[2] = leaf_hash(b"evil");
+        assert!(MerkleTree::verify(&tree.root(), &l[7], &proof).is_err());
+    }
+
+    #[test]
+    fn out_of_range_proof_rejected() {
+        let tree = MerkleTree::from_leaves(leaves(4)).unwrap();
+        assert!(tree.prove(4).is_err());
+    }
+
+    #[test]
+    fn leaf_and_node_domains_differ() {
+        // A node hash over (x, x) must differ from leaf hash of x||x.
+        let x = leaf_hash(b"x");
+        let node = node_hash(&x, &x);
+        let mut concat = Vec::new();
+        concat.extend_from_slice(x.as_ref());
+        concat.extend_from_slice(x.as_ref());
+        assert_ne!(node, leaf_hash(&concat));
+    }
+
+    #[test]
+    fn from_data_matches_manual() {
+        let items = [b"a".as_ref(), b"b".as_ref(), b"c".as_ref()];
+        let t1 = MerkleTree::from_data(&items).unwrap();
+        let t2 =
+            MerkleTree::from_leaves(items.iter().map(|d| leaf_hash(d)).collect()).unwrap();
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn different_leaf_sets_different_roots() {
+        let a = MerkleTree::from_data(&[b"a", b"b"]).unwrap();
+        let b = MerkleTree::from_data(&[b"a", b"c"]).unwrap();
+        assert_ne!(a.root(), b.root());
+    }
+}

@@ -1,0 +1,196 @@
+//! SHA-1 (FIPS 180-1), the secure hash named by the paper for pledge packets.
+//!
+//! SHA-1 is cryptographically broken for collision resistance today; it is
+//! implemented here because the paper (2003) specifies it for hashing query
+//! results inside pledges.  The rest of the system uses SHA-256 by default,
+//! and the pledge hash algorithm is configurable.
+
+use crate::digest::{Digest, Hash160};
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Sha1 {
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Digest for Sha1 {
+    type Output = Hash160;
+    const BLOCK_LEN: usize = 64;
+    const OUTPUT_LEN: usize = 20;
+
+    fn new() -> Self {
+        Sha1 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> Hash160 {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros until 8 bytes remain in the block.
+        self.update(&[0x80]);
+        // `update` adjusted total_len; padding bytes must not count, but the
+        // length was captured first so further updates are harmless.
+        while self.buffer_len != 56 {
+            let zeros = if self.buffer_len < 56 {
+                56 - self.buffer_len
+            } else {
+                64 - self.buffer_len + 56
+            };
+            let chunk = [0u8; 64];
+            self.update(&chunk[..zeros.min(64)]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffer_len, 0);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Hash160(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        Sha1::digest(data).to_hex()
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_vector_two_block() {
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&data), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        // 64- and 128-byte messages exercise the padding-block overflow path.
+        let d64 = [0x61u8; 64];
+        let d128 = [0x61u8; 128];
+        assert_eq!(
+            Sha1::digest(&d64).to_hex(),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+        );
+        let mut h = Sha1::new();
+        h.update(&d128[..100]);
+        h.update(&d128[100..]);
+        assert_eq!(h.finalize(), Sha1::digest(&d128));
+    }
+
+    #[test]
+    fn fifty_five_and_fifty_six_byte_messages() {
+        // 55 bytes: padding fits in one block; 56 bytes: needs an extra block.
+        let m55 = [7u8; 55];
+        let m56 = [7u8; 56];
+        assert_ne!(Sha1::digest(&m55), Sha1::digest(&m56));
+        // Cross-check against incremental single-byte feeding.
+        let mut h = Sha1::new();
+        for b in m56 {
+            h.update(&[b]);
+        }
+        assert_eq!(h.finalize(), Sha1::digest(&m56));
+    }
+}

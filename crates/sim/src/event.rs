@@ -1,0 +1,153 @@
+//! The deterministic event queue.
+
+use crate::process::NodeId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind<M> {
+    /// Deliver a message to `to` from `from`.
+    Deliver {
+        /// Destination node.
+        to: NodeId,
+        /// Source node.
+        from: NodeId,
+        /// The payload.
+        msg: M,
+    },
+    /// Fire a timer on `node` with the caller-chosen `tag`.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// Caller-chosen discriminator.
+        tag: u64,
+        /// Unique timer id (for cancellation).
+        id: u64,
+    },
+    /// Crash a node (fault injection).
+    Crash(NodeId),
+    /// Recover a crashed node.
+    Recover(NodeId),
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-break sequence (insertion order).
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(to: u32) -> EventKind<u64> {
+        EventKind::Deliver {
+            to: NodeId(to),
+            from: NodeId(0),
+            msg: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), deliver(3));
+        q.push(SimTime(10), deliver(1));
+        q.push(SimTime(20), deliver(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.push(SimTime(42), deliver(i));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), deliver(0));
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use sdr_sim::event::{EventKind, EventQueue};
+use sdr_sim::{LatencyModel, Metrics, NodeId, SimDuration, SimTime};
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out in
+    /// nondecreasing time order, and equal times preserve insertion order.
+    #[test]
+    fn event_queue_is_stable_priority_queue(
+        times in proptest::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(
+                SimTime(t),
+                EventKind::Deliver {
+                    to: NodeId(0),
+                    from: NodeId(0),
+                    msg: i as u64,
+                },
+            );
+        }
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            let EventKind::Deliver { msg, .. } = ev.kind else { unreachable!() };
+            popped.push((ev.at.0, msg));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "insertion order violated on tie");
+            }
+        }
+    }
+
+    /// Uniform latency samples always stay within their bounds, and
+    /// constant models never vary.
+    #[test]
+    fn latency_models_respect_bounds(
+        lo in 0u64..10_000,
+        span in 0u64..10_000,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let uni = LatencyModel::Uniform(SimDuration(lo), SimDuration(lo + span));
+        for _ in 0..100 {
+            let s = uni.sample(&mut rng).as_micros();
+            prop_assert!((lo..=lo + span).contains(&s));
+        }
+        let c = LatencyModel::Constant(SimDuration(lo));
+        prop_assert_eq!(c.sample(&mut rng), SimDuration(lo));
+    }
+
+    /// Metrics merge is additive on counters and concatenates histograms.
+    #[test]
+    fn metrics_merge_is_additive(
+        a in proptest::collection::vec(1u64..100, 0..20),
+        b in proptest::collection::vec(1u64..100, 0..20),
+    ) {
+        let mut ma = Metrics::new();
+        let mut mb = Metrics::new();
+        for &v in &a {
+            ma.add("x", v);
+            ma.observe("h", v);
+        }
+        for &v in &b {
+            mb.add("x", v);
+            mb.observe("h", v);
+        }
+        let (sa, sb): (u64, u64) = (a.iter().sum(), b.iter().sum());
+        ma.merge(&mb);
+        prop_assert_eq!(ma.counter("x"), sa + sb);
+        prop_assert_eq!(ma.summary("h").count, a.len() + b.len());
+    }
+
+    /// Histogram quantiles are monotone in the quantile argument and
+    /// bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut m = Metrics::new();
+        for &v in &values {
+            m.observe("h", v);
+        }
+        let h = m.histogram_mut("h");
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let (vlo, vhi) = (h.quantile(lo), h.quantile(hi));
+        prop_assert!(vlo <= vhi, "quantiles not monotone: q({lo})={vlo} > q({hi})={vhi}");
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        prop_assert!((min..=max).contains(&vlo));
+        prop_assert!((min..=max).contains(&vhi));
+    }
+
+    /// SimTime/SimDuration arithmetic is consistent: (t + d) - t == d and
+    /// ordering follows the raw microseconds.
+    #[test]
+    fn time_arithmetic_consistent(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime(t);
+        let dur = SimDuration(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+        prop_assert_eq!((t0 + dur).since(t0), dur);
+        prop_assert!(t0 + dur >= t0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Query-result cache keyed by `(content_version, query)`.
+//!
+//! Section 3.4: the auditor "can, for certain types of applications …
+//! employ query optimization mechanisms (cache results in the simplest
+//! case)".  Because the auditor replays *every* pledged read, and popular
+//! reads repeat, caching per version is highly effective; experiment E7
+//! quantifies the effect.
+
+use crate::query::{Query, QueryResult};
+use sdr_crypto::{Digest, Hash256, Sha256};
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded FIFO cache of query results, keyed by version + query hash.
+#[derive(Clone, Debug)]
+pub struct QueryCache {
+    map: HashMap<Hash256, QueryResult>,
+    order: VecDeque<Hash256>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache key for a query at a content version.
+    pub fn key(version: u64, query: &Query) -> Hash256 {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(b"sdr/cache/v1");
+        buf.extend_from_slice(&version.to_be_bytes());
+        query.encode_into(&mut buf);
+        Sha256::digest(&buf)
+    }
+
+    /// Looks up a result; updates hit/miss counters.
+    pub fn get(&mut self, version: u64, query: &Query) -> Option<QueryResult> {
+        let key = Self::key(version, query);
+        match self.map.get(&key) {
+            Some(r) => {
+                self.hits += 1;
+                Some(r.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting the oldest entry when full.
+    pub fn put(&mut self, version: u64, query: &Query, result: QueryResult) {
+        let key = Self::key(version, query);
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.map.insert(key, result);
+        self.order.push_back(key);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drops all entries (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn q(key: u64) -> Query {
+        Query::GetRow {
+            table: "t".into(),
+            key,
+        }
+    }
+    fn r(v: i64) -> QueryResult {
+        QueryResult::Scalar(Value::Int(v))
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = QueryCache::new(10);
+        assert_eq!(c.get(1, &q(1)), None);
+        c.put(1, &q(1), r(42));
+        assert_eq!(c.get(1, &q(1)), Some(r(42)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn version_is_part_of_key() {
+        let mut c = QueryCache::new(10);
+        c.put(1, &q(1), r(42));
+        assert_eq!(c.get(2, &q(1)), None, "stale version must miss");
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut c = QueryCache::new(2);
+        c.put(1, &q(1), r(1));
+        c.put(1, &q(2), r(2));
+        c.put(1, &q(3), r(3)); // Evicts q(1).
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1, &q(1)), None);
+        assert_eq!(c.get(1, &q(2)), Some(r(2)));
+        assert_eq!(c.get(1, &q(3)), Some(r(3)));
+    }
+
+    #[test]
+    fn duplicate_put_is_noop() {
+        let mut c = QueryCache::new(2);
+        c.put(1, &q(1), r(1));
+        c.put(1, &q(1), r(99));
+        assert_eq!(c.get(1, &q(1)), Some(r(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut c = QueryCache::new(2);
+        c.put(1, &q(1), r(1));
+        let _ = c.get(1, &q(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! The content container: named tables, a file system, and the version.
+
+use crate::error::StoreError;
+use crate::fsview::FsView;
+use crate::table::Table;
+use crate::update::UpdateOp;
+use sdr_crypto::{Digest, Hash256, Sha256};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The replicated data content: tables plus a file-system view, stamped
+/// with the paper's `content_version` counter.
+///
+/// The version is bumped *only* by [`Database::apply_write`] — one
+/// committed write request per increment, exactly as in Section 3.1 ("each
+/// master executes the request and increments … `content_version`").
+///
+/// # Examples
+///
+/// ```
+/// use sdr_store::{execute, Database, Document, Query, UpdateOp};
+///
+/// let mut db = Database::new();
+/// db.apply_write(&[
+///     UpdateOp::CreateTable { table: "t".into(), indexes: vec![] },
+///     UpdateOp::Insert {
+///         table: "t".into(),
+///         key: 1,
+///         doc: Document::new().with("name", "anvil"),
+///     },
+/// ])
+/// .unwrap();
+/// assert_eq!(db.version(), 1);
+///
+/// let (result, cost) = execute(&db, &Query::GetRow { table: "t".into(), key: 1 }).unwrap();
+/// assert_eq!(result.row_count(), 1);
+/// assert_eq!(cost.index_probes, 1);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    fs: FsView,
+    version: u64,
+}
+
+impl Database {
+    /// Creates an empty database at version 0.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// The current `content_version`.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Creates an empty table; fails when the name is taken.
+    pub fn create_table(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.tables.contains_key(name) {
+            return Err(StoreError::TableExists(name.to_string()));
+        }
+        self.tables.insert(name.to_string(), Table::new(name));
+        Ok(())
+    }
+
+    /// Read access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Write access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Read access to the file-system view.
+    pub fn fs(&self) -> &FsView {
+        &self.fs
+    }
+
+    /// Write access to the file-system view.
+    pub fn fs_mut(&mut self) -> &mut FsView {
+        &mut self.fs
+    }
+
+    /// Applies a committed write request (a batch of operations) and bumps
+    /// `content_version` by one.
+    ///
+    /// The batch is transactional in the failure-free sense the protocol
+    /// needs: operations apply in order, and the first error aborts with
+    /// the version untouched and prior ops of the batch rolled back (via
+    /// snapshot restore).
+    pub fn apply_write(&mut self, ops: &[UpdateOp]) -> Result<u64, StoreError> {
+        let backup = self.clone();
+        for op in ops {
+            if let Err(e) = op.apply(self) {
+                *self = backup;
+                return Err(e);
+            }
+        }
+        self.version += 1;
+        Ok(self.version)
+    }
+
+    /// Digest of the full state *including* the version counter.
+    ///
+    /// Two replicas agree on content iff their digests match; tests and the
+    /// audit mechanism compare these.
+    pub fn state_digest(&self) -> Hash256 {
+        let mut buf = Vec::with_capacity(1024);
+        buf.extend_from_slice(b"sdr/state/v1");
+        buf.extend_from_slice(&self.version.to_be_bytes());
+        buf.extend_from_slice(&(self.tables.len() as u32).to_be_bytes());
+        for t in self.tables.values() {
+            t.encode_into(&mut buf);
+        }
+        self.fs.encode_into(&mut buf);
+        Sha256::digest(&buf)
+    }
+
+    /// Approximate total content size in bytes.
+    pub fn size(&self) -> usize {
+        self.tables.values().map(Table::size).sum::<usize>() + self.fs.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn insert_op(key: u64, v: i64) -> UpdateOp {
+        UpdateOp::Insert {
+            table: "t".into(),
+            key,
+            doc: Document::new().with("v", v),
+        }
+    }
+
+    #[test]
+    fn version_bumps_only_on_apply_write() {
+        let mut db = Database::new();
+        assert_eq!(db.version(), 0);
+        db.apply_write(&[UpdateOp::CreateTable {
+            table: "t".into(),
+            indexes: vec![],
+        }])
+        .unwrap();
+        assert_eq!(db.version(), 1);
+        db.apply_write(&[insert_op(1, 10), insert_op(2, 20)]).unwrap();
+        assert_eq!(db.version(), 2);
+    }
+
+    #[test]
+    fn failed_batch_rolls_back() {
+        let mut db = Database::new();
+        db.apply_write(&[UpdateOp::CreateTable {
+            table: "t".into(),
+            indexes: vec![],
+        }])
+        .unwrap();
+        db.apply_write(&[insert_op(1, 10)]).unwrap();
+        let digest_before = db.state_digest();
+
+        // Second op fails (duplicate key): first op must roll back too.
+        let err = db.apply_write(&[insert_op(5, 50), insert_op(1, 99)]);
+        assert_eq!(err, Err(StoreError::KeyExists(1)));
+        assert_eq!(db.version(), 2);
+        assert_eq!(db.state_digest(), digest_before);
+        assert!(db.table("t").unwrap().get(5).is_none());
+    }
+
+    #[test]
+    fn digest_tracks_content_and_version() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        let setup = UpdateOp::CreateTable {
+            table: "t".into(),
+            indexes: vec![],
+        };
+        a.apply_write(std::slice::from_ref(&setup)).unwrap();
+        b.apply_write(std::slice::from_ref(&setup)).unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
+
+        a.apply_write(&[insert_op(1, 1)]).unwrap();
+        assert_ne!(a.state_digest(), b.state_digest());
+
+        b.apply_write(&[insert_op(1, 1)]).unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new();
+        db.create_table("x").unwrap();
+        assert_eq!(
+            db.create_table("x"),
+            Err(StoreError::TableExists("x".into()))
+        );
+    }
+
+    #[test]
+    fn table_names_listed() {
+        let mut db = Database::new();
+        db.create_table("b").unwrap();
+        db.create_table("a").unwrap();
+        let names: Vec<&str> = db.table_names().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for store operations.
+
+use std::fmt;
+
+/// Errors produced by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Referenced row does not exist.
+    NoSuchKey(u64),
+    /// Referenced file does not exist.
+    NoSuchFile(String),
+    /// A table with that name already exists.
+    TableExists(String),
+    /// A row with that key already exists.
+    KeyExists(u64),
+    /// Query referenced a field in an invalid way (e.g. aggregating a
+    /// non-numeric field).
+    BadQuery(&'static str),
+    /// Update operation was structurally invalid.
+    BadUpdate(&'static str),
+    /// An invalid pattern was supplied to grep.
+    BadPattern(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StoreError::NoSuchKey(k) => write!(f, "no such key: {k}"),
+            StoreError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            StoreError::TableExists(t) => write!(f, "table exists: {t}"),
+            StoreError::KeyExists(k) => write!(f, "key exists: {k}"),
+            StoreError::BadQuery(why) => write!(f, "bad query: {why}"),
+            StoreError::BadUpdate(why) => write!(f, "bad update: {why}"),
+            StoreError::BadPattern(why) => write!(f, "bad pattern: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_subject() {
+        assert!(StoreError::NoSuchTable("users".into())
+            .to_string()
+            .contains("users"));
+        assert!(StoreError::NoSuchKey(42).to_string().contains("42"));
+    }
+}

@@ -1,0 +1,196 @@
+//! File-system flavoured content: paths, file reads, and grep.
+//!
+//! Models the paper's motivating example — "it should not only support
+//! operations of the type `read FileName`, but also operations of the type
+//! `grep Expression Path`" (Section 2).
+
+use crate::error::StoreError;
+use crate::pattern::Pattern;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One grep hit: file, line number (1-based), and the matching line.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrepMatch {
+    /// Path of the file containing the match.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The matching line's text.
+    pub text: String,
+}
+
+/// An in-memory tree of text files keyed by path.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FsView {
+    files: BTreeMap<String, String>,
+}
+
+impl FsView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        FsView::default()
+    }
+
+    /// Creates or replaces a file.
+    pub fn write_file(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(path.into(), contents.into());
+    }
+
+    /// Appends to a file, creating it when absent.
+    pub fn append_file(&mut self, path: impl Into<String>, contents: &str) {
+        self.files.entry(path.into()).or_default().push_str(contents);
+    }
+
+    /// Deletes a file; fails when absent.
+    pub fn delete_file(&mut self, path: &str) -> Result<(), StoreError> {
+        self.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NoSuchFile(path.to_string()))
+    }
+
+    /// Reads a file's contents.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// Lists paths under `prefix` (all files when empty).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total bytes of file content.
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(String::len).sum()
+    }
+
+    /// Greps all files under `prefix` line-by-line with `pattern`
+    /// (search semantics).  Returns the matches and the number of bytes
+    /// scanned, which feeds query cost accounting.
+    pub fn grep(&self, pattern: &Pattern, prefix: &str) -> (Vec<GrepMatch>, usize) {
+        let mut matches = Vec::new();
+        let mut scanned = 0usize;
+        for (path, contents) in self.files.range(prefix.to_string()..) {
+            if !path.starts_with(prefix) {
+                break;
+            }
+            scanned += contents.len();
+            for (i, line) in contents.lines().enumerate() {
+                if pattern.search(line) {
+                    matches.push(GrepMatch {
+                        path: path.clone(),
+                        line: (i + 1) as u32,
+                        text: line.to_string(),
+                    });
+                }
+            }
+        }
+        (matches, scanned)
+    }
+
+    /// Appends a canonical encoding of the whole tree.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.files.len() as u64).to_be_bytes());
+        for (path, contents) in &self.files {
+            out.extend_from_slice(&(path.len() as u32).to_be_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.extend_from_slice(&(contents.len() as u64).to_be_bytes());
+            out.extend_from_slice(contents.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> FsView {
+        let mut f = FsView::new();
+        f.write_file("/var/log/app.log", "boot ok\nerror: disk full\nshutdown\n");
+        f.write_file("/var/log/db.log", "connected\nquery slow\n");
+        f.write_file("/etc/config", "mode=fast\n");
+        f
+    }
+
+    #[test]
+    fn read_write_delete() {
+        let mut f = fs();
+        assert!(f.read("/etc/config").unwrap().contains("mode=fast"));
+        assert!(f.read("/missing").is_none());
+        f.delete_file("/etc/config").unwrap();
+        assert!(f.read("/etc/config").is_none());
+        assert_eq!(
+            f.delete_file("/etc/config"),
+            Err(StoreError::NoSuchFile("/etc/config".into()))
+        );
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let mut f = FsView::new();
+        f.append_file("/a", "one\n");
+        f.append_file("/a", "two\n");
+        assert_eq!(f.read("/a"), Some("one\ntwo\n"));
+    }
+
+    #[test]
+    fn grep_finds_lines_with_line_numbers() {
+        let f = fs();
+        let pat = Pattern::compile("error").unwrap();
+        let (hits, scanned) = f.grep(&pat, "/var/log");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path, "/var/log/app.log");
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].text.contains("disk full"));
+        assert!(scanned > 0);
+    }
+
+    #[test]
+    fn grep_respects_prefix() {
+        let f = fs();
+        let pat = Pattern::compile("*").unwrap();
+        let (hits_all, _) = f.grep(&pat, "");
+        let (hits_etc, _) = f.grep(&pat, "/etc");
+        assert!(hits_all.len() > hits_etc.len());
+        assert!(hits_etc.iter().all(|m| m.path.starts_with("/etc")));
+    }
+
+    #[test]
+    fn grep_glob_patterns() {
+        let f = fs();
+        let pat = Pattern::compile("mode=*").unwrap();
+        let (hits, _) = f.grep(&pat, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path, "/etc/config");
+    }
+
+    #[test]
+    fn list_and_counts() {
+        let f = fs();
+        assert_eq!(f.file_count(), 3);
+        assert_eq!(f.list("/var").len(), 2);
+        assert_eq!(f.list("").len(), 3);
+        assert!(f.total_bytes() > 20);
+    }
+
+    #[test]
+    fn encoding_sensitive_to_content() {
+        let a = fs();
+        let mut b = fs();
+        b.append_file("/etc/config", "extra=1\n");
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        a.encode_into(&mut ea);
+        b.encode_into(&mut eb);
+        assert_ne!(ea, eb);
+    }
+}

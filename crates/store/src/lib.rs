@@ -1,0 +1,61 @@
+//! The replicated data content substrate.
+//!
+//! The paper's system replicates "a database, the contents of a large Web
+//! site, or a file system" and must support reads that are "very complex;
+//! they can request parts of the data content, but also the results of
+//! applying aggregation functions on this content … not only operations of
+//! the type `read FileName`, but also operations of the type `grep
+//! Expression Path`" (Section 2).
+//!
+//! This crate implements exactly that content model:
+//!
+//! * [`value`] / [`document`] — typed field values and records;
+//! * [`table`] — tables with a primary key and secondary indexes;
+//! * [`database`] — the named-table + file-system container, with the
+//!   `content_version` counter and a whole-state digest;
+//! * [`fsview`] — the file-system flavoured content (`read`, `grep`);
+//! * [`predicate`] / [`pattern`] — filter expressions and the from-scratch
+//!   glob/substring matcher that powers grep;
+//! * [`query`] — the query AST (point reads, ranges, filters, grep,
+//!   aggregations with group-by, joins);
+//! * [`exec`] — the executor, which returns both the result and a
+//!   [`exec::QueryCost`] so the simulator can charge realistic work;
+//! * [`update`] — deterministic write operations;
+//! * [`cache`] — a `(version, query) → result` cache (the auditor's main
+//!   optimisation in Section 3.4);
+//! * [`snapshot`] — versioned snapshots enabling the delayed-discovery
+//!   rollback of Section 3.5.
+//!
+//! Everything is deterministic: canonical byte encodings make result hashes
+//! reproducible across masters, slaves, and the auditor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod database;
+pub mod document;
+pub mod error;
+pub mod exec;
+pub mod fsview;
+pub mod pattern;
+pub mod predicate;
+pub mod query;
+pub mod snapshot;
+pub mod table;
+pub mod update;
+pub mod value;
+
+pub use cache::QueryCache;
+pub use database::Database;
+pub use document::Document;
+pub use error::StoreError;
+pub use exec::{execute, QueryCost};
+pub use fsview::FsView;
+pub use pattern::Pattern;
+pub use predicate::{CmpOp, Predicate};
+pub use query::{Aggregate, Query, QueryResult};
+pub use snapshot::SnapshotStore;
+pub use table::Table;
+pub use update::UpdateOp;
+pub use value::Value;

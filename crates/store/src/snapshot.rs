@@ -1,0 +1,145 @@
+//! Versioned snapshots supporting delayed-discovery rollback.
+//!
+//! Section 3.5: after a delayed discovery "the harm may be undone, by
+//! rolling back the client to the state before that particular read".
+//! Masters and the auditor keep a bounded ring of per-version snapshots so
+//! any recent version can be re-materialised for re-execution or rollback.
+
+use crate::database::Database;
+use std::collections::BTreeMap;
+
+/// A bounded ring of `content_version → state` snapshots.
+#[derive(Clone, Debug)]
+pub struct SnapshotStore {
+    snaps: BTreeMap<u64, Database>,
+    capacity: usize,
+}
+
+impl SnapshotStore {
+    /// Creates a store retaining at most `capacity` versions.
+    pub fn new(capacity: usize) -> Self {
+        SnapshotStore {
+            snaps: BTreeMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records the state at its current version, evicting the oldest
+    /// snapshot beyond capacity.
+    pub fn record(&mut self, db: &Database) {
+        self.snaps.insert(db.version(), db.clone());
+        while self.snaps.len() > self.capacity {
+            let oldest = *self.snaps.keys().next().expect("non-empty");
+            self.snaps.remove(&oldest);
+        }
+    }
+
+    /// The state at `version`, if retained.
+    pub fn get(&self, version: u64) -> Option<&Database> {
+        self.snaps.get(&version)
+    }
+
+    /// Oldest retained version.
+    pub fn oldest(&self) -> Option<u64> {
+        self.snaps.keys().next().copied()
+    }
+
+    /// Newest retained version.
+    pub fn newest(&self) -> Option<u64> {
+        self.snaps.keys().next_back().copied()
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Whether no snapshots are retained.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// Drops snapshots older than `version` (exclusive) — the auditor calls
+    /// this as it advances past audited versions.
+    pub fn prune_below(&mut self, version: u64) {
+        self.snaps = self.snaps.split_off(&version);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use crate::update::UpdateOp;
+
+    fn advance(db: &mut Database, key: u64) {
+        db.apply_write(&[UpdateOp::Upsert {
+            table: "t".into(),
+            key,
+            doc: Document::new().with("k", key as i64),
+        }])
+        .unwrap();
+    }
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.apply_write(&[UpdateOp::CreateTable {
+            table: "t".into(),
+            indexes: vec![],
+        }])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn record_and_retrieve_versions() {
+        let mut db = setup();
+        let mut s = SnapshotStore::new(10);
+        s.record(&db); // v1
+        advance(&mut db, 1); // v2
+        s.record(&db);
+        advance(&mut db, 2); // v3
+        s.record(&db);
+
+        assert_eq!(s.get(2).unwrap().version(), 2);
+        assert!(s.get(2).unwrap().table("t").unwrap().get(2).is_none());
+        assert!(s.get(3).unwrap().table("t").unwrap().get(2).is_some());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut db = setup();
+        let mut s = SnapshotStore::new(2);
+        for k in 1..=4 {
+            advance(&mut db, k);
+            s.record(&db);
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.oldest(), Some(4));
+        assert_eq!(s.newest(), Some(5));
+        assert!(s.get(2).is_none());
+    }
+
+    #[test]
+    fn prune_below_drops_old() {
+        let mut db = setup();
+        let mut s = SnapshotStore::new(10);
+        for k in 1..=3 {
+            advance(&mut db, k);
+            s.record(&db);
+        }
+        s.prune_below(3);
+        assert_eq!(s.oldest(), Some(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_live_state() {
+        let mut db = setup();
+        let mut s = SnapshotStore::new(10);
+        s.record(&db);
+        let v1_digest = s.get(1).unwrap().state_digest();
+        advance(&mut db, 9);
+        assert_eq!(s.get(1).unwrap().state_digest(), v1_digest);
+    }
+}

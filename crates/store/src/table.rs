@@ -1,0 +1,312 @@
+//! Tables: primary-keyed rows with maintained secondary indexes.
+
+use crate::document::Document;
+use crate::error::StoreError;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A table of documents keyed by a `u64` primary key, with optional
+/// secondary indexes on document fields.
+///
+/// Indexes are maintained eagerly on every mutation; lookups through
+/// [`Table::index_keys`] are `O(log n)` instead of a full scan, and the
+/// executor reports which path it took via its cost structure.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    rows: BTreeMap<u64, Document>,
+    indexes: BTreeMap<String, BTreeMap<Value, BTreeSet<u64>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            rows: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Creates a secondary index on `field`, building it from existing
+    /// rows.  Idempotent.
+    pub fn create_index(&mut self, field: impl Into<String>) {
+        let field = field.into();
+        if self.indexes.contains_key(&field) {
+            return;
+        }
+        let mut index: BTreeMap<Value, BTreeSet<u64>> = BTreeMap::new();
+        for (&key, doc) in &self.rows {
+            if let Some(v) = doc.get(&field) {
+                index.entry(v.clone()).or_default().insert(key);
+            }
+        }
+        self.indexes.insert(field, index);
+    }
+
+    /// Whether `field` has a secondary index.
+    pub fn has_index(&self, field: &str) -> bool {
+        self.indexes.contains_key(field)
+    }
+
+    /// Names of indexed fields.
+    pub fn indexed_fields(&self) -> impl Iterator<Item = &str> {
+        self.indexes.keys().map(String::as_str)
+    }
+
+    fn index_insert(&mut self, key: u64, doc: &Document) {
+        for (field, index) in &mut self.indexes {
+            if let Some(v) = doc.get(field) {
+                index.entry(v.clone()).or_default().insert(key);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, key: u64, doc: &Document) {
+        for (field, index) in &mut self.indexes {
+            if let Some(v) = doc.get(field) {
+                if let Some(set) = index.get_mut(v) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        index.remove(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts a new row; fails if the key exists.
+    pub fn insert(&mut self, key: u64, doc: Document) -> Result<(), StoreError> {
+        if self.rows.contains_key(&key) {
+            return Err(StoreError::KeyExists(key));
+        }
+        self.index_insert(key, &doc);
+        self.rows.insert(key, doc);
+        Ok(())
+    }
+
+    /// Inserts or replaces a row.
+    pub fn upsert(&mut self, key: u64, doc: Document) {
+        if let Some(old) = self.rows.remove(&key) {
+            self.index_remove(key, &old);
+        }
+        self.index_insert(key, &doc);
+        self.rows.insert(key, doc);
+    }
+
+    /// Merges `changes` into an existing row; fails if the key is absent.
+    pub fn update(&mut self, key: u64, changes: &Document) -> Result<(), StoreError> {
+        let Some(old) = self.rows.remove(&key) else {
+            return Err(StoreError::NoSuchKey(key));
+        };
+        self.index_remove(key, &old);
+        let mut merged = old;
+        for (f, v) in changes.iter() {
+            merged.set(f, v.clone());
+        }
+        self.index_insert(key, &merged);
+        self.rows.insert(key, merged);
+        Ok(())
+    }
+
+    /// Deletes a row; fails if the key is absent.
+    pub fn delete(&mut self, key: u64) -> Result<Document, StoreError> {
+        let Some(old) = self.rows.remove(&key) else {
+            return Err(StoreError::NoSuchKey(key));
+        };
+        self.index_remove(key, &old);
+        Ok(old)
+    }
+
+    /// Reads a row.
+    pub fn get(&self, key: u64) -> Option<&Document> {
+        self.rows.get(&key)
+    }
+
+    /// Iterates all rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Document)> {
+        self.rows.iter().map(|(&k, d)| (k, d))
+    }
+
+    /// Iterates rows with keys in `[low, high]`.
+    pub fn range(&self, low: u64, high: u64) -> impl Iterator<Item = (u64, &Document)> {
+        self.rows.range(low..=high).map(|(&k, d)| (k, d))
+    }
+
+    /// Primary keys whose `field` equals `value`, via the secondary index.
+    ///
+    /// Returns `None` when the field is not indexed (caller must scan).
+    pub fn index_keys(&self, field: &str, value: &Value) -> Option<Vec<u64>> {
+        self.indexes
+            .get(field)
+            .map(|idx| idx.get(value).map(|s| s.iter().copied().collect()).unwrap_or_default())
+    }
+
+    /// Appends a canonical encoding of the full table state.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.name.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&(self.rows.len() as u64).to_be_bytes());
+        for (k, doc) in &self.rows {
+            out.extend_from_slice(&k.to_be_bytes());
+            doc.encode_into(out);
+        }
+    }
+
+    /// Approximate total size in bytes.
+    pub fn size(&self) -> usize {
+        self.rows.values().map(|d| 8 + d.size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product(name: &str, price: i64, cat: &str) -> Document {
+        Document::new()
+            .with("name", name)
+            .with("price", price)
+            .with("category", cat)
+    }
+
+    fn table() -> Table {
+        let mut t = Table::new("products");
+        t.create_index("category");
+        t.insert(1, product("anvil", 100, "tools")).unwrap();
+        t.insert(2, product("rope", 10, "tools")).unwrap();
+        t.insert(3, product("tnt", 50, "explosives")).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.get(1).unwrap().get("name"),
+            Some(&Value::Str("anvil".into()))
+        );
+        assert!(t.get(99).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = table();
+        assert_eq!(
+            t.insert(1, Document::new()),
+            Err(StoreError::KeyExists(1))
+        );
+    }
+
+    #[test]
+    fn index_lookup() {
+        let t = table();
+        assert_eq!(
+            t.index_keys("category", &Value::Str("tools".into())),
+            Some(vec![1, 2])
+        );
+        assert_eq!(
+            t.index_keys("category", &Value::Str("food".into())),
+            Some(vec![])
+        );
+        assert_eq!(t.index_keys("price", &Value::Int(10)), None);
+    }
+
+    #[test]
+    fn index_maintained_on_update() {
+        let mut t = table();
+        t.update(2, &Document::new().with("category", "marine"))
+            .unwrap();
+        assert_eq!(
+            t.index_keys("category", &Value::Str("tools".into())),
+            Some(vec![1])
+        );
+        assert_eq!(
+            t.index_keys("category", &Value::Str("marine".into())),
+            Some(vec![2])
+        );
+        // Other fields survive the merge.
+        assert_eq!(t.get(2).unwrap().get("price"), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn index_maintained_on_delete() {
+        let mut t = table();
+        t.delete(3).unwrap();
+        assert_eq!(
+            t.index_keys("category", &Value::Str("explosives".into())),
+            Some(vec![])
+        );
+        assert_eq!(t.delete(3), Err(StoreError::NoSuchKey(3)));
+    }
+
+    #[test]
+    fn index_created_after_rows_exist() {
+        let mut t = table();
+        t.create_index("price");
+        assert_eq!(t.index_keys("price", &Value::Int(50)), Some(vec![3]));
+    }
+
+    #[test]
+    fn upsert_replaces_and_reindexes() {
+        let mut t = table();
+        t.upsert(1, product("anvil-xl", 200, "heavy"));
+        assert_eq!(
+            t.index_keys("category", &Value::Str("heavy".into())),
+            Some(vec![1])
+        );
+        assert_eq!(
+            t.index_keys("category", &Value::Str("tools".into())),
+            Some(vec![2])
+        );
+    }
+
+    #[test]
+    fn range_by_primary_key() {
+        let t = table();
+        let keys: Vec<u64> = t.range(2, 3).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 3]);
+    }
+
+    #[test]
+    fn encoding_deterministic_and_content_sensitive() {
+        let a = table();
+        let b = table();
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        a.encode_into(&mut ea);
+        b.encode_into(&mut eb);
+        assert_eq!(ea, eb);
+
+        let mut c = table();
+        c.delete(1).unwrap();
+        let mut ec = Vec::new();
+        c.encode_into(&mut ec);
+        assert_ne!(ea, ec);
+    }
+
+    #[test]
+    fn update_missing_key_fails() {
+        let mut t = table();
+        assert_eq!(
+            t.update(42, &Document::new()),
+            Err(StoreError::NoSuchKey(42))
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the store: ordering, encoding, index/scan
+//! equivalence, pattern matching, and write atomicity.
+
+use proptest::prelude::*;
+use sdr_store::{
+    execute, CmpOp, Database, Document, Pattern, Predicate, Query, QueryResult, UpdateOp, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ]
+}
+
+proptest! {
+    /// The value order is a total order: antisymmetric and transitive on
+    /// sampled triples, and consistent with equality.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // Transitivity.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Canonical encodings are injective over generated values: equal
+    /// encodings imply equal values and vice versa.
+    #[test]
+    fn value_encoding_injective(a in arb_value(), b in arb_value()) {
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        a.encode_into(&mut ea);
+        b.encode_into(&mut eb);
+        prop_assert_eq!(ea == eb, a == b);
+    }
+
+    /// An escaped literal pattern matches exactly its own text.
+    #[test]
+    fn escaped_pattern_matches_itself(text in "[a-zA-Z0-9 *?\\[\\]]{0,24}") {
+        let escaped: String = text
+            .chars()
+            .flat_map(|c| match c {
+                '*' | '?' | '[' | ']' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        let pat = Pattern::compile(&escaped).expect("escape always compiles");
+        prop_assert!(pat.matches(&text));
+    }
+
+    /// `search` is equivalent to an unanchored match: a pattern found by
+    /// search is matched by `*pat*`.
+    #[test]
+    fn search_equals_star_wrapped_match(
+        needle in "[a-z]{1,6}",
+        hay in "[a-z ]{0,40}",
+    ) {
+        let plain = Pattern::compile(&needle).expect("compiles");
+        let wrapped = Pattern::compile(&format!("*{needle}*")).expect("compiles");
+        prop_assert_eq!(plain.search(&hay), wrapped.matches(&hay));
+        // And search agrees with plain substring search for literals.
+        prop_assert_eq!(plain.search(&hay), hay.contains(&needle));
+    }
+
+    /// Index-accelerated filters return exactly what a full scan returns.
+    #[test]
+    fn index_equals_scan(
+        rows in proptest::collection::vec(("[a-c]", 0i64..20), 1..40),
+        probe in "[a-c]",
+    ) {
+        let mut indexed = Database::new();
+        indexed.create_table("t").expect("fresh");
+        indexed.table_mut("t").expect("t").create_index("cat");
+        let mut plain = Database::new();
+        plain.create_table("t").expect("fresh");
+
+        for (i, (cat, v)) in rows.iter().enumerate() {
+            let doc = Document::new().with("cat", cat.as_str()).with("v", *v);
+            indexed.table_mut("t").expect("t").insert(i as u64, doc.clone()).expect("unique");
+            plain.table_mut("t").expect("t").insert(i as u64, doc).expect("unique");
+        }
+
+        let q = Query::Filter {
+            table: "t".into(),
+            predicate: Predicate::eq("cat", probe.as_str()),
+            projection: None,
+            limit: None,
+        };
+        let (ri, ci) = execute(&indexed, &q).expect("ok");
+        let (rs, cs) = execute(&plain, &q).expect("ok");
+        prop_assert_eq!(ri.sha1(), rs.sha1(), "index and scan disagree");
+        // The indexed path must not scan.
+        prop_assert_eq!(ci.rows_scanned, 0);
+        prop_assert!(cs.rows_scanned as usize == rows.len());
+    }
+
+    /// A failing batch leaves the database untouched (atomicity).
+    #[test]
+    fn failed_batch_is_atomic(
+        keys in proptest::collection::vec(0u64..10, 1..6),
+        dup in 0u64..10,
+    ) {
+        let mut db = Database::new();
+        db.create_table("t").expect("fresh");
+        db.table_mut("t").expect("t").insert(dup, Document::new()).expect("unique");
+        let before = db.state_digest();
+
+        // Build a batch that inserts `keys` then re-inserts `dup` (fails).
+        let mut ops: Vec<UpdateOp> = keys
+            .iter()
+            .filter(|k| **k != dup)
+            .enumerate()
+            .map(|(i, _)| UpdateOp::Insert {
+                table: "t".into(),
+                key: 100 + i as u64,
+                doc: Document::new(),
+            })
+            .collect();
+        ops.push(UpdateOp::Insert {
+            table: "t".into(),
+            key: dup,
+            doc: Document::new(),
+        });
+        prop_assert!(db.apply_write(&ops).is_err());
+        prop_assert_eq!(db.state_digest(), before);
+    }
+
+    /// Executing the same query twice yields byte-identical results.
+    #[test]
+    fn execution_is_deterministic(
+        rows in proptest::collection::vec((0i64..100, "[a-d]"), 0..30),
+        low in 0u64..20,
+        span in 0u64..20,
+    ) {
+        let mut db = Database::new();
+        db.create_table("t").expect("fresh");
+        for (i, (v, c)) in rows.iter().enumerate() {
+            db.table_mut("t")
+                .expect("t")
+                .insert(i as u64, Document::new().with("v", *v).with("c", c.as_str()))
+                .expect("unique");
+        }
+        let queries = [
+            Query::Range { table: "t".into(), low, high: low + span, limit: None },
+            Query::Aggregate {
+                table: "t".into(),
+                predicate: Predicate::cmp("v", CmpOp::Ge, 50i64),
+                agg: sdr_store::Aggregate::Count,
+                group_by: Some("c".into()),
+            },
+        ];
+        for q in &queries {
+            let (r1, _) = execute(&db, q).expect("ok");
+            let (r2, _) = execute(&db, q).expect("ok");
+            prop_assert_eq!(r1.sha1(), r2.sha1());
+        }
+    }
+
+    /// Result encodings are stable across clones and distinguish results.
+    #[test]
+    fn result_hash_distinguishes(a in 0i64..1000, b in 0i64..1000) {
+        let ra = QueryResult::Scalar(Value::Int(a));
+        let rb = QueryResult::Scalar(Value::Int(b));
+        prop_assert_eq!(ra.sha1() == rb.sha1(), a == b);
+    }
+}
