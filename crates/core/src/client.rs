@@ -430,12 +430,15 @@ impl ClientProcess {
         // Re-issue still-pending reads that were waiting on the excluded
         // slave ("the client that has made the discovery connects to its
         // newly assigned slave and issues the same read request again").
-        let stalled: Vec<u64> = self
+        let mut stalled: Vec<u64> = self
             .pending
             .iter()
             .filter(|(_, p)| p.awaiting.contains(&excluded) && !p.sensitive)
             .map(|(r, _)| *r)
             .collect();
+        // Sort: HashMap iteration order is process-random, and each retry
+        // draws from the client RNG, so the order must be reproducible.
+        stalled.sort_unstable();
         for req in stalled {
             self.retry_read(ctx, req);
         }

@@ -476,7 +476,16 @@ impl MasterProcess {
         // Re-home every client of the excluded slave (Section 3.5: "the
         // master contacts all the clients connected to the (now provably
         // malicious) slave … and assigns each of them to a new slave").
-        let clients = self.slave_clients.remove(&slave).unwrap_or_default();
+        // Sort: HashSet iteration order is process-random, and both the
+        // replacement picks and the message sequence must be reproducible
+        // from the world seed.
+        let mut clients: Vec<NodeId> = self
+            .slave_clients
+            .remove(&slave)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        clients.sort_unstable();
         for client in clients {
             let replacement = self
                 .pick_slaves(1, Some(slave))

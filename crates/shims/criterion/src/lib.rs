@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! This workspace builds with no crates.io access, so the real `criterion`
+//! cannot be fetched.  The shim keeps the bench sources compiling
+//! unchanged and gives useful (if statistically unsophisticated) numbers:
+//! each benchmark warms up briefly, then runs for a fixed time budget and
+//! reports the mean wall-clock time per iteration.  The budget is small so
+//! `cargo bench` over the whole workspace stays in the tens of seconds;
+//! set `CRITERION_SHIM_MS` to raise it for steadier numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How long each benchmark measures for, after warm-up.
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the throughput basis; the shim notes it in the label only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput basis for a benchmark.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]; the shim ignores it.
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = budget();
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let budget = budget();
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<40} (no iterations)");
+    } else {
+        let per_iter = b.total.as_nanos() / u128::from(b.iters);
+        println!("{label:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,82 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy, usable through [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (upstream: `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite doubles only — like upstream's default `f64` strategy, which
+    /// excludes NaN and the infinities unless explicitly requested.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix magnitudes: mostly human-scale values, sometimes extreme.
+        let raw = match rng.below(8) {
+            0 => 0.0,
+            1 => (rng.next_u64() as i64 as f64) * 1e-3,
+            2 => rng.unit_f64() * 1e300,
+            3 => rng.unit_f64() * 1e-300,
+            _ => rng.unit_f64() * 2e3 - 1e3,
+        };
+        if rng.next_u64() & 1 == 1 {
+            -raw
+        } else {
+            raw
+        }
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        out
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::from_unit(rng.unit_f64())
+    }
+}

@@ -1,0 +1,20 @@
+//! Sampling helpers (`prop::sample`).
+
+/// A position into a collection of not-yet-known size, as in upstream's
+/// `proptest::sample::Index`: generated once, projected onto any length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Index(f64);
+
+impl Index {
+    /// Builds an index from a fraction in `[0, 1)`.
+    pub(crate) fn from_unit(unit: f64) -> Self {
+        Index(unit)
+    }
+
+    /// Projects the index onto a collection of `len` elements, returning a
+    /// value in `[0, len)`.  Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.0 * len as f64) as usize).min(len - 1)
+    }
+}

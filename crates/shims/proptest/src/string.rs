@@ -1,0 +1,189 @@
+//! String-pattern strategies.
+//!
+//! Upstream proptest treats `&str` as a full regex strategy.  The suites
+//! in this repo only use sequences of character classes with optional
+//! `{m,n}` repetition (e.g. `"[a-z/]{1,10}"`, `"[a-c]"`), so this module
+//! implements exactly that grammar: literal characters, `\`-escapes,
+//! `[...]` classes (with ranges and escapes), and `{n}` / `{m,n}`
+//! quantifiers applying to the preceding atom.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// Characters to choose from uniformly.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let count = piece.min + rng.below(span) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Class(chars) => {
+                    let idx = rng.below(chars.len() as u64) as usize;
+                    out.push(chars[idx]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars, pattern)),
+            '\\' => {
+                let lit = chars
+                    .next()
+                    .unwrap_or_else(|| bad(pattern, "dangling escape"));
+                Atom::Class(vec![lit])
+            }
+            _ => Atom::Class(vec![c]),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            parse_quantifier(&mut chars, pattern)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<char> {
+    let mut members = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| bad(pattern, "dangling escape in class")),
+            Some(c) => c,
+            None => bad(pattern, "unterminated character class"),
+        };
+        // `a-z` range (a trailing `-` is a literal).
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => members.push(c),
+                Some(&hi) => {
+                    chars.next();
+                    chars.next();
+                    let hi = if hi == '\\' {
+                        chars
+                            .next()
+                            .unwrap_or_else(|| bad(pattern, "dangling escape in class"))
+                    } else {
+                        hi
+                    };
+                    assert!(c <= hi, "bad class range in pattern {pattern:?}");
+                    for code in (c as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            members.push(ch);
+                        }
+                    }
+                }
+            }
+        } else {
+            members.push(c);
+        }
+    }
+    assert!(!members.is_empty(), "empty character class in {pattern:?}");
+    members
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    let mut first = String::new();
+    let mut second: Option<String> = None;
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(',') => second = Some(String::new()),
+            Some(d) if d.is_ascii_digit() => match &mut second {
+                Some(s) => s.push(d),
+                None => first.push(d),
+            },
+            _ => bad(pattern, "malformed quantifier"),
+        }
+    }
+    let min: usize = first
+        .parse()
+        .unwrap_or_else(|_| bad(pattern, "malformed quantifier"))
+        ;
+    let max = match second {
+        None => min,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| bad(pattern, "malformed quantifier")),
+    };
+    assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+    (min, max)
+}
+
+fn bad(pattern: &str, what: &str) -> ! {
+    panic!("unsupported string strategy pattern {pattern:?}: {what}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::for_test("class_with_quantifier");
+        for _ in 0..200 {
+            let s = sample_pattern("[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escapes_inside_class() {
+        let mut rng = TestRng::for_test("escapes_inside_class");
+        for _ in 0..200 {
+            let s = sample_pattern("[a-zA-Z0-9 *?\\[\\]]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " *?[]".contains(c)));
+        }
+    }
+
+    #[test]
+    fn bare_class_is_one_char() {
+        let mut rng = TestRng::for_test("bare_class_is_one_char");
+        for _ in 0..50 {
+            let s = sample_pattern("[a-d]", &mut rng);
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_test("literals_pass_through");
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+    }
+}

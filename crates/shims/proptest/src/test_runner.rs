@@ -1,0 +1,75 @@
+//! Case-count resolution and the deterministic test RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Default number of cases per property when neither `PROPTEST_CASES`
+/// nor an explicit config says otherwise.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Subset of upstream's `ProptestConfig` used by this repo.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run for each property in the block.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Resolves the effective case count: the `PROPTEST_CASES` environment
+/// variable (if set and parseable) establishes the baseline, and an
+/// explicit per-block config can only lower it — so CI can cap the whole
+/// suite while slow properties keep their tighter local budgets.
+pub fn resolve_cases(explicit: Option<u32>) -> u32 {
+    let base = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .unwrap_or(DEFAULT_CASES);
+    explicit.map_or(base, |e| e.min(base)).max(1)
+}
+
+/// Deterministic per-test generator: the stream depends only on the test
+/// name, so failures reproduce across runs and machines.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Builds the generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name picks the seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

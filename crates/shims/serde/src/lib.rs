@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds with no crates.io access, so the real `serde`
+//! cannot be fetched.  The tree only uses serde as a forward-looking
+//! annotation — `#[derive(Serialize, Deserialize)]` on protocol types,
+//! never an actual serialisation call — so this shim provides the two
+//! marker traits with blanket impls plus no-op derive macros.  Swapping in
+//! the real crate later is a one-line Cargo change with identical source.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

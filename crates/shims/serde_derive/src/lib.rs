@@ -1,0 +1,22 @@
+//! No-op derive macros for the offline `serde` shim.
+//!
+//! The workspace is built in environments with no crates.io access, so the
+//! real `serde_derive` cannot be fetched.  Protocol types only use
+//! `#[derive(Serialize, Deserialize)]` as a forward-looking annotation —
+//! nothing in the tree serialises through serde yet — so deriving nothing
+//! is sufficient for the marker traits in the sibling `serde` shim, which
+//! carry blanket impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -32,8 +32,13 @@ fn main() {
         .workload(Workload::default())
         .build();
 
-    println!("running 30 simulated seconds ...");
-    system.run_for(SimDuration::from_secs(30));
+    // The examples smoke test shortens the run; humans get the full 30 s.
+    let sim_secs: u64 = std::env::var("QUICKSTART_SIM_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    println!("running {sim_secs} simulated seconds ...");
+    system.run_for(SimDuration::from_secs(sim_secs));
 
     let stats = system.stats();
     println!("\n{}", stats.render());
