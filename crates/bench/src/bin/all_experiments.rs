@@ -1,47 +1,128 @@
 //! Runs every experiment binary's headline configuration in sequence.
 //!
 //! A smoke-test driver for the full E1..E12 suite; each experiment's
-//! dedicated binary prints richer sweeps.  See DESIGN.md for the index and
-//! EXPERIMENTS.md for the recorded results.
+//! dedicated binary prints richer sweeps.  CLI flags (`--json`,
+//! `--seeds`, `--duration`) are forwarded to every child.
+//!
+//! With `--json`, each child's stdout is parsed and validated as a
+//! [`RunReport`]-shaped document (any child emitting unparseable or
+//! unrecognisable output fails the whole run — this is the report-schema
+//! regression gate CI relies on), and the combined output is one JSON
+//! array of the twelve reports.
 
+use serde::json::Value;
 use std::process::Command;
 
+const EXPERIMENTS: [&str; 12] = [
+    "e1_detection",
+    "e2_audit",
+    "e3_freshness",
+    "e4_writes",
+    "e5_master_load",
+    "e6_comparison",
+    "e7_auditor",
+    "e8_greedy",
+    "e9_quorum_reads",
+    "e10_levels",
+    "e11_crypto",
+    "e12_failover",
+];
+
+/// Checks that a parsed document looks like a `RunReport` (or an array
+/// of them, as `e3_freshness --json` emits).
+fn validate_report(v: &Value) -> Result<(), String> {
+    match v {
+        Value::Array(items) => {
+            for item in items {
+                validate_report(item)?;
+            }
+            Ok(())
+        }
+        Value::Object(o) => {
+            for key in ["scenario", "cells"] {
+                if o.get(key).is_none() {
+                    return Err(format!("report object lacks `{key}`"));
+                }
+            }
+            Ok(())
+        }
+        _ => Err("expected a report object or array".into()),
+    }
+}
+
 fn main() {
-    let exes = [
-        "e1_detection",
-        "e2_audit",
-        "e3_freshness",
-        "e4_writes",
-        "e5_master_load",
-        "e6_comparison",
-        "e7_auditor",
-        "e8_greedy",
-        "e9_quorum_reads",
-        "e10_levels",
-        "e11_crypto",
-        "e12_failover",
-    ];
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let json = forwarded.iter().any(|a| a == "--json");
+
     // Re-exec sibling binaries so one command regenerates everything.
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir").to_path_buf();
     let mut failures = Vec::new();
-    for exe in exes {
-        println!("\n================ {exe} ================");
+    let mut reports = Vec::new();
+    for exe in EXPERIMENTS {
+        if !json {
+            println!("\n================ {exe} ================");
+        }
         let path = dir.join(exe);
-        match Command::new(&path).status() {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{exe} exited with {s}");
-                failures.push(exe);
+        let mut cmd = Command::new(&path);
+        cmd.args(&forwarded);
+        if json {
+            match cmd.output() {
+                Ok(out) if out.status.success() => {
+                    let stdout = String::from_utf8_lossy(&out.stdout);
+                    match Value::parse(stdout.trim()) {
+                        Ok(v) => match validate_report(&v) {
+                            Ok(()) => reports.push(v),
+                            Err(e) => {
+                                eprintln!("{exe}: schema check failed: {e}");
+                                failures.push(exe);
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("{exe}: output is not valid JSON: {e}");
+                            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                            failures.push(exe);
+                        }
+                    }
+                }
+                Ok(out) => {
+                    eprintln!("{exe} exited with {}", out.status);
+                    eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                    failures.push(exe);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "could not run {}: {e} (build with `cargo build --release -p sdr-bench --bins` first)",
+                        path.display()
+                    );
+                    failures.push(exe);
+                }
             }
-            Err(e) => {
-                eprintln!("could not run {}: {e} (build with `cargo build --release -p sdr-bench --bins` first)", path.display());
-                failures.push(exe);
+        } else {
+            match cmd.status() {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!("{exe} exited with {s}");
+                    failures.push(exe);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "could not run {}: {e} (build with `cargo build --release -p sdr-bench --bins` first)",
+                        path.display()
+                    );
+                    failures.push(exe);
+                }
             }
         }
     }
+
+    if json {
+        println!("{}", Value::Array(reports).render());
+    }
     if failures.is_empty() {
-        println!("\nall experiments completed.");
+        if !json {
+            println!("\nall experiments completed.");
+        }
     } else {
         eprintln!("\nfailed: {failures:?}");
         std::process::exit(1);

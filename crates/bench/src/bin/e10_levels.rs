@@ -4,62 +4,59 @@
 //! those only on trusted servers "provide[s] 100% correctness guarantees
 //! for sensitive operations, at the expense of putting extra load on the
 //! trusted components."
+//!
+//! The `e10_levels` scenario sweeps the sensitive fraction with one liar
+//! and both checking mechanisms disabled, exposing the normal path's raw
+//! lie acceptance.
 
-use sdr_bench::{f, note, print_table, run_system};
-use sdr_core::{SlaveBehavior, SystemConfig, Workload};
-use sdr_sim::SimDuration;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col, Stat};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let fractions = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e10_levels");
+    cli.apply(&mut spec);
 
-    for &sf in &fractions {
-        let cfg = SystemConfig {
-            n_masters: 3,
-            n_slaves: 4,
-            n_clients: 10,
-            sensitive_fraction: sf,
-            double_check_prob: 0.0,
-            audit_fraction: 0.0, // Expose raw lie acceptance on the normal path.
-            seed: 101,
-            ..SystemConfig::default()
-        };
-        let mut behaviors = vec![SlaveBehavior::Honest; 4];
-        behaviors[0] = SlaveBehavior::ConsistentLiar {
-            prob: 0.25,
-            collude: false,
-        };
-        let workload = Workload {
-            reads_per_sec: 8.0,
-            writes_per_sec: 0.0,
-            ..Workload::default()
-        };
-        let mut sys = run_system(cfg, behaviors, workload, SimDuration::from_secs(60));
-        let stats = sys.stats();
+    let mut report = Runner::new(spec).run().expect("scenario runs");
 
-        let nm = stats.master_utilisation.len();
-        let serving: f64 =
-            stats.master_utilisation[..nm - 1].iter().sum::<f64>() / (nm - 1) as f64;
-        let wrong_rate = stats.wrong_accept_rate();
-        rows.push(vec![
-            f(sf, 2),
-            stats.reads_sensitive.to_string(),
-            stats.wrong_accepted.to_string(),
-            f(wrong_rate * 100.0, 2),
-            f(serving * 100.0, 2),
-        ]);
+    for cell in &mut report.cells {
+        let n = cell.runs.len().max(1) as f64;
+        let mut serving = 0.0;
+        for r in &cell.runs {
+            let util = &r.stats.master_utilisation;
+            let nm = util.len();
+            serving += util[..nm - 1].iter().sum::<f64>() / (nm - 1) as f64;
+        }
+        cell.push_metric("serving_cpu_pct", serving / n * 100.0);
+        cell.push_metric("wrong_rate_pct", cell.mean("wrong_accept_rate") * 100.0);
     }
 
-    print_table(
-        "E10: sensitive-read fraction vs correctness and trusted load (one liar, checks disabled)",
-        &[
-            "sensitive fraction",
-            "sensitive reads",
-            "wrong accepted",
-            "wrong rate (%)",
-            "serving-master CPU (%)",
-        ],
-        &rows,
-    );
-    note("wrong answers come only from the normal (slave) path: at fraction 1.0 every read runs on trusted hardware and the wrong rate is exactly 0, with master CPU scaling up accordingly.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E10: sensitive-read fraction vs correctness and trusted load (one liar, checks disabled)",
+            r,
+            &[
+                Col::Coord {
+                    axis: "sensitive fraction",
+                    header: "sensitive fraction",
+                    prec: 2,
+                },
+                Col::Field {
+                    field: "reads_sensitive",
+                    stat: Stat::Mean,
+                    header: "sensitive reads",
+                    prec: 0,
+                },
+                Col::Field {
+                    field: "wrong_accepted",
+                    stat: Stat::Mean,
+                    header: "wrong accepted",
+                    prec: 0,
+                },
+                Col::Metric { name: "wrong_rate_pct", header: "wrong rate (%)", prec: 2 },
+                Col::Metric { name: "serving_cpu_pct", header: "serving-master CPU (%)", prec: 2 },
+            ],
+        );
+        note("wrong answers come only from the normal (slave) path: at fraction 1.0 every read runs on trusted hardware and the wrong rate is exactly 0, with master CPU scaling up accordingly.");
+    });
 }

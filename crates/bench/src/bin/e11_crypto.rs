@@ -5,11 +5,15 @@
 //! is the client's main verification cost.  This binary wall-clock-times
 //! the real primitives and checks the cost-model ratios used by the
 //! simulator (criterion benches in `benches/` give the rigorous numbers).
+//!
+//! No simulation runs; each timed operation becomes one [`RunReport`]
+//! cell so `--json` emits the measurements machine-readably.
 
-use sdr_bench::{f, note, print_table};
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
 use sdr_core::config::HashAlgo;
 use sdr_core::messages::VersionStamp;
 use sdr_core::pledge::{Pledge, ResultHash};
+use sdr_core::scenario::{CellReport, RunReport};
 use sdr_crypto::{Digest, HmacSigner, MssKeypair, Sha1, Sha256, Signer, WotsKeypair};
 use sdr_sim::{NodeId, SimTime};
 use sdr_store::{Query, QueryResult, Value};
@@ -24,7 +28,24 @@ fn time_us<F: FnMut()>(iters: u32, mut body: F) -> f64 {
 }
 
 fn main() {
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let spec = must_lookup("e11_crypto");
+    let mut report = RunReport {
+        scenario: spec.name.clone(),
+        description: spec.description.clone(),
+        duration_secs: 0.0,
+        seeds: vec![spec.config.seed],
+        cells: Vec::new(),
+    };
+    let mut add = |label: &str, us: f64| {
+        let mut cell = CellReport {
+            label: label.to_string(),
+            ..CellReport::default()
+        };
+        cell.push_metric("us_per_op", us);
+        report.cells.push(cell);
+    };
+
     let data_1k = vec![0xabu8; 1024];
     let data_64k = vec![0xcdu8; 65536];
 
@@ -37,12 +58,9 @@ fn main() {
     let sha256_64k = time_us(200, || {
         std::hint::black_box(Sha256::digest(&data_64k));
     });
-    rows.push(vec!["SHA-1 1 KiB".into(), f(sha1_1k, 2)]);
-    rows.push(vec!["SHA-256 1 KiB".into(), f(sha256_1k, 2)]);
-    rows.push(vec![
-        "SHA-256 64 KiB".into(),
-        format!("{} ({:.0} MiB/s)", f(sha256_64k, 1), 64.0 / (sha256_64k / 1e6) / 1024.0),
-    ]);
+    add("SHA-1 1 KiB", sha1_1k);
+    add("SHA-256 1 KiB", sha256_1k);
+    add("SHA-256 64 KiB", sha256_64k);
 
     // WOTS one-time signatures.
     let wots_keygen = time_us(50, || {
@@ -57,9 +75,9 @@ fn main() {
     let wots_verify = time_us(100, || {
         WotsKeypair::verify(&pk, b"message", &sig).expect("valid");
     });
-    rows.push(vec!["WOTS keygen".into(), f(wots_keygen, 1)]);
-    rows.push(vec!["WOTS sign".into(), f(wots_sign, 1)]);
-    rows.push(vec!["WOTS verify".into(), f(wots_verify, 1)]);
+    add("WOTS keygen", wots_keygen);
+    add("WOTS sign", wots_sign);
+    add("WOTS verify", wots_verify);
 
     // MSS (height 8 = 256 signatures).
     let mss_keygen = time_us(3, || {
@@ -75,11 +93,11 @@ fn main() {
     let mss_verify = time_us(100, || {
         MssKeypair::verify(&mpk, b"message", &msig).expect("valid");
     });
-    rows.push(vec!["MSS keygen (h=8)".into(), f(mss_keygen, 0)]);
-    rows.push(vec!["MSS sign".into(), f(mss_sign, 1)]);
-    rows.push(vec!["MSS verify".into(), f(mss_verify, 1)]);
+    add("MSS keygen (h=8)", mss_keygen);
+    add("MSS sign", mss_sign);
+    add("MSS verify", mss_verify);
 
-    // Pledge build/verify with both signer schemes.
+    // Pledge build/verify with the HMAC signer scheme.
     let mut master = HmacSigner::from_seed_label(1, b"master");
     let stamp = VersionStamp::build(5, SimTime::from_millis(1), NodeId(0), &mut master)
         .expect("stamp");
@@ -113,14 +131,22 @@ fn main() {
     let pledge_verify = time_us(1000, || {
         pledge.verify_signature(&spk).expect("valid");
     });
-    rows.push(vec!["pledge build (HMAC signer)".into(), f(pledge_build, 2)]);
-    rows.push(vec!["pledge verify (HMAC signer)".into(), f(pledge_verify, 2)]);
+    add("pledge build (HMAC signer)", pledge_build);
+    add("pledge verify (HMAC signer)", pledge_verify);
 
-    print_table("E11: measured crypto costs (wall clock)", &["operation", "us/op"], &rows);
-
-    let ratio = mss_sign / sha256_1k.max(0.001);
-    note(&format!(
-        "MSS sign is {:.0}x a 1 KiB hash — the sign >> verify >> hash shape the cost model encodes (sign=2500us vs hash_per_kib=4us at paper-era RSA scale)."
-    , ratio));
-    note("the auditor never signs: per checked pledge it saves one full sign (the single most expensive operation above).");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E11: measured crypto costs (wall clock)",
+            r,
+            &[
+                Col::Label("operation"),
+                Col::Metric { name: "us_per_op", header: "us/op", prec: 2 },
+            ],
+        );
+        let ratio = mss_sign / sha256_1k.max(0.001);
+        note(&format!(
+            "MSS sign is {ratio:.0}x a 1 KiB hash — the sign >> verify >> hash shape the cost model encodes (sign=2500us vs hash_per_kib=4us at paper-era RSA scale)."
+        ));
+        note("the auditor never signs: per checked pledge it saves one full sign (the single most expensive operation above).");
+    });
 }

@@ -4,72 +4,93 @@
 //! master set, so in the event of a master crash, the remaining ones will
 //! divide its slave set.  This also entails that all the clients connected
 //! to the crashed server will have to go through the setup process again."
+//!
+//! The `e12_failover` scenario sweeps which master dies (the sequencer or
+//! a mid-rank master) with a checkpoint just before the crash; a probe
+//! counts survivor-owned slaves after the run.
 
-use sdr_bench::{f, note, print_table};
-use sdr_core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
-use sdr_sim::SimTime;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e12_failover");
+    cli.apply(&mut spec);
+    let n_masters = spec.config.n_masters;
+    let n_slaves = spec.config.n_slaves;
 
-    for &(label, crash_rank) in &[("sequencer (rank 0)", 0usize), ("mid master (rank 1)", 1)] {
-        let cfg = SystemConfig {
-            n_masters: 4,
-            n_slaves: 8,
-            n_clients: 12,
-            double_check_prob: 0.02,
-            seed: 121,
-            ..SystemConfig::default()
-        };
-        let workload = Workload {
-            reads_per_sec: 6.0,
-            writes_per_sec: 0.3,
-            ..Workload::default()
-        };
-        let mut sys = SystemBuilder::new(cfg)
-            .behaviors(vec![SlaveBehavior::Honest; 8])
-            .workload(workload)
-            .build();
-
-        sys.crash_master_at(SimTime::from_secs(20), crash_rank);
-        sys.run_until(SimTime::from_secs(20));
-        let before = sys.stats();
-        sys.run_until(SimTime::from_secs(80));
-        let after = sys.stats();
-
-        // Ownership after the crash.
-        let mut survivor_slaves = 0usize;
-        for r in 0..4 {
-            if r != crash_rank {
-                survivor_slaves += sys.with_master(r, |m| m.slaves().len());
+    let report = Runner::new(spec)
+        .probe(move |sys, record| {
+            // Ownership after the crash: every slave should sit with a
+            // surviving master.
+            let mut survivor_slaves = 0usize;
+            for rank in 0..n_masters {
+                if !sys.world.is_crashed(sys.masters[rank]) {
+                    survivor_slaves += sys.with_master(rank, |m| m.slaves().len());
+                }
             }
-        }
-        let re_setups: u64 = after.per_client.iter().map(|c| c.re_setups).sum();
-        let reads_after = after.reads_issued - before.reads_issued;
-        let accepted_after = after.reads_accepted - before.reads_accepted;
-        let writes_after = after.writes_committed - before.writes_committed;
+            // A one-point series carries the probe's finding into the
+            // record (and therefore into the JSON report).
+            record.series.push(sdr_core::scenario::NamedSeries {
+                name: "survivor_slaves".into(),
+                points: vec![(0.0, survivor_slaves as f64)],
+            });
+        })
+        .run()
+        .expect("scenario runs");
+    let mut report = report;
 
-        rows.push(vec![
-            label.to_string(),
-            format!("{survivor_slaves}/8"),
-            re_setups.to_string(),
-            f(accepted_after as f64 / reads_after.max(1) as f64 * 100.0, 1),
-            writes_after.to_string(),
-            (after.reads_failed - before.reads_failed).to_string(),
-        ]);
+    for cell in &mut report.cells {
+        let rank = cell.coord("crashed rank").unwrap_or(0.0) as usize;
+        cell.label = if rank == 0 {
+            "sequencer (rank 0)".into()
+        } else {
+            format!("mid master (rank {rank})")
+        };
+        let n = cell.runs.len().max(1) as f64;
+        let mut survivors = 0.0;
+        let mut re_setups = 0.0;
+        let mut accept_pct = 0.0;
+        let mut writes_after = 0.0;
+        let mut failed_after = 0.0;
+        for r in &cell.runs {
+            survivors += r.first_point("survivor_slaves").map_or(0.0, |(_, v)| v);
+            re_setups += r.stats.per_client.iter().map(|c| c.re_setups).sum::<u64>() as f64;
+            // Post-crash deltas against the checkpoint taken at the
+            // crash instant.
+            let before = r.checkpoints.first().map(|c| &c.stats);
+            let (bi, ba, bw, bf) = before.map_or((0, 0, 0, 0), |b| {
+                (b.reads_issued, b.reads_accepted, b.writes_committed, b.reads_failed)
+            });
+            let reads_after = r.stats.reads_issued - bi;
+            accept_pct +=
+                (r.stats.reads_accepted - ba) as f64 / reads_after.max(1) as f64 * 100.0;
+            writes_after += (r.stats.writes_committed - bw) as f64;
+            failed_after += (r.stats.reads_failed - bf) as f64;
+        }
+        cell.push_annotation(
+            "survivor_slaves",
+            format!("{}/{n_slaves}", (survivors / n) as usize),
+        );
+        cell.push_metric("re_setups", re_setups / n);
+        cell.push_metric("post_accept_pct", accept_pct / n);
+        cell.push_metric("post_writes", writes_after / n);
+        cell.push_metric("post_failed_reads", failed_after / n);
     }
 
-    print_table(
-        "E12: master crash at t=20s (4 masters, 8 slaves, 12 clients; run to t=80s)",
-        &[
-            "crashed master",
-            "slaves owned by survivors",
-            "client re-setups",
-            "post-crash accept rate (%)",
-            "post-crash writes",
-            "post-crash failed reads",
-        ],
-        &rows,
-    );
-    note("all 8 slaves end up owned by survivors (deterministic division); clients of the dead master redo setup and service continues, including writes ordered by the new sequencer.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E12: master crash at t=20s (4 masters, 8 slaves, 12 clients; run to t=80s)",
+            r,
+            &[
+                Col::Label("crashed master"),
+                Col::Annot { name: "survivor_slaves", header: "slaves owned by survivors" },
+                Col::Metric { name: "re_setups", header: "client re-setups", prec: 0 },
+                Col::Metric { name: "post_accept_pct", header: "post-crash accept rate (%)", prec: 1 },
+                Col::Metric { name: "post_writes", header: "post-crash writes", prec: 0 },
+                Col::Metric { name: "post_failed_reads", header: "post-crash failed reads", prec: 0 },
+            ],
+        );
+        note("all 8 slaves end up owned by survivors (deterministic division); clients of the dead master redo setup and service continues, including writes ordered by the new sequencer.");
+    });
 }

@@ -4,95 +4,78 @@
 //! that always lies survives ~geometric(1/p) reads before being caught
 //! "red-handed"; raising `p` buys faster detection at more master load.
 //!
-//! This binary sweeps `p`, plants one always-lying slave, and reports the
-//! number of lies told before exclusion and the time to exclusion,
-//! alongside the geometric expectation 1/p.
+//! The `e1_detection` scenario sweeps `p` with one always-lying slave and
+//! five seeds per point; this binary derives the catch statistics and
+//! reports them alongside the geometric expectation 1/p.
 
-use sdr_bench::{f, note, print_table, run_system};
-use sdr_core::{SlaveBehavior, SystemConfig, Workload};
-use sdr_sim::SimDuration;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col, Stat};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let sweeps = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e1_detection");
+    cli.apply(&mut spec);
 
-    for (pi, &p) in sweeps.iter().enumerate() {
-        // Average over a few seeds to smooth the geometric tail; seeds
-        // differ per sweep point so coin draws are uncorrelated across
-        // rows.
-        let seeds = [
-            1_000 + 7 * pi as u64,
-            2_000 + 7 * pi as u64,
-            3_000 + 7 * pi as u64,
-            4_000 + 7 * pi as u64,
-            5_000 + 7 * pi as u64,
-        ];
-        let mut lies_sum = 0.0;
-        let mut time_sum = 0.0;
-        let mut caught = 0u32;
-        for &seed in &seeds {
-            let cfg = SystemConfig {
-                n_masters: 3,
-                n_slaves: 4,
-                n_clients: 8,
-                double_check_prob: p,
-                audit_fraction: 0.0, // Isolate the double-check mechanism.
-                seed,
-                ..SystemConfig::default()
-            };
-            let mut behaviors = vec![SlaveBehavior::Honest; 4];
-            behaviors[0] = SlaveBehavior::ConsistentLiar {
-                prob: 1.0,
-                collude: false,
-            };
-            let workload = Workload {
-                reads_per_sec: 8.0,
-                writes_per_sec: 0.0,
-                ..Workload::default()
-            };
-            let mut sys = run_system(cfg, behaviors, workload, SimDuration::from_secs(600));
-            let stats = sys.stats();
-            let excl_at = sys
-                .world
-                .metrics()
-                .series("exclusion.at_us")
-                .first()
-                .map(|(t, _)| t.as_secs_f64());
-            if let Some(t) = excl_at {
-                caught += 1;
-                time_sum += t;
-                lies_sum += stats.lies_told as f64;
-            }
-        }
-        let n = seeds.len() as f64;
-        rows.push(vec![
-            f(p, 3),
-            format!("{caught}/{}", seeds.len()),
-            if caught > 0 {
-                f(lies_sum / f64::from(caught), 1)
-            } else {
-                "-".into()
-            },
-            f(1.0 / p, 1),
-            if caught > 0 {
-                f(time_sum / f64::from(caught), 1)
-            } else {
-                "-".into()
-            },
-        ]);
-        let _ = n;
+    let mut report = Runner::new(spec).run().expect("scenario runs");
+
+    for cell in &mut report.cells {
+        let p = cell.coord("p").unwrap_or(0.0);
+        let total = cell.runs.len();
+        // (time of first exclusion, lies the liar got to tell) per caught run.
+        let caught: Vec<(f64, f64)> = cell
+            .runs
+            .iter()
+            .filter_map(|r| {
+                r.first_point("exclusion.at_us")
+                    .map(|(t, _)| (t, r.stats.lies_told as f64))
+            })
+            .collect();
+        cell.push_metric("caught", caught.len() as f64);
+        cell.push_metric("runs", total as f64);
+        cell.push_metric("geometric", 1.0 / p);
+        let n = caught.len() as f64;
+        let (lies, time) = if caught.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (
+                caught.iter().map(|&(_, l)| l).sum::<f64>() / n,
+                caught.iter().map(|&(t, _)| t).sum::<f64>() / n,
+            )
+        };
+        cell.push_metric("lies_before_exclusion", lies);
+        cell.push_metric("time_to_exclusion_s", time);
+        cell.push_annotation(
+            "caught_ratio",
+            format!("{}/{total}", caught.len()),
+        );
     }
 
-    print_table(
-        "E1: detection speed vs double-check probability p (always-lying slave, audit off)",
-        &[
-            "p",
-            "caught",
-            "lies before exclusion",
-            "geometric 1/p",
-            "time to exclusion (s)",
-        ],
-        &rows,
-    );
-    note("lies-before-exclusion should track 1/p: small p = slow immediate detection (paper relies on the audit as the backstop).");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E1: detection speed vs double-check probability p (always-lying slave, audit off)",
+            r,
+            &[
+                Col::Coord { axis: "p", header: "p", prec: 3 },
+                Col::Annot { name: "caught_ratio", header: "caught" },
+                Col::Metric {
+                    name: "lies_before_exclusion",
+                    header: "lies before exclusion",
+                    prec: 1,
+                },
+                Col::Metric { name: "geometric", header: "geometric 1/p", prec: 1 },
+                Col::Metric {
+                    name: "time_to_exclusion_s",
+                    header: "time to exclusion (s)",
+                    prec: 1,
+                },
+                Col::Field {
+                    field: "lies_told",
+                    stat: Stat::Mean,
+                    header: "lies told (avg)",
+                    prec: 1,
+                },
+            ],
+        );
+        note("lies-before-exclusion should track 1/p: small p = slow immediate detection (paper relies on the audit as the backstop).");
+    });
 }

@@ -8,76 +8,62 @@
 //! slip through before the first catch, and corrective action fires that
 //! much later.
 
-use sdr_bench::{f, note, print_table, run_system};
-use sdr_core::{SlaveBehavior, SystemConfig, Workload};
-use sdr_sim::SimDuration;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let fractions = [0.05, 0.1, 0.25, 0.5, 1.0];
-    let seeds = [21u64, 22, 23, 24, 25];
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e2_audit");
+    cli.apply(&mut spec);
 
-    for &frac in &fractions {
-        let mut slipped_sum = 0.0;
-        let mut caught = 0u32;
-        let mut detect_time_sum = 0.0;
-        for &seed in &seeds {
-            let cfg = SystemConfig {
-                n_masters: 3,
-                n_slaves: 4,
-                n_clients: 8,
-                double_check_prob: 0.0, // Audit is the only detector.
-                audit_fraction: frac,
-                seed,
-                ..SystemConfig::default()
-            };
-            let mut behaviors = vec![SlaveBehavior::Honest; 4];
-            behaviors[0] = SlaveBehavior::ConsistentLiar {
-                prob: 1.0, // Every answer is a lie: slipped = accepted lies.
-                collude: false,
-            };
-            let workload = Workload {
-                reads_per_sec: 6.0,
-                writes_per_sec: 0.1,
-                ..Workload::default()
-            };
-            let mut sys = run_system(cfg, behaviors, workload, SimDuration::from_secs(240));
-            let stats = sys.stats();
-            if stats.exclusions >= 1 {
-                caught += 1;
-                slipped_sum += stats.wrong_accepted as f64;
-                if let Some((t, _)) = sys.world.metrics().series("exclusion.at_us").first() {
-                    detect_time_sum += t.as_secs_f64();
-                }
-            }
-        }
-        rows.push(vec![
-            f(frac, 2),
-            format!("{caught}/{}", seeds.len()),
-            if caught > 0 {
-                f(slipped_sum / f64::from(caught), 1)
-            } else {
-                "-".into()
-            },
-            f(1.0 / frac, 1),
-            if caught > 0 {
-                f(detect_time_sum / f64::from(caught), 1)
-            } else {
-                "-".into()
-            },
-        ]);
+    let mut report = Runner::new(spec).run().expect("scenario runs");
+
+    for cell in &mut report.cells {
+        let frac = cell.coord("audit fraction").unwrap_or(1.0);
+        let total = cell.runs.len();
+        // Per caught run: (first exclusion instant, lies accepted first).
+        let caught: Vec<(f64, f64)> = cell
+            .runs
+            .iter()
+            .filter(|r| r.stats.exclusions >= 1)
+            .map(|r| {
+                (
+                    r.first_point("exclusion.at_us").map_or(0.0, |(t, _)| t),
+                    r.stats.wrong_accepted as f64,
+                )
+            })
+            .collect();
+        let n = caught.len() as f64;
+        cell.push_metric("expected_slip", 1.0 / frac);
+        cell.push_annotation("caught_ratio", format!("{}/{total}", caught.len()));
+        let (slipped, time) = if caught.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (
+                caught.iter().map(|&(_, s)| s).sum::<f64>() / n,
+                caught.iter().map(|&(t, _)| t).sum::<f64>() / n,
+            )
+        };
+        cell.push_metric("lies_slipped", slipped);
+        cell.push_metric("time_to_exclusion_s", time);
     }
 
-    print_table(
-        "E2: lies accepted before the audit's first catch vs audited fraction (always-liar, p=0)",
-        &[
-            "audit fraction",
-            "caught",
-            "lies slipped (avg)",
-            "expected ~1/fraction",
-            "time to exclusion (s)",
-        ],
-        &rows,
-    );
-    note("full audit catches the very first accepted lie (once its version bucket closes after max_latency); sampling f lets ~1/f lies through first — the paper's 'weaken the security guarantees' trade-off, with exclusion still guaranteed eventually.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E2: lies accepted before the audit's first catch vs audited fraction (always-liar, p=0)",
+            r,
+            &[
+                Col::Coord { axis: "audit fraction", header: "audit fraction", prec: 2 },
+                Col::Annot { name: "caught_ratio", header: "caught" },
+                Col::Metric { name: "lies_slipped", header: "lies slipped (avg)", prec: 1 },
+                Col::Metric { name: "expected_slip", header: "expected ~1/fraction", prec: 1 },
+                Col::Metric {
+                    name: "time_to_exclusion_s",
+                    header: "time to exclusion (s)",
+                    prec: 1,
+                },
+            ],
+        );
+        note("full audit catches the very first accepted lie (once its version bucket closes after max_latency); sampling f lets ~1/f lies through first — the paper's 'weaken the security guarantees' trade-off, with exclusion still guaranteed eventually.");
+    });
 }

@@ -6,124 +6,93 @@
 //! frequency makes this rare.  (b) "clients with very slow or unreliable
 //! network connections may never be able to get fresh-enough responses";
 //! letting such clients relax their *own* `max_latency` restores service.
+//!
+//! Two scenarios back the two claims: `e3_freshness` sweeps the
+//! keep-alive period, `e3_slow_client` degrades one client's link with
+//! and without a relaxed personal freshness bound.
 
-use sdr_bench::{f, note, print_table};
-use sdr_core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
-use sdr_sim::{LinkModel, NetworkConfig, NodeId, SimDuration};
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
+use sdr_core::scenario::{RunReport, Runner};
 
-fn run(
-    keepalive_ms: u64,
-    all_clients_ms: u64,
-    slow_client_ms: u64,
-    relaxed: bool,
-) -> (f64, f64, f64) {
-    let cfg = SystemConfig {
-        n_masters: 3,
-        n_slaves: 4,
-        n_clients: 6,
-        max_latency: SimDuration::from_millis(1_000),
-        keepalive_period: SimDuration::from_millis(keepalive_ms),
-        double_check_prob: 0.0,
-        seed: 31,
-        ..SystemConfig::default()
-    };
-    let mut workload = Workload {
-        reads_per_sec: 5.0,
-        writes_per_sec: 0.0,
-        ..Workload::default()
-    };
-    if relaxed {
-        // The slow client opts into a weaker freshness bound (paper's
-        // "allow the max_latency to be set by the clients themselves").
-        workload.client_max_latency = vec![(0, SimDuration::from_millis(6_000))];
-    }
-
-    let mut net = NetworkConfig::new(LinkModel::wan(SimDuration::from_millis(10)));
-    // Node ids: masters 0..3, slaves 3..7, directory 7, clients 8..14.
-    for c in 0..6u32 {
-        net.set_node_link(
-            NodeId(3 + 4 + 1 + c),
-            LinkModel::wan(SimDuration::from_millis(all_clients_ms)),
-        );
-    }
-    // Client 0 sits behind a (possibly) terrible link.
-    let slow_node = NodeId(3 + 4 + 1);
-    net.set_node_link(slow_node, LinkModel::wan(SimDuration::from_millis(slow_client_ms)));
-
-    let mut sys = SystemBuilder::new(cfg)
-        .behaviors(vec![SlaveBehavior::Honest; 4])
-        .workload(workload)
-        .network(net)
-        .build();
-    sys.run_for(SimDuration::from_secs(60));
-    let stats = sys.stats();
-
-    let slow = &stats.per_client[0];
-    let slow_accept_rate = if slow.reads_issued > 0 {
-        slow.reads_accepted as f64 / slow.reads_issued as f64
-    } else {
-        0.0
-    };
-    let overall_stale_rate = if stats.reads_issued > 0 {
-        stats.rejected_stale as f64 / stats.reads_issued as f64
-    } else {
-        0.0
-    };
-    (
-        overall_stale_rate,
-        slow.stale_rejections as f64,
-        slow_accept_rate,
-    )
+fn run(name: &str, cli: &BenchCli) -> RunReport {
+    let mut spec = must_lookup(name);
+    cli.apply(&mut spec);
+    Runner::new(spec).run().expect("scenario runs")
 }
 
 fn main() {
+    let cli = BenchCli::parse();
+
     // Part (a): keep-alive period sweep; every client sits behind a
     // realistic 50 ms WAN link, so the freshness budget left after the
     // keep-alive phase is what decides acceptance.
-    let mut rows = Vec::new();
-    for &ka in &[100u64, 250, 500, 800, 950] {
-        let (stale_rate, _, _) = run(ka, 50, 50, false);
-        rows.push(vec![
-            ka.to_string(),
-            "1000".into(),
-            f(stale_rate * 100.0, 2),
-        ]);
+    let mut part_a = run("e3_freshness", &cli);
+    for cell in &mut part_a.cells {
+        let stale_rate = if cell.mean("reads_issued") > 0.0 {
+            cell.mean("rejected_stale") / cell.mean("reads_issued")
+        } else {
+            0.0
+        };
+        cell.push_metric("stale_pct", stale_rate * 100.0);
+        cell.push_metric("max_latency_ms", 1000.0);
     }
-    print_table(
+
+    // Part (b): one client behind a degrading link, with and without a
+    // relaxed personal freshness bound (zipped axes).
+    let mut part_b = run("e3_slow_client", &cli);
+    for cell in &mut part_b.cells {
+        let n = cell.runs.len().max(1) as f64;
+        let mut stale = 0.0;
+        let mut accept = 0.0;
+        for r in &cell.runs {
+            if let Some(slow) = r.stats.per_client.first() {
+                stale += slow.stale_rejections as f64;
+                if slow.reads_issued > 0 {
+                    accept += slow.reads_accepted as f64 / slow.reads_issued as f64;
+                }
+            }
+        }
+        cell.push_metric("slow_stale", stale / n);
+        cell.push_metric("slow_accept_pct", accept / n * 100.0);
+        // Render "global bound" (0) as the 1000 ms default.
+        let bound = cell.coord("client max_latency (ms)").unwrap_or(0.0);
+        cell.push_metric("bound_ms", if bound > 0.0 { bound } else { 1000.0 });
+    }
+
+    if cli.json {
+        // One JSON document holding both parts, as an array.
+        println!(
+            "[{},{}]",
+            part_a.to_json_string(),
+            part_b.to_json_string()
+        );
+        return;
+    }
+
+    print_report_table(
         "E3a: stale-read rate vs keep-alive period (max_latency = 1000 ms, 50 ms client links)",
-        &["keepalive (ms)", "max_latency (ms)", "stale rejects (%)"],
-        &rows,
+        &part_a,
+        &[
+            Col::Coord { axis: "keepalive (ms)", header: "keepalive (ms)", prec: 0 },
+            Col::Metric { name: "max_latency_ms", header: "max_latency (ms)", prec: 0 },
+            Col::Metric { name: "stale_pct", header: "stale rejects (%)", prec: 2 },
+        ],
     );
     note("as the keep-alive period approaches max_latency, stamps arrive at clients with little freshness budget left and rejections climb.");
 
-    // Part (b): one client behind a slow link, with and without a relaxed
-    // personal freshness bound.
-    let mut rows = Vec::new();
-    for &(lat, relaxed) in &[
-        (10u64, false),
-        (300, false),
-        (700, false),
-        (700, true),
-        (1500, false),
-        (1500, true),
-    ] {
-        let (_, slow_stale, slow_accept) = run(250, 10, lat, relaxed);
-        rows.push(vec![
-            lat.to_string(),
-            if relaxed { "6000".into() } else { "1000".into() },
-            f(slow_stale, 0),
-            f(slow_accept * 100.0, 1),
-        ]);
-    }
-    print_table(
+    print_report_table(
         "E3b: a slow client starves under the global bound; its own relaxed max_latency restores service",
+        &part_b,
         &[
-            "client link median (ms)",
-            "client max_latency (ms)",
-            "stale rejections",
-            "reads accepted (%)",
+            Col::Coord {
+                axis: "client link median (ms)",
+                header: "client link median (ms)",
+                prec: 0,
+            },
+            Col::Metric { name: "bound_ms", header: "client max_latency (ms)", prec: 0 },
+            Col::Metric { name: "slow_stale", header: "stale rejections", prec: 0 },
+            Col::Metric { name: "slow_accept_pct", header: "reads accepted (%)", prec: 1 },
         ],
-        &rows,
     );
     note("the paper's accommodation: slow clients set modest freshness expectations and become serviceable again.");
 }

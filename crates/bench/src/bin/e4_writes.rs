@@ -5,72 +5,57 @@
 //! operations that can be executed in a given time, which is why we
 //! advocate our architecture only for applications where there is a high
 //! reads to writes ratio."
+//!
+//! The `e4_writes` scenario zips `max_latency` with a proportional
+//! keep-alive period under saturating write demand.
 
-use sdr_bench::{f, ms, note, print_table, run_system};
-use sdr_core::{SlaveBehavior, SystemConfig, Workload};
-use sdr_sim::SimDuration;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col, Stat};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let sweeps_ms = [250u64, 500, 1_000, 2_000, 4_000];
-    let run_secs = 120u64;
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e4_writes");
+    cli.apply(&mut spec);
+    let run_secs = spec.duration.as_secs_f64();
 
-    for &ml in &sweeps_ms {
-        let cfg = SystemConfig {
-            n_masters: 3,
-            n_slaves: 4,
-            n_clients: 8,
-            max_latency: SimDuration::from_millis(ml),
-            keepalive_period: SimDuration::from_millis(ml / 4),
-            double_check_prob: 0.01,
-            seed: 41,
-            ..SystemConfig::default()
-        };
-        // Saturating write demand: far more writes offered than the
-        // spacing rule can admit.
-        let workload = Workload {
-            reads_per_sec: 4.0,
-            writes_per_sec: 50.0,
-            writer_fraction: 0.5,
-            ..Workload::default()
-        };
-        let mut sys = run_system(
-            cfg,
-            vec![SlaveBehavior::Honest; 4],
-            workload,
-            SimDuration::from_secs(run_secs),
-        );
-        let stats = sys.stats();
+    let mut report = Runner::new(spec).run().expect("scenario runs");
 
-        let achieved = stats.writes_committed as f64 / run_secs as f64;
-        let bound = 1_000.0 / ml as f64;
-        let read_accept = if stats.reads_issued > 0 {
-            stats.reads_accepted as f64 / stats.reads_issued as f64
+    for cell in &mut report.cells {
+        let ml = cell.coord("max_latency (ms)").unwrap_or(1.0);
+        let achieved = cell.mean("writes_committed") / run_secs;
+        let bound = 1_000.0 / ml;
+        cell.push_metric("achieved_wps", achieved);
+        cell.push_metric("bound_wps", bound);
+        cell.push_metric("bound_utilisation", achieved / bound);
+        let accept = if cell.mean("reads_issued") > 0.0 {
+            cell.mean("reads_accepted") / cell.mean("reads_issued") * 100.0
         } else {
             0.0
         };
-        rows.push(vec![
-            ml.to_string(),
-            f(achieved, 2),
-            f(bound, 2),
-            f(achieved / bound, 2),
-            ms(stats.write_latency.p50),
-            f(read_accept * 100.0, 1),
-        ]);
+        cell.push_metric("read_accept_pct", accept);
+        cell.push_metric("write_p50_ms", cell.mean("write_latency_p50") / 1000.0);
     }
 
-    print_table(
-        "E4: achievable write throughput vs max_latency (offered load 50 writes/s)",
-        &[
-            "max_latency (ms)",
-            "achieved writes/s",
-            "bound 1/max_latency",
-            "utilisation of bound",
-            "write latency p50 (ms)",
-            "reads accepted (%)",
-        ],
-        &rows,
-    );
-    note("committed writes track the 1/max_latency ceiling — the structural reason the paper restricts the design to read-heavy workloads.");
-    note("read service stays high throughout: lazy updates decouple reads from write admission.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E4: achievable write throughput vs max_latency (offered load 50 writes/s)",
+            r,
+            &[
+                Col::Coord { axis: "max_latency (ms)", header: "max_latency (ms)", prec: 0 },
+                Col::Metric { name: "achieved_wps", header: "achieved writes/s", prec: 2 },
+                Col::Metric { name: "bound_wps", header: "bound 1/max_latency", prec: 2 },
+                Col::Metric { name: "bound_utilisation", header: "utilisation of bound", prec: 2 },
+                Col::Metric { name: "write_p50_ms", header: "write latency p50 (ms)", prec: 1 },
+                Col::Metric { name: "read_accept_pct", header: "reads accepted (%)", prec: 1 },
+                Col::Field {
+                    field: "writes_denied",
+                    stat: Stat::Mean,
+                    header: "writes denied",
+                    prec: 0,
+                },
+            ],
+        );
+        note("committed writes track the 1/max_latency ceiling — the structural reason the paper restricts the design to read-heavy workloads.");
+        note("read service stays high throughout: lazy updates decouple reads from write admission.");
+    });
 }

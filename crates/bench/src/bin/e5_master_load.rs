@@ -3,74 +3,56 @@
 //! Claim: the double-check probability "should be small enough so it does
 //! not excessively increase the workload on the masters, but large enough
 //! so it guarantees that a malicious slave is caught red-handed quickly."
-//! This sweeps `p` under a fixed read rate and reports trusted (master)
-//! vs. untrusted (slave) CPU utilisation.
+//! The `e5_master_load` scenario sweeps `p` under a fixed read rate; this
+//! binary reports trusted (master) vs. untrusted (slave) CPU utilisation.
 
-use sdr_bench::{f, note, print_table, run_system};
-use sdr_core::{SlaveBehavior, SystemConfig, Workload};
-use sdr_sim::SimDuration;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let sweeps = [0.0, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5];
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e5_master_load");
+    cli.apply(&mut spec);
 
-    for &p in &sweeps {
-        let cfg = SystemConfig {
-            n_masters: 3,
-            n_slaves: 6,
-            n_clients: 12,
-            double_check_prob: p,
-            audit_fraction: 1.0,
-            seed: 51,
-            ..SystemConfig::default()
-        };
-        let workload = Workload {
-            reads_per_sec: 8.0,
-            writes_per_sec: 0.2,
-            ..Workload::default()
-        };
-        let mut sys = run_system(
-            cfg,
-            vec![SlaveBehavior::Honest; 6],
-            workload,
-            SimDuration::from_secs(60),
-        );
-        let stats = sys.stats();
+    let mut report = Runner::new(spec).run().expect("scenario runs");
 
-        // Masters 0..n-2 serve double-checks; the last is the auditor.
-        let nm = stats.master_utilisation.len();
-        let serving: f64 = stats.master_utilisation[..nm - 1]
-            .iter()
-            .sum::<f64>()
-            / (nm - 1) as f64;
-        let auditor = stats.master_utilisation[nm - 1];
-        let slave_avg: f64 =
-            stats.slave_utilisation.iter().sum::<f64>() / stats.slave_utilisation.len() as f64;
-        let dc_rate = if stats.reads_accepted > 0 {
-            stats.dc_sent as f64 / stats.reads_issued as f64
-        } else {
-            0.0
-        };
-        rows.push(vec![
-            f(p, 2),
-            f(dc_rate, 3),
-            f(serving * 100.0, 2),
-            f(auditor * 100.0, 2),
-            f(slave_avg * 100.0, 2),
-        ]);
+    for cell in &mut report.cells {
+        let n = cell.runs.len().max(1) as f64;
+        let mut serving = 0.0;
+        let mut auditor = 0.0;
+        let mut slave_avg = 0.0;
+        let mut dc_rate = 0.0;
+        for r in &cell.runs {
+            // Masters 0..n-2 serve double-checks; the last is the auditor.
+            let util = &r.stats.master_utilisation;
+            let nm = util.len();
+            serving += util[..nm - 1].iter().sum::<f64>() / (nm - 1) as f64;
+            auditor += util[nm - 1];
+            slave_avg += r.stats.slave_utilisation.iter().sum::<f64>()
+                / r.stats.slave_utilisation.len() as f64;
+            if r.stats.reads_issued > 0 {
+                dc_rate += r.stats.dc_sent as f64 / r.stats.reads_issued as f64;
+            }
+        }
+        cell.push_metric("dc_rate", dc_rate / n);
+        cell.push_metric("serving_cpu_pct", serving / n * 100.0);
+        cell.push_metric("auditor_cpu_pct", auditor / n * 100.0);
+        cell.push_metric("slave_cpu_pct", slave_avg / n * 100.0);
     }
 
-    print_table(
-        "E5: trusted-host load vs double-check probability p (96 reads/s offered)",
-        &[
-            "p",
-            "measured DC rate",
-            "serving-master CPU (%)",
-            "auditor CPU (%)",
-            "avg slave CPU (%)",
-        ],
-        &rows,
-    );
-    note("serving-master load grows linearly in p while slave load is flat — the knob trades trusted CPU for detection speed (E1).");
-    note("the auditor's load is independent of p: it re-executes every non-double-checked read regardless.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E5: trusted-host load vs double-check probability p (96 reads/s offered)",
+            r,
+            &[
+                Col::Coord { axis: "p", header: "p", prec: 2 },
+                Col::Metric { name: "dc_rate", header: "measured DC rate", prec: 3 },
+                Col::Metric { name: "serving_cpu_pct", header: "serving-master CPU (%)", prec: 2 },
+                Col::Metric { name: "auditor_cpu_pct", header: "auditor CPU (%)", prec: 2 },
+                Col::Metric { name: "slave_cpu_pct", header: "avg slave CPU (%)", prec: 2 },
+            ],
+        );
+        note("serving-master load grows linearly in p while slave load is flat — the knob trades trusted CPU for detection speed (E1).");
+        note("the auditor's load is independent of p: it re-executes every non-double-checked read regardless.");
+    });
 }

@@ -7,26 +7,52 @@
 //! single untrusted hosts with only statistical guarantees plus audit.
 //!
 //! All three schemes execute the *same* sampled query stream over the
-//! *same* content with the *same* cost model.
+//! *same* content with the *same* cost model.  No simulated system runs
+//! here, so the `e6_comparison` scenario contributes the dataset, query
+//! mix, and seed; the per-scheme numbers land in a [`RunReport`] cell
+//! apiece (one row each), which `--json` emits like every other bin.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sdr_baselines::{SchemeCosts, SignedState, SmrCluster};
-use sdr_bench::{f, note, print_table};
-use sdr_core::dataset::DatasetSpec;
-use sdr_core::workload::QueryMix;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
+use sdr_core::scenario::{CellReport, RunReport};
 use sdr_crypto::{HmacSigner, Signer};
 use sdr_sim::{CostModel, LatencyModel, SimDuration};
 use sdr_store::execute;
 
 fn main() {
+    let cli = BenchCli::parse();
+    let spec = must_lookup("e6_comparison");
+
     let costs = CostModel::standard();
-    let spec = DatasetSpec::default();
-    let db = spec.build();
-    let mix = QueryMix::catalogue();
-    let mut rng = SmallRng::seed_from_u64(61);
+    let dataset = spec.workload.dataset;
+    let db = dataset.build();
+    let mix = spec.workload.mix;
+    let mut rng = SmallRng::seed_from_u64(spec.config.seed);
     let n_queries = 2_000usize;
-    let queries: Vec<_> = (0..n_queries).map(|_| mix.sample(&mut rng, &spec)).collect();
+    let queries: Vec<_> = (0..n_queries).map(|_| mix.sample(&mut rng, &dataset)).collect();
+
+    let mut report = RunReport {
+        scenario: spec.name.clone(),
+        description: spec.description.clone(),
+        duration_secs: 0.0,
+        seeds: vec![spec.config.seed],
+        cells: Vec::new(),
+    };
+    let mut add_cell = |label: &str, c: &SchemeCosts, lat_sum: u64, guarantee: &str| {
+        let mut cell = CellReport {
+            label: label.to_string(),
+            ..CellReport::default()
+        };
+        let per = |d: SimDuration| d.as_micros() as f64 / n_queries as f64;
+        cell.push_metric("trusted_us_per_read", per(c.trusted));
+        cell.push_metric("untrusted_us_per_read", per(c.untrusted));
+        cell.push_metric("client_us_per_read", per(c.client));
+        cell.push_metric("latency_mean_ms", lat_sum as f64 / n_queries as f64 / 1000.0);
+        cell.push_annotation("guarantee", guarantee);
+        report.cells.push(cell);
+    };
 
     // --- Ours: slave executes + signs; client hashes + verifies twice;
     // trusted side pays p × double-check plus the audit re-execution
@@ -59,6 +85,12 @@ fn main() {
         ours_lat_sum += (rtt + per.untrusted).as_micros();
         ours.accumulate(&per);
     }
+    add_cell(
+        "ours (p=0.02 + full audit)",
+        &ours,
+        ours_lat_sum,
+        "statistical + eventual detection",
+    );
 
     // --- State signing.
     let mut owner = HmacSigner::from_seed_label(62, b"owner");
@@ -79,32 +111,14 @@ fn main() {
         ss_lat_sum += (rtt + extra + c.trusted + c.untrusted).as_micros();
         ss.accumulate(&c);
     }
-
-    // --- SMR at several quorum sizes.
-    let mut rows = Vec::new();
-    let to_row = |name: &str, c: &SchemeCosts, lat_sum: u64, guarantee: &str| {
-        vec![
-            name.to_string(),
-            f(c.trusted.as_micros() as f64 / n_queries as f64, 1),
-            f(c.untrusted.as_micros() as f64 / n_queries as f64, 1),
-            f(c.client.as_micros() as f64 / n_queries as f64, 1),
-            f(lat_sum as f64 / n_queries as f64 / 1000.0, 2),
-            guarantee.to_string(),
-        ]
-    };
-    rows.push(to_row(
-        "ours (p=0.02 + full audit)",
-        &ours,
-        ours_lat_sum,
-        "statistical + eventual detection",
-    ));
-    rows.push(to_row(
+    add_cell(
         "state signing",
         &ss,
         ss_lat_sum,
         "immediate (static reads only)",
-    ));
+    );
 
+    // --- SMR at several quorum sizes.
     for &q in &[4usize, 7, 10] {
         let cluster = SmrCluster::new(&db, q, &[], link);
         let mut smr = SchemeCosts::default();
@@ -116,30 +130,32 @@ fn main() {
             lat_sum += o.costs.latency.as_micros();
             smr.accumulate(&o.costs);
         }
-        rows.push(to_row(
+        add_cell(
             &format!("SMR (q={q})"),
             &smr,
             lat_sum,
             "immediate (needs majority honest)",
-        ));
+        );
     }
 
-    print_table(
-        "E6: per-read cost comparison on an identical 2000-query stream",
-        &[
-            "scheme",
-            "trusted us/read",
-            "untrusted us/read",
-            "client us/read",
-            "latency mean (ms)",
-            "guarantee",
-        ],
-        &rows,
-    );
-    note(&format!(
-        "state-signing publish cost (per content update): {} of trusted CPU over {} leaves — paid again on every write.",
-        publish_cost,
-        signed.leaf_count()
-    ));
-    note("shape to check: SMR's untrusted cost ≈ q × ours; SMR latency grows with q (slowest-member effect); state signing's trusted cost ≫ ours because every dynamic query runs on trusted hardware.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E6: per-read cost comparison on an identical 2000-query stream",
+            r,
+            &[
+                Col::Label("scheme"),
+                Col::Metric { name: "trusted_us_per_read", header: "trusted us/read", prec: 1 },
+                Col::Metric { name: "untrusted_us_per_read", header: "untrusted us/read", prec: 1 },
+                Col::Metric { name: "client_us_per_read", header: "client us/read", prec: 1 },
+                Col::Metric { name: "latency_mean_ms", header: "latency mean (ms)", prec: 2 },
+                Col::Annot { name: "guarantee", header: "guarantee" },
+            ],
+        );
+        note(&format!(
+            "state-signing publish cost (per content update): {} of trusted CPU over {} leaves — paid again on every write.",
+            publish_cost,
+            signed.leaf_count()
+        ));
+        note("shape to check: SMR's untrusted cost ≈ q × ours; SMR latency grows with q (slowest-member effect); state signing's trusted cost ≫ ours because every dynamic query runs on trusted hardware.");
+    });
 }

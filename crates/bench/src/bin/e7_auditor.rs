@@ -6,76 +6,13 @@
 //! patterns (few requests at 3AM …) it is possible that the auditor will
 //! seriously lag behind during peak hours, but catch up during the night";
 //! if it cannot keep up in the long run, sample the audit or add auditors.
+//!
+//! The `e7_auditor` scenario crosses auditor-cache on/off with a
+//! generous/starved audit CPU slice over two compressed diurnal days and
+//! captures the backlog and lag series.
 
-use sdr_bench::{f, note, print_table};
-use sdr_core::{DiurnalPattern, SlaveBehavior, SystemBuilder, SystemConfig, Workload};
-use sdr_sim::{SimDuration, SimTime};
-
-struct RunOut {
-    peak_backlog: f64,
-    final_backlog: u64,
-    peak_lag_ms: f64,
-    final_lag_ms: f64,
-    cache_hits: u64,
-    checked: u64,
-    series: Vec<(f64, f64)>,
-}
-
-fn run(cache: bool, audit_slice_ms: u64) -> RunOut {
-    // A compressed "day": 240 s period, peak at 120 s.
-    let day = SimDuration::from_secs(240);
-    let cfg = SystemConfig {
-        n_masters: 3,
-        n_slaves: 6,
-        n_clients: 12,
-        double_check_prob: 0.01,
-        auditor_cache: cache,
-        audit_slice: SimDuration::from_millis(audit_slice_ms),
-        seed: 71,
-        ..SystemConfig::default()
-    };
-    let workload = Workload {
-        reads_per_sec: 12.0, // Peak rate; the trough is 5% of this.
-        writes_per_sec: 0.1,
-        diurnal: Some(DiurnalPattern {
-            period: day,
-            trough: 0.05,
-        }),
-        ..Workload::default()
-    };
-    let mut sys = SystemBuilder::new(cfg)
-        .behaviors(vec![SlaveBehavior::Honest; 6])
-        .workload(workload)
-        .build();
-    // Two full days.
-    sys.run_until(SimTime::from_secs(480));
-
-    let backlog_series: Vec<(f64, f64)> = sys
-        .world
-        .metrics()
-        .series("audit.backlog")
-        .iter()
-        .map(|(t, v)| (t.as_secs_f64(), *v))
-        .collect();
-    let lag_series: Vec<(f64, f64)> = sys
-        .world
-        .metrics()
-        .series("audit.lag_us")
-        .iter()
-        .map(|(t, v)| (t.as_secs_f64(), *v / 1000.0))
-        .collect();
-    let stats = sys.stats();
-
-    RunOut {
-        peak_backlog: backlog_series.iter().map(|(_, v)| *v).fold(0.0, f64::max),
-        final_backlog: stats.audit_backlog,
-        peak_lag_ms: lag_series.iter().map(|(_, v)| *v).fold(0.0, f64::max),
-        final_lag_ms: lag_series.last().map(|(_, v)| *v).unwrap_or(0.0),
-        cache_hits: stats.audit_cache_hits,
-        checked: stats.audit_checked,
-        series: backlog_series,
-    }
-}
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
+use sdr_core::scenario::Runner;
 
 fn sparkline(series: &[(f64, f64)], buckets: usize) -> String {
     if series.is_empty() {
@@ -96,46 +33,74 @@ fn sparkline(series: &[(f64, f64)], buckets: usize) -> String {
 }
 
 fn main() {
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e7_auditor");
+    cli.apply(&mut spec);
+
+    let mut report = Runner::new(spec).run().expect("scenario runs");
+
     let mut shapes = Vec::new();
-    for &(label, cache, slice) in &[
-        ("cache on, generous CPU", true, 20u64),
-        ("cache off, generous CPU", false, 20),
-        ("cache on, starved CPU", true, 2),
-        ("cache off, starved CPU", false, 2),
-    ] {
-        let out = run(cache, slice);
-        let hit_rate = if out.cache_hits + out.checked > 0 {
-            out.cache_hits as f64 / (out.cache_hits + out.checked) as f64
+    for cell in &mut report.cells {
+        let cache_on = cell.coord("cache").unwrap_or(1.0) != 0.0;
+        let slice = cell.coord("audit slice (ms)").unwrap_or(0.0);
+        let label = format!(
+            "cache {}, {} CPU",
+            if cache_on { "on" } else { "off" },
+            if slice >= 10.0 { "generous" } else { "starved" }
+        );
+        cell.label = label.clone();
+
+        // Series-derived peaks come from the first run (one seed here).
+        let (peak_backlog, peak_lag, final_lag, shape) = cell
+            .runs
+            .first()
+            .map(|r| {
+                let backlog = r.series("audit.backlog").map(|s| s.points.as_slice()).unwrap_or(&[]);
+                let lag = r.series("audit.lag_us").map(|s| s.points.as_slice()).unwrap_or(&[]);
+                (
+                    backlog.iter().map(|&(_, v)| v).fold(0.0, f64::max),
+                    lag.iter().map(|&(_, v)| v / 1000.0).fold(0.0, f64::max),
+                    lag.last().map(|&(_, v)| v / 1000.0).unwrap_or(0.0),
+                    sparkline(backlog, 48),
+                )
+            })
+            .unwrap_or((0.0, 0.0, 0.0, String::new()));
+        let hits = cell.mean("audit_cache_hits");
+        let checked = cell.mean("audit_checked");
+        let hit_rate = if hits + checked > 0.0 {
+            hits / (hits + checked)
         } else {
             0.0
         };
-        rows.push(vec![
-            label.to_string(),
-            f(out.peak_backlog, 0),
-            out.final_backlog.to_string(),
-            f(out.peak_lag_ms, 1),
-            f(out.final_lag_ms, 1),
-            f(hit_rate, 2),
-        ]);
-        shapes.push((label, sparkline(&out.series, 48)));
+        cell.push_metric("peak_backlog", peak_backlog);
+        cell.push_metric("peak_lag_ms", peak_lag);
+        cell.push_metric("final_lag_ms", final_lag);
+        cell.push_metric("cache_hit_rate", hit_rate);
+        shapes.push((label, shape));
     }
 
-    print_table(
-        "E7: auditor backlog/lag over two compressed diurnal days (peak 144 reads/s)",
-        &[
-            "configuration",
-            "peak backlog",
-            "final backlog",
-            "peak lag (ms)",
-            "final lag (ms)",
-            "cache hit rate",
-        ],
-        &rows,
-    );
-    println!("\n  backlog over time (two days; expect humps at the two midday peaks):");
-    for (label, shape) in shapes {
-        println!("  {label:>26}  |{shape}|");
-    }
-    note("backlog swells at the midday peak and drains overnight; the cache cuts re-execution work; a starved auditor without cache ends the day still behind — the paper's cue to add auditors or sample.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E7: auditor backlog/lag over two compressed diurnal days (peak 144 reads/s)",
+            r,
+            &[
+                Col::Label("configuration"),
+                Col::Metric { name: "peak_backlog", header: "peak backlog", prec: 0 },
+                Col::Field {
+                    field: "audit_backlog",
+                    stat: sdr_bench::Stat::Mean,
+                    header: "final backlog",
+                    prec: 0,
+                },
+                Col::Metric { name: "peak_lag_ms", header: "peak lag (ms)", prec: 1 },
+                Col::Metric { name: "final_lag_ms", header: "final lag (ms)", prec: 1 },
+                Col::Metric { name: "cache_hit_rate", header: "cache hit rate", prec: 2 },
+            ],
+        );
+        println!("\n  backlog over time (two days; expect humps at the two midday peaks):");
+        for (label, shape) in &shapes {
+            println!("  {label:>26}  |{shape}|");
+        }
+        note("backlog swells at the midday peak and drains overnight; the cache cuts re-execution work; a starved auditor without cache ends the day still behind — the paper's cue to add auditors or sample.");
+    });
 }

@@ -5,70 +5,57 @@
 //! anomalous client behavior … [and] enforce fair play by simply ignoring a
 //! large fraction of the double-check requests coming from clients
 //! suspected to be greedy."
+//!
+//! The `e8_greedy` scenario sweeps client 0's private double-check
+//! probability against the honest population's p = 0.02.
 
-use sdr_bench::{f, note, print_table, run_system};
-use sdr_core::{SlaveBehavior, SystemConfig, Workload};
-use sdr_sim::SimDuration;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let greedy_probs = [0.02, 0.05, 0.1, 0.3, 0.6, 0.9];
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e8_greedy");
+    cli.apply(&mut spec);
 
-    for &gp in &greedy_probs {
-        let cfg = SystemConfig {
-            n_masters: 3,
-            n_slaves: 4,
-            n_clients: 10,
-            double_check_prob: 0.02, // Honest rate.
-            seed: 81,
-            ..SystemConfig::default()
-        };
-        let workload = Workload {
-            reads_per_sec: 8.0,
-            writes_per_sec: 0.0,
-            greedy_clients: vec![(0, gp)],
-            ..Workload::default()
-        };
-        let mut sys = run_system(
-            cfg,
-            vec![SlaveBehavior::Honest; 4],
-            workload,
-            SimDuration::from_secs(120),
-        );
-        let stats = sys.stats();
+    let mut report = Runner::new(spec).run().expect("scenario runs");
 
-        let g = &stats.per_client[0];
-        let g_throttle_rate = if g.dc_sent > 0 {
-            g.dc_throttled as f64 / g.dc_sent as f64
-        } else {
-            0.0
-        };
-        let honest_sent: u64 = stats.per_client[1..].iter().map(|c| c.dc_sent).sum();
-        let honest_throttled: u64 = stats.per_client[1..].iter().map(|c| c.dc_throttled).sum();
-        let h_throttle_rate = if honest_sent > 0 {
-            honest_throttled as f64 / honest_sent as f64
-        } else {
-            0.0
-        };
-        rows.push(vec![
-            f(gp, 2),
-            g.dc_sent.to_string(),
-            f(g_throttle_rate * 100.0, 1),
-            honest_sent.to_string(),
-            f(h_throttle_rate * 100.0, 1),
-        ]);
+    for cell in &mut report.cells {
+        let n = cell.runs.len().max(1) as f64;
+        let mut g_sent = 0.0;
+        let mut g_rate = 0.0;
+        let mut h_sent = 0.0;
+        let mut h_rate = 0.0;
+        for r in &cell.runs {
+            let g = &r.stats.per_client[0];
+            g_sent += g.dc_sent as f64;
+            if g.dc_sent > 0 {
+                g_rate += g.dc_throttled as f64 / g.dc_sent as f64;
+            }
+            let sent: u64 = r.stats.per_client[1..].iter().map(|c| c.dc_sent).sum();
+            let throttled: u64 = r.stats.per_client[1..].iter().map(|c| c.dc_throttled).sum();
+            h_sent += sent as f64;
+            if sent > 0 {
+                h_rate += throttled as f64 / sent as f64;
+            }
+        }
+        cell.push_metric("greedy_dc_sent", g_sent / n);
+        cell.push_metric("greedy_throttled_pct", g_rate / n * 100.0);
+        cell.push_metric("honest_dc_sent", h_sent / n);
+        cell.push_metric("honest_throttled_pct", h_rate / n * 100.0);
     }
 
-    print_table(
-        "E8: greedy-client throttling vs greediness (honest p = 0.02, window 30 s)",
-        &[
-            "greedy client p",
-            "greedy DCs sent",
-            "greedy throttled (%)",
-            "honest DCs sent",
-            "honest throttled (%)",
-        ],
-        &rows,
-    );
-    note("at p = 0.02 the 'greedy' client is indistinguishable from honest (false-positive row ≈ 0%); as its rate departs from the population median the master ignores most of its quota abuse.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E8: greedy-client throttling vs greediness (honest p = 0.02, window 30 s)",
+            r,
+            &[
+                Col::Coord { axis: "greedy client p", header: "greedy client p", prec: 2 },
+                Col::Metric { name: "greedy_dc_sent", header: "greedy DCs sent", prec: 0 },
+                Col::Metric { name: "greedy_throttled_pct", header: "greedy throttled (%)", prec: 1 },
+                Col::Metric { name: "honest_dc_sent", header: "honest DCs sent", prec: 0 },
+                Col::Metric { name: "honest_throttled_pct", header: "honest throttled (%)", prec: 1 },
+            ],
+        );
+        note("at p = 0.02 the 'greedy' client is indistinguishable from honest (false-positive row ≈ 0%); as its rate departs from the population median the master ignores most of its quota abuse.");
+    });
 }

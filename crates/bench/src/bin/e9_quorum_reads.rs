@@ -4,80 +4,62 @@
 //! malicious slaves would have to collude in order to pass an incorrect
 //! answer", at the price of more *untrusted* compute per request.
 //!
-//! We sweep the read quorum `k` and the number of colluding liars, and
-//! report wrong-accepts, auto-double-checks (any disagreement forces one),
-//! and the untrusted compute multiplier.
+//! The `e9_quorum_reads` scenario crosses the read quorum `k` with the
+//! number of colluding liars; this binary reports wrong-accepts,
+//! auto-double-checks (any disagreement forces one), and the untrusted
+//! compute multiplier.
 
-use sdr_bench::{f, note, print_table, run_system};
-use sdr_core::{SlaveBehavior, SystemConfig, Workload};
-use sdr_sim::SimDuration;
+use sdr_bench::{must_lookup, note, print_report_table, BenchCli, Col, Stat};
+use sdr_core::scenario::Runner;
 
 fn main() {
-    let mut rows = Vec::new();
+    let cli = BenchCli::parse();
+    let mut spec = must_lookup("e9_quorum_reads");
+    cli.apply(&mut spec);
+    let duration_secs = spec.duration.as_secs_f64();
 
-    for &k in &[1usize, 2, 3] {
-        for &liars in &[1usize, 2, 3] {
-            let n_slaves = 6;
-            let cfg = SystemConfig {
-                n_masters: 3,
-                n_slaves,
-                n_clients: 9,
-                read_quorum: k,
-                double_check_prob: 0.0, // Isolate the quorum mechanism.
-                audit_fraction: 0.0,
-                seed: 91,
-                ..SystemConfig::default()
-            };
-            let mut behaviors = vec![SlaveBehavior::Honest; n_slaves];
-            for b in behaviors.iter_mut().take(liars) {
-                // Colluders agree on the forged answer (salt 0).
-                *b = SlaveBehavior::ConsistentLiar {
-                    prob: 0.3,
-                    collude: true,
-                };
+    let mut report = Runner::new(spec).run().expect("scenario runs");
+
+    for cell in &mut report.cells {
+        let n = cell.runs.len().max(1) as f64;
+        let mut untrusted = 0.0;
+        for r in &cell.runs {
+            if r.stats.reads_accepted > 0 {
+                untrusted += r.stats.slave_utilisation.iter().sum::<f64>() * duration_secs * 1e6
+                    / r.stats.reads_accepted as f64;
             }
-            let workload = Workload {
-                reads_per_sec: 6.0,
-                writes_per_sec: 0.0,
-                ..Workload::default()
-            };
-            let mut sys = run_system(cfg, behaviors, workload, SimDuration::from_secs(60));
-            let stats = sys.stats();
-
-            let untrusted_per_read = if stats.reads_accepted > 0 {
-                stats
-                    .slave_utilisation
-                    .iter()
-                    .sum::<f64>()
-                    * sys.now().as_secs_f64()
-                    * 1e6
-                    / stats.reads_accepted as f64
-            } else {
-                0.0
-            };
-            rows.push(vec![
-                k.to_string(),
-                liars.to_string(),
-                stats.lies_told.to_string(),
-                stats.wrong_accepted.to_string(),
-                stats.dc_sent.to_string(),
-                f(untrusted_per_read, 0),
-            ]);
         }
+        cell.push_metric("untrusted_us_per_read", untrusted / n);
     }
 
-    print_table(
-        "E9: quorum reads vs colluding liars (6 slaves, lie prob 0.3, p=0 and audit off)",
-        &[
-            "read quorum k",
-            "colluders",
-            "lies told",
-            "wrong accepted",
-            "auto double-checks",
-            "untrusted us/read",
-        ],
-        &rows,
-    );
-    note("k=1 accepts every consistent lie (nothing else checks here); k>=2 accepts a lie only when ALL k assigned slaves collude on it, and any disagreement triggers a mandatory double-check.");
-    note("untrusted us/read grows ~k-fold — the paper's 'more computing resources … but these resources need not be trusted'.");
+    cli.emit(&report, |r| {
+        print_report_table(
+            "E9: quorum reads vs colluding liars (6 slaves, lie prob 0.3, p=0 and audit off)",
+            r,
+            &[
+                Col::Coord { axis: "read quorum k", header: "read quorum k", prec: 0 },
+                Col::Coord { axis: "colluders", header: "colluders", prec: 0 },
+                Col::Field { field: "lies_told", stat: Stat::Mean, header: "lies told", prec: 0 },
+                Col::Field {
+                    field: "wrong_accepted",
+                    stat: Stat::Mean,
+                    header: "wrong accepted",
+                    prec: 0,
+                },
+                Col::Field {
+                    field: "dc_sent",
+                    stat: Stat::Mean,
+                    header: "auto double-checks",
+                    prec: 0,
+                },
+                Col::Metric {
+                    name: "untrusted_us_per_read",
+                    header: "untrusted us/read",
+                    prec: 0,
+                },
+            ],
+        );
+        note("k=1 accepts every consistent lie (nothing else checks here); k>=2 accepts a lie only when ALL k assigned slaves collude on it, and any disagreement triggers a mandatory double-check.");
+        note("untrusted us/read grows ~k-fold — the paper's 'more computing resources … but these resources need not be trusted'.");
+    });
 }

@@ -1,0 +1,63 @@
+//! Registry completeness: every experiment binary must resolve to a
+//! registered scenario, so `lookup`-by-bin-name never rots as bins are
+//! added or renamed.
+
+use sdr_core::scenario::registry;
+
+/// Walks `src/bin/` and checks each `e*` binary's name resolves.
+#[test]
+fn every_experiment_bin_name_resolves() {
+    let bin_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&bin_dir).expect("src/bin exists") {
+        let path = entry.expect("dir entry").path();
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") || !stem.starts_with('e') {
+            continue;
+        }
+        // Guard against non-experiment bins that happen to start with 'e'.
+        if !stem[1..].starts_with(|c: char| c.is_ascii_digit()) {
+            continue;
+        }
+        assert!(
+            registry::lookup(stem).is_some(),
+            "experiment binary `{stem}` has no registered scenario"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 12, "expected at least 12 e* binaries, saw {checked}");
+}
+
+/// The registry's own invariants: names are unique and every spec
+/// validates (including sweep applicability).
+#[test]
+fn registry_names_are_unique_and_valid() {
+    let names = registry::names();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate registry names");
+    for name in names {
+        let spec = registry::lookup(name).expect("registered");
+        spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// The five examples are registered too (they fetch specs by name).
+#[test]
+fn example_scenarios_are_registered() {
+    for name in [
+        "quickstart",
+        "byzantine_storm",
+        "master_failover",
+        "cdn_catalog",
+        "medical_db",
+    ] {
+        assert!(
+            registry::lookup(name).is_some(),
+            "example scenario `{name}` missing from registry"
+        );
+    }
+}

@@ -60,7 +60,7 @@ struct PendingRead {
 }
 
 /// Per-client counters used by experiments (E8 needs per-client views).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::ToJson, serde::FromJson)]
 pub struct ClientCounters {
     /// Reads issued.
     pub reads_issued: u64,

@@ -2,12 +2,13 @@
 
 use sdr_crypto::SignatureScheme;
 use sdr_sim::SimDuration;
+use serde::{FromJson, ToJson};
 
 /// Which hash goes into pledge packets.
 ///
 /// The paper specifies SHA-1 [1]; SHA-256 is offered as the modern choice.
 /// Either way the protocol logic is identical.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, ToJson, FromJson)]
 pub enum HashAlgo {
     /// SHA-1 (the paper's choice).
     Sha1,
@@ -27,7 +28,7 @@ pub enum ReadLevel {
 }
 
 /// Greedy-client detector configuration (Section 3.3).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, ToJson, FromJson)]
 pub struct GreedyConfig {
     /// Sliding-window length over which double-checks are counted.
     pub window: SimDuration,
@@ -55,7 +56,7 @@ impl Default for GreedyConfig {
 }
 
 /// Full system configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, ToJson, FromJson)]
 pub struct SystemConfig {
     /// Number of master servers (the trusted core).  The highest-ranked
     /// master in the current view is the elected auditor and holds no

@@ -7,9 +7,10 @@
 
 use sdr_crypto::HmacDrbg;
 use sdr_store::{Database, Document, UpdateOp};
+use serde::{FromJson, ToJson};
 
 /// Shape of the generated dataset.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, ToJson, FromJson)]
 pub struct DatasetSpec {
     /// Rows in the `products` table.
     pub n_products: usize,

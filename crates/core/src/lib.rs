@@ -45,6 +45,7 @@ pub mod evidence;
 pub mod master;
 pub mod messages;
 pub mod pledge;
+pub mod scenario;
 pub mod slave;
 pub mod stats;
 pub mod system;
@@ -55,6 +56,7 @@ pub use error::CoreError;
 pub use evidence::Evidence;
 pub use messages::{Msg, VersionStamp};
 pub use pledge::Pledge;
+pub use scenario::{RunReport, Runner, ScenarioSpec};
 pub use slave::SlaveBehavior;
 pub use stats::SystemStats;
 pub use system::{System, SystemBuilder};

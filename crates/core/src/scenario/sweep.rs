@@ -1,0 +1,377 @@
+//! Parameter sweeps: the declarative replacement for the per-bin
+//! hand-rolled `for &p in &[...]` loops.
+//!
+//! A [`SweepAxis`] names a [`Param`] and the values it takes; a [`Grid`]
+//! combines axes either as a cartesian product or zipped (for coupled
+//! parameters like `max_latency` and its keep-alive period).  The runner
+//! expands the grid into cells, applies each cell's parameter values to
+//! a copy of the base [`ScenarioSpec`], and reports per-cell aggregates.
+
+use super::spec::{LinkSpec, NetworkSpec, ScenarioSpec};
+use crate::slave::SlaveBehavior;
+use sdr_sim::SimDuration;
+use serde::{FromJson, ToJson};
+
+/// A sweepable parameter.
+///
+/// Values travel as `f64` (integer-valued parameters truncate), which
+/// keeps axes uniform and serialisable.
+#[derive(Clone, Copy, Debug, PartialEq, ToJson, FromJson)]
+pub enum Param {
+    /// `config.double_check_prob`.
+    DoubleCheckProb,
+    /// `config.audit_fraction`.
+    AuditFraction,
+    /// `config.sensitive_fraction`.
+    SensitiveFraction,
+    /// `config.read_quorum`.
+    ReadQuorum,
+    /// `config.max_latency`, in milliseconds.
+    MaxLatencyMs,
+    /// `config.keepalive_period`, in milliseconds.
+    KeepaliveMs,
+    /// `config.audit_slice`, in milliseconds.
+    AuditSliceMs,
+    /// `config.auditor_cache` (0 = off, anything else = on).
+    AuditorCache,
+    /// `workload.reads_per_sec`.
+    ReadsPerSec,
+    /// `workload.writes_per_sec`.
+    WritesPerSec,
+    /// Number of misbehaving slaves: replicates the first behaviour
+    /// override across slave indexes `0..n`.
+    LiarCount,
+    /// Double-check probability override for one client
+    /// (`workload.greedy_clients`).
+    GreedyClientProb {
+        /// Which client.
+        client: usize,
+    },
+    /// Per-client freshness bound in milliseconds
+    /// (`workload.client_max_latency`); `<= 0` removes the override.
+    ClientMaxLatencyMs {
+        /// Which client.
+        client: usize,
+    },
+    /// Median WAN latency, in milliseconds, of one client's link.
+    ClientLinkMs {
+        /// Which client.
+        client: usize,
+    },
+    /// Rank of the master killed by the first [`CrashSpec`](super::spec::CrashSpec).
+    CrashRank,
+}
+
+impl Param {
+    /// Applies one swept value to a scenario.
+    pub fn apply(&self, spec: &mut ScenarioSpec, v: f64) -> Result<(), String> {
+        match *self {
+            Param::DoubleCheckProb => spec.config.double_check_prob = v,
+            Param::AuditFraction => spec.config.audit_fraction = v,
+            Param::SensitiveFraction => spec.config.sensitive_fraction = v,
+            Param::ReadQuorum => spec.config.read_quorum = v as usize,
+            Param::MaxLatencyMs => spec.config.max_latency = ms(v),
+            Param::KeepaliveMs => spec.config.keepalive_period = ms(v),
+            Param::AuditSliceMs => spec.config.audit_slice = ms(v),
+            Param::AuditorCache => spec.config.auditor_cache = v != 0.0,
+            Param::ReadsPerSec => spec.workload.reads_per_sec = v,
+            Param::WritesPerSec => spec.workload.writes_per_sec = v,
+            Param::LiarCount => {
+                let template = spec
+                    .behaviors
+                    .overrides
+                    .first()
+                    .map(|&(_, b)| b)
+                    .ok_or_else(|| {
+                        "LiarCount needs a behaviour override to replicate".to_string()
+                    })?;
+                let n = v as usize;
+                spec.behaviors.overrides = (0..n).map(|i| (i, template)).collect();
+            }
+            Param::GreedyClientProb { client } => {
+                upsert(&mut spec.workload.greedy_clients, client, v);
+            }
+            Param::ClientMaxLatencyMs { client } => {
+                spec.workload.client_max_latency.retain(|&(c, _)| c != client);
+                if v > 0.0 {
+                    spec.workload.client_max_latency.push((client, ms(v)));
+                }
+            }
+            Param::ClientLinkMs { client } => {
+                let net = spec.network.get_or_insert_with(NetworkSpec::default);
+                net.client_links.retain(|&(c, _)| c != client);
+                net.client_links.push((client, LinkSpec::wan_ms(v as u64)));
+            }
+            Param::CrashRank => {
+                let crash = spec
+                    .crashes
+                    .first_mut()
+                    .ok_or_else(|| "CrashRank needs a crash entry to retarget".to_string())?;
+                crash.master_rank = v as usize;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replicates the liar-count template check without mutating.
+    fn needs(&self, spec: &ScenarioSpec) -> Result<(), String> {
+        match self {
+            Param::LiarCount if spec.behaviors.overrides.is_empty() => {
+                Err("LiarCount needs a behaviour override to replicate".to_string())
+            }
+            Param::CrashRank if spec.crashes.is_empty() => {
+                Err("CrashRank needs a crash entry to retarget".to_string())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+fn ms(v: f64) -> SimDuration {
+    SimDuration::from_micros((v * 1_000.0).round().max(0.0) as u64)
+}
+
+fn upsert(list: &mut Vec<(usize, f64)>, key: usize, v: f64) {
+    if let Some(slot) = list.iter_mut().find(|(k, _)| *k == key) {
+        slot.1 = v;
+    } else {
+        list.push((key, v));
+    }
+}
+
+/// One swept dimension: a display name, a parameter, and its values.
+#[derive(Clone, Debug, PartialEq, ToJson, FromJson)]
+pub struct SweepAxis {
+    /// Coordinate name in reports (`"p"`, `"audit fraction"`, …).
+    pub name: String,
+    /// What the values mean.
+    pub param: Param,
+    /// The values the axis takes.
+    pub values: Vec<f64>,
+}
+
+impl SweepAxis {
+    /// Builds an axis.
+    pub fn new(name: &str, param: Param, values: &[f64]) -> Self {
+        SweepAxis {
+            name: name.to_string(),
+            param,
+            values: values.to_vec(),
+        }
+    }
+}
+
+/// How a multi-axis grid combines its axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, ToJson, FromJson)]
+pub enum GridMode {
+    /// Every combination of axis values (the usual sweep).
+    Cartesian,
+    /// Axis values advance in lock-step (for coupled parameters); all
+    /// axes must have the same length.
+    Zip,
+}
+
+/// A parameter grid: zero or more sweep axes plus a combination mode.
+#[derive(Clone, Debug, PartialEq, ToJson, FromJson)]
+pub struct Grid {
+    /// The swept dimensions (empty = one unswept cell).
+    pub axes: Vec<SweepAxis>,
+    /// Combination mode.
+    pub mode: GridMode,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid::none()
+    }
+}
+
+impl Grid {
+    /// No sweep: a single cell with the base spec.
+    pub fn none() -> Self {
+        Grid {
+            axes: Vec::new(),
+            mode: GridMode::Cartesian,
+        }
+    }
+
+    /// A one-axis sweep.
+    pub fn sweep(name: &str, param: Param, values: &[f64]) -> Self {
+        Grid {
+            axes: vec![SweepAxis::new(name, param, values)],
+            mode: GridMode::Cartesian,
+        }
+    }
+
+    /// A cartesian product of axes.
+    pub fn cartesian(axes: Vec<SweepAxis>) -> Self {
+        Grid {
+            axes,
+            mode: GridMode::Cartesian,
+        }
+    }
+
+    /// Zipped (lock-step) axes.
+    pub fn zip(axes: Vec<SweepAxis>) -> Self {
+        Grid {
+            axes,
+            mode: GridMode::Zip,
+        }
+    }
+
+    /// Structural checks: non-empty axes, equal lengths under zip.
+    pub fn validate(&self) -> Result<(), String> {
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(format!("sweep axis `{}` has no values", axis.name));
+            }
+        }
+        if self.mode == GridMode::Zip {
+            if let Some(first) = self.axes.first() {
+                let n = first.values.len();
+                for axis in &self.axes[1..] {
+                    if axis.values.len() != n {
+                        return Err(format!(
+                            "zip grid axes must have equal lengths ({} has {}, `{}` has {})",
+                            first.name,
+                            n,
+                            axis.name,
+                            axis.values.len()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands into cells: each cell is the `(axis name, param, value)`
+    /// assignments to apply to the base spec.  An empty grid yields one
+    /// empty cell.
+    pub fn cells(&self) -> Vec<Vec<(String, Param, f64)>> {
+        if self.axes.is_empty() {
+            return vec![Vec::new()];
+        }
+        match self.mode {
+            GridMode::Zip => {
+                let n = self.axes.first().map_or(0, |a| a.values.len());
+                (0..n)
+                    .map(|i| {
+                        self.axes
+                            .iter()
+                            .map(|a| (a.name.clone(), a.param, a.values[i]))
+                            .collect()
+                    })
+                    .collect()
+            }
+            GridMode::Cartesian => {
+                let mut cells: Vec<Vec<(String, Param, f64)>> = vec![Vec::new()];
+                for axis in &self.axes {
+                    let mut next = Vec::with_capacity(cells.len() * axis.values.len());
+                    for prefix in &cells {
+                        for &v in &axis.values {
+                            let mut cell = prefix.clone();
+                            cell.push((axis.name.clone(), axis.param, v));
+                            next.push(cell);
+                        }
+                    }
+                    cells = next;
+                }
+                cells
+            }
+        }
+    }
+
+    /// Pre-checks that every axis parameter can apply to `spec`.
+    pub fn check_applicable(&self, spec: &ScenarioSpec) -> Result<(), String> {
+        for axis in &self.axes {
+            axis.param.needs(spec)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: the behaviour override template liar sweeps replicate.
+pub fn liar_template(prob: f64, collude: bool) -> SlaveBehavior {
+    SlaveBehavior::ConsistentLiar { prob, collude }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec::new("t", "", SystemConfig::default())
+    }
+
+    #[test]
+    fn empty_grid_is_one_cell() {
+        assert_eq!(Grid::none().cells(), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn cartesian_expands_all_combinations() {
+        let g = Grid::cartesian(vec![
+            SweepAxis::new("a", Param::DoubleCheckProb, &[0.1, 0.2]),
+            SweepAxis::new("b", Param::ReadQuorum, &[1.0, 2.0, 3.0]),
+        ]);
+        let cells = g.cells();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0][0].2, 0.1);
+        assert_eq!(cells[5][1].2, 3.0);
+    }
+
+    #[test]
+    fn zip_advances_in_lockstep() {
+        let g = Grid::zip(vec![
+            SweepAxis::new("ml", Param::MaxLatencyMs, &[250.0, 500.0]),
+            SweepAxis::new("ka", Param::KeepaliveMs, &[62.5, 125.0]),
+        ]);
+        let cells = g.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1][0].2, 500.0);
+        assert_eq!(cells[1][1].2, 125.0);
+        let bad = Grid::zip(vec![
+            SweepAxis::new("a", Param::MaxLatencyMs, &[1.0]),
+            SweepAxis::new("b", Param::KeepaliveMs, &[1.0, 2.0]),
+        ]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn params_apply() {
+        let mut spec = base();
+        Param::DoubleCheckProb.apply(&mut spec, 0.25).unwrap();
+        assert_eq!(spec.config.double_check_prob, 0.25);
+        Param::MaxLatencyMs.apply(&mut spec, 1500.0).unwrap();
+        assert_eq!(spec.config.max_latency, SimDuration::from_millis(1500));
+        Param::AuditorCache.apply(&mut spec, 0.0).unwrap();
+        assert!(!spec.config.auditor_cache);
+        Param::ClientLinkMs { client: 2 }.apply(&mut spec, 700.0).unwrap();
+        assert_eq!(spec.network.as_ref().unwrap().client_links.len(), 1);
+        // Fractional milliseconds survive (62.5 ms = 62_500 us).
+        Param::KeepaliveMs.apply(&mut spec, 62.5).unwrap();
+        assert_eq!(spec.config.keepalive_period, SimDuration::from_micros(62_500));
+    }
+
+    #[test]
+    fn liar_count_replicates_template() {
+        let mut spec = base();
+        spec.behaviors.overrides = vec![(0, liar_template(0.3, true))];
+        Param::LiarCount.apply(&mut spec, 3.0).unwrap();
+        assert_eq!(spec.behaviors.overrides.len(), 3);
+        assert_eq!(spec.behaviors.overrides[2].0, 2);
+        let mut empty = base();
+        assert!(Param::LiarCount.apply(&mut empty, 2.0).is_err());
+    }
+
+    #[test]
+    fn client_max_latency_zero_removes_override() {
+        let mut spec = base();
+        Param::ClientMaxLatencyMs { client: 0 }.apply(&mut spec, 6000.0).unwrap();
+        assert_eq!(spec.workload.client_max_latency.len(), 1);
+        Param::ClientMaxLatencyMs { client: 0 }.apply(&mut spec, 0.0).unwrap();
+        assert!(spec.workload.client_max_latency.is_empty());
+    }
+}

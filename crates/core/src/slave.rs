@@ -25,7 +25,7 @@ use sdr_store::{execute, Database, Document, Query, QueryResult, UpdateOp, Value
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Behaviour model of a slave.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::ToJson, serde::FromJson)]
 pub enum SlaveBehavior {
     /// Follows the protocol.
     Honest,

@@ -6,7 +6,7 @@ use sdr_sim::Summary;
 use std::collections::{HashMap, HashSet};
 
 /// Aggregated statistics for one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::ToJson, serde::FromJson)]
 pub struct SystemStats {
     /// Reads issued by clients.
     pub reads_issued: u64,
@@ -181,6 +181,71 @@ impl SystemStats {
     /// Total misbehaviour discoveries.
     pub fn discoveries(&self) -> u64 {
         self.discovery_immediate + self.discovery_delayed
+    }
+
+    /// Every scalar field (plus a few derived rates), flattened to
+    /// `(name, value)` pairs.  This is what the scenario runner's
+    /// per-cell mean/min/max aggregation runs over, so adding a counter
+    /// here makes it reportable everywhere.
+    pub fn numeric_fields(&self) -> Vec<(&'static str, f64)> {
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        let mut out: Vec<(&'static str, f64)> = vec![
+            ("reads_issued", self.reads_issued as f64),
+            ("reads_accepted", self.reads_accepted as f64),
+            ("reads_failed", self.reads_failed as f64),
+            ("rejected_stale", self.rejected_stale as f64),
+            ("rejected_hash", self.rejected_hash as f64),
+            ("read_retries", self.read_retries as f64),
+            ("reads_sensitive", self.reads_sensitive as f64),
+            ("lies_told", self.lies_told as f64),
+            ("wrong_accepted", self.wrong_accepted as f64),
+            ("wrong_accept_rate", self.wrong_accept_rate()),
+            ("dc_sent", self.dc_sent as f64),
+            ("dc_mismatch", self.dc_mismatch as f64),
+            ("dc_throttled", self.dc_throttled as f64),
+            ("discovery_immediate", self.discovery_immediate as f64),
+            ("discovery_delayed", self.discovery_delayed as f64),
+            ("exclusions", self.exclusions as f64),
+            ("reassignments", self.reassignments as f64),
+            ("audit_submitted", self.audit_submitted as f64),
+            ("audit_checked", self.audit_checked as f64),
+            ("audit_cache_hits", self.audit_cache_hits as f64),
+            ("audit_mismatch", self.audit_mismatch as f64),
+            ("audit_skipped", self.audit_skipped as f64),
+            ("writes_committed", self.writes_committed as f64),
+            ("writes_denied", self.writes_denied as f64),
+            ("audit_backlog", self.audit_backlog as f64),
+            ("master_util_mean", mean(&self.master_utilisation)),
+            ("slave_util_mean", mean(&self.slave_utilisation)),
+        ];
+        let s = &self.read_latency;
+        out.extend([
+            ("read_latency_mean", s.mean),
+            ("read_latency_p50", s.p50 as f64),
+            ("read_latency_p90", s.p90 as f64),
+            ("read_latency_p99", s.p99 as f64),
+        ]);
+        let s = &self.write_latency;
+        out.extend([
+            ("write_latency_mean", s.mean),
+            ("write_latency_p50", s.p50 as f64),
+            ("write_latency_p90", s.p90 as f64),
+            ("write_latency_p99", s.p99 as f64),
+        ]);
+        let s = &self.audit_lag;
+        out.extend([
+            ("audit_lag_mean", s.mean),
+            ("audit_lag_p50", s.p50 as f64),
+            ("audit_lag_p90", s.p90 as f64),
+            ("audit_lag_p99", s.p99 as f64),
+        ]);
+        out
     }
 
     /// Compact human-readable summary (used by examples).

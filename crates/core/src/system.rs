@@ -55,7 +55,17 @@ impl SystemBuilder {
     }
 
     /// Sets one slave's behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is not a valid slave index for the
+    /// configuration this builder was created with.
     pub fn slave_behavior(mut self, index: usize, b: SlaveBehavior) -> Self {
+        assert!(
+            index < self.behaviors.len(),
+            "slave_behavior: index {index} out of range (n_slaves = {})",
+            self.behaviors.len()
+        );
         self.behaviors[index] = b;
         self
     }

@@ -5,9 +5,10 @@ use crate::dataset::{DatasetSpec, CATEGORIES, LOG_WORDS};
 use rand::Rng;
 use sdr_sim::{SimDuration, SimTime};
 use sdr_store::{Aggregate, CmpOp, Document, Predicate, Query, UpdateOp};
+use serde::{FromJson, ToJson};
 
 /// Relative weights of query shapes in the read mix.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, ToJson, FromJson)]
 pub struct QueryMix {
     /// Point reads by primary key.
     pub get: u32,
@@ -144,7 +145,7 @@ impl QueryMix {
 
 /// Diurnal load modulation (Section 3.4's "daily peak patterns … few
 /// requests at 3AM").
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, ToJson, FromJson)]
 pub struct DiurnalPattern {
     /// Length of one simulated "day".
     pub period: SimDuration,
@@ -163,7 +164,7 @@ impl DiurnalPattern {
 }
 
 /// Per-run workload description.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, ToJson, FromJson)]
 pub struct Workload {
     /// Dataset shape (queries are sampled against it).
     pub dataset: DatasetSpec,

@@ -20,10 +20,10 @@ use crate::digest::Hash256;
 use crate::error::CryptoError;
 use crate::hmac::{ct_eq, hmac_sha256};
 use crate::mss::{MssKeypair, MssPublicKey, MssSignature};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, FromJson, Serialize, ToJson};
 
 /// Identifies the signature scheme of a key or signature.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, ToJson, FromJson)]
 pub enum SignatureScheme {
     /// Merkle signature scheme (hash-based, stateful, real security).
     Mss,

@@ -4,6 +4,7 @@
 //! owned by the world; the benchmark harness reads it after `run_until`.
 
 use crate::time::SimTime;
+use serde::{FromJson, ToJson};
 use std::collections::BTreeMap;
 
 /// A recording of `u64` observations with on-demand percentile queries.
@@ -14,7 +15,7 @@ pub struct Histogram {
 }
 
 /// Summary statistics extracted from a [`Histogram`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, ToJson, FromJson)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,

@@ -150,6 +150,35 @@ impl Div<u64> for SimDuration {
     }
 }
 
+// JSON as raw microsecond counts (the canonical unit everywhere else).
+impl serde::json::ToJson for SimTime {
+    fn to_json(&self) -> serde::json::Value {
+        serde::json::Value::UInt(self.0)
+    }
+}
+
+impl serde::json::FromJson for SimTime {
+    fn from_json(v: &serde::json::Value) -> Result<Self, serde::json::JsonError> {
+        v.as_u64()
+            .map(SimTime)
+            .ok_or_else(|| serde::json::JsonError::type_mismatch("microseconds", "SimTime"))
+    }
+}
+
+impl serde::json::ToJson for SimDuration {
+    fn to_json(&self) -> serde::json::Value {
+        serde::json::Value::UInt(self.0)
+    }
+}
+
+impl serde::json::FromJson for SimDuration {
+    fn from_json(v: &serde::json::Value) -> Result<Self, serde::json::JsonError> {
+        v.as_u64()
+            .map(SimDuration)
+            .ok_or_else(|| serde::json::JsonError::type_mismatch("microseconds", "SimDuration"))
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t={:.6}s", self.as_secs_f64())

@@ -1,91 +1,81 @@
 //! Byzantine storm: every misbehaviour model at once, plus forensics.
 //!
-//! Half the slave population misbehaves — consistent liars, an
-//! inconsistent liar, a stale server, and a refuser — while clients keep
-//! reading.  Afterwards we dump the evidence log: each exclusion is backed
-//! by a signed pledge that verifies offline ("irrefutable proof",
-//! Section 3.3), which is what the paper proposes taking to court.
+//! The `byzantine_storm` scenario puts half the slave population into
+//! misbehaviour — consistent liars, an inconsistent liar, a stale server,
+//! and a refuser — while clients keep reading.  A runner probe dumps the
+//! evidence log afterwards: each exclusion is backed by a signed pledge
+//! that verifies offline ("irrefutable proof", Section 3.3), which is
+//! what the paper proposes taking to court.
 //!
 //! Run with: `cargo run --release --example byzantine_storm`
 
-use secure_replication::core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
-use secure_replication::sim::SimDuration;
+use secure_replication::core::scenario::{registry, Runner};
+use secure_replication::sim::NodeId;
+
+type EvidenceRow = (NodeId, String, u64, String, &'static str);
 
 fn main() {
-    let config = SystemConfig {
-        n_masters: 3,
-        n_slaves: 8,
-        n_clients: 16,
-        double_check_prob: 0.08,
-        audit_fraction: 1.0,
-        seed: 666,
-        ..SystemConfig::default()
-    };
+    let spec = registry::lookup("byzantine_storm").expect("registered scenario");
+    let n_masters = spec.config.n_masters;
+    let behaviors = spec
+        .behaviors
+        .materialize(spec.config.n_slaves)
+        .expect("valid roster");
 
-    let behaviors = vec![
-        SlaveBehavior::ConsistentLiar { prob: 0.5, collude: false },
-        SlaveBehavior::ConsistentLiar { prob: 0.1, collude: false },
-        SlaveBehavior::InconsistentLiar { prob: 0.3 },
-        SlaveBehavior::StaleServer { freeze_at: 4 },
-        SlaveBehavior::Refuser { prob: 0.4 },
-        SlaveBehavior::Honest,
-        SlaveBehavior::Honest,
-        SlaveBehavior::Honest,
-    ];
     println!("slave roster:");
     for (i, b) in behaviors.iter().enumerate() {
         println!("  slave {i}: {b:?}");
     }
+    println!(
+        "\nrunning {} simulated seconds under attack ...",
+        spec.duration.as_secs_f64()
+    );
 
-    let workload = Workload {
-        reads_per_sec: 6.0,
-        writes_per_sec: 0.3,
-        ..Workload::default()
-    };
-    let mut system = SystemBuilder::new(config)
-        .behaviors(behaviors)
-        .workload(workload)
-        .build();
+    // Forensics gathered by the end-of-run probe.
+    let mut evidence: Vec<EvidenceRow> = Vec::new();
+    let mut survivors: Vec<(usize, Vec<NodeId>)> = Vec::new();
 
-    println!("\nrunning 120 simulated seconds under attack ...");
-    system.run_for(SimDuration::from_secs(120));
+    let report = Runner::new(spec)
+        .probe(|sys, _record| {
+            for rank in 0..n_masters {
+                let entries = sys.with_master(rank, |m| {
+                    m.evidence_log()
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.pledge.slave,
+                                format!("{:?}", e.discovery),
+                                e.pledge.stamp.version,
+                                e.found_at.to_string(),
+                                e.pledge.query.kind(),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                });
+                evidence.extend(entries);
+                let slaves = sys.with_master(rank, |m| m.slaves().to_vec());
+                survivors.push((rank, slaves));
+            }
+        })
+        .run()
+        .expect("scenario runs");
 
-    let stats = system.stats();
+    let stats = &report.cells[0].runs[0].stats;
     println!("\n{}", stats.render());
 
-    // Forensics: collect each master's evidence log.
     println!("\n--- evidence log (verifies offline against slave keys + snapshots) ---");
-    let mut total = 0usize;
-    for rank in 0..3 {
-        let entries = system.with_master(rank, |m| {
-            m.evidence_log()
-                .iter()
-                .map(|e| {
-                    (
-                        e.pledge.slave,
-                        e.discovery,
-                        e.pledge.stamp.version,
-                        e.found_at,
-                        e.pledge.query.kind(),
-                    )
-                })
-                .collect::<Vec<_>>()
-        });
-        for (slave, discovery, version, at, kind) in entries {
-            total += 1;
-            println!(
-                "  [{total}] slave {slave:?} caught ({discovery:?}) at {at}: wrong {kind} answer for content version {version}"
-            );
-        }
+    for (i, (slave, discovery, version, at, kind)) in evidence.iter().enumerate() {
+        println!(
+            "  [{}] slave {slave:?} caught ({discovery}) at {at}: wrong {kind} answer for content version {version}",
+            i + 1
+        );
     }
-    if total == 0 {
+    if evidence.is_empty() {
         println!("  (no convictions this run — increase duration or check probability)");
     }
 
-    // Survivors.
     println!("\nsurviving slave set per master:");
-    for rank in 0..3 {
-        let slaves = system.with_master(rank, |m| m.slaves().to_vec());
+    for (rank, slaves) in &survivors {
         println!("  master {rank}: {slaves:?}");
     }
     println!(

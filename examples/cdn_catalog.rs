@@ -6,81 +6,52 @@
 //! owner does not control.  Content changes slowly (price updates), reads
 //! vastly outnumber writes, and a handful of edge nodes misbehave.
 //!
+//! The `cdn_catalog` scenario runs two compressed shopping days with a
+//! checkpoint at the day boundary; per-day numbers fall out of the run
+//! record's checkpoint snapshots.
+//!
 //! Run with: `cargo run --release --example cdn_catalog`
 
-use secure_replication::core::dataset::DatasetSpec;
-use secure_replication::core::{
-    DiurnalPattern, QueryMix, SlaveBehavior, SystemBuilder, SystemConfig, Workload,
-};
-use secure_replication::sim::{SimDuration, SimTime};
+use secure_replication::core::scenario::{registry, Runner};
+use secure_replication::core::SystemStats;
+
+fn day_summary(day: usize, stats: &SystemStats) {
+    println!(
+        "\n--- end of day {day} ---\n\
+         catalogue reads accepted: {} (of {} issued)\n\
+         price/stock updates committed: {}\n\
+         compromised-node lies told: {}, slipped past clients: {}\n\
+         discoveries: {} immediate + {} delayed; edge nodes excluded: {}",
+        stats.reads_accepted,
+        stats.reads_issued,
+        stats.writes_committed,
+        stats.lies_told,
+        stats.wrong_accepted,
+        stats.discovery_immediate,
+        stats.discovery_delayed,
+        stats.exclusions,
+    );
+}
 
 fn main() {
-    let config = SystemConfig {
-        n_masters: 4,   // Owner-run trusted core (rank 3 audits).
-        n_slaves: 10,   // CDN edge nodes.
-        n_clients: 20,  // Shoppers.
-        double_check_prob: 0.01,
-        max_latency: SimDuration::from_millis(2_000),
-        seed: 7,
-        ..SystemConfig::default()
-    };
-
-    // The CDN is mostly honest; one node was compromised and lies subtly,
-    // another is broken and serves stale catalogue pages.
-    let mut behaviors = vec![SlaveBehavior::Honest; 10];
-    behaviors[3] = SlaveBehavior::ConsistentLiar {
-        prob: 0.1,
-        collude: false,
-    };
-    behaviors[7] = SlaveBehavior::StaleServer { freeze_at: 4 };
-
-    let workload = Workload {
-        dataset: DatasetSpec {
-            n_products: 800,
-            n_reviews: 1_600,
-            n_files: 50,
-            lines_per_file: 25,
-            seed: 7,
-        },
-        reads_per_sec: 6.0,
-        writes_per_sec: 0.3, // Occasional price/stock updates.
-        writer_fraction: 0.1,
-        mix: QueryMix::catalogue(),
-        diurnal: Some(DiurnalPattern {
-            period: SimDuration::from_secs(120), // Compressed shopping day.
-            trough: 0.15,
-        }),
-        ..Workload::default()
-    };
-
-    let mut system = SystemBuilder::new(config)
-        .behaviors(behaviors)
-        .workload(workload)
-        .build();
+    let spec = registry::lookup("cdn_catalog").expect("registered scenario");
+    let n_masters = spec.config.n_masters;
 
     println!("simulating two compressed shopping days on the CDN ...");
-    for day in 1..=2 {
-        system.run_until(SimTime::from_secs(120 * day));
-        let stats = system.stats();
-        println!(
-            "\n--- end of day {day} ---\n\
-             catalogue reads accepted: {} (of {} issued)\n\
-             price/stock updates committed: {}\n\
-             compromised-node lies told: {}, slipped past clients: {}\n\
-             discoveries: {} immediate + {} delayed; edge nodes excluded: {}",
-            stats.reads_accepted,
-            stats.reads_issued,
-            stats.writes_committed,
-            stats.lies_told,
-            stats.wrong_accepted,
-            stats.discovery_immediate,
-            stats.discovery_delayed,
-            stats.exclusions,
-        );
-    }
+    let report = Runner::new(spec).run().expect("scenario runs");
 
-    let final_stats = system.stats();
-    println!("\nread latency: p50 = {} µs, p99 = {} µs", final_stats.read_latency.p50, final_stats.read_latency.p99);
+    let run = &report.cells[0].runs[0];
+    // Day 1 = the checkpoint at t=120s; day 2 = the final stats.
+    if let Some(cp) = run.checkpoints.first() {
+        day_summary(1, &cp.stats);
+    }
+    day_summary(2, &run.stats);
+
+    let final_stats = &run.stats;
+    println!(
+        "\nread latency: p50 = {} µs, p99 = {} µs",
+        final_stats.read_latency.p50, final_stats.read_latency.p99
+    );
     println!(
         "audit: checked {} pledges, cache hits {}, final backlog {}",
         final_stats.audit_checked, final_stats.audit_cache_hits, final_stats.audit_backlog
@@ -88,6 +59,6 @@ fn main() {
     println!(
         "\nbottom line: the owner ran {} trusted machines while the CDN served {} reads;\n\
          misbehaving edge nodes were evicted with signed pledges as evidence.",
-        4, final_stats.reads_accepted
+        n_masters, final_stats.reads_accepted
     );
 }

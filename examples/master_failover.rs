@@ -2,16 +2,18 @@
 //!
 //! Section 3: masters gossip their slave lists "so in the event of a
 //! master crash, the remaining ones will divide its slave set", and
-//! clients of the dead master redo the setup phase.  This example crashes
-//! two masters in sequence — including the broadcast sequencer — and
-//! reports ownership, election, and client recovery after each failure.
+//! clients of the dead master redo the setup phase.  The
+//! `master_failover` scenario crashes two masters in sequence — including
+//! the broadcast sequencer — with checkpoints before and between the
+//! failures; a checkpoint probe reports ownership, election, and client
+//! recovery at each stage.
 //!
 //! Run with: `cargo run --release --example master_failover`
 
-use secure_replication::core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
-use secure_replication::sim::SimTime;
+use secure_replication::core::scenario::{registry, RunRecord, Runner};
+use secure_replication::core::System;
 
-fn report(system: &mut secure_replication::core::System, label: &str, n_masters: usize) {
+fn report_stage(system: &mut System, label: &str, n_masters: usize) {
     println!("\n--- {label} ---");
     for rank in 0..n_masters {
         if system.world.is_crashed(system.masters[rank]) {
@@ -35,48 +37,31 @@ fn report(system: &mut secure_replication::core::System, label: &str, n_masters:
 }
 
 fn main() {
-    let n_masters = 5;
-    let config = SystemConfig {
-        n_masters,
-        n_slaves: 8,
-        n_clients: 12,
-        double_check_prob: 0.02,
-        seed: 55,
-        ..SystemConfig::default()
+    let spec = registry::lookup("master_failover").expect("registered scenario");
+    let n_masters = spec.config.n_masters;
+
+    let stage_label = |sys: &mut System, i: usize, _rec: &mut RunRecord| {
+        let label = match i {
+            0 => "t=15s: steady state",
+            1 => "t=40s: after the sequencer (master 0) crashed",
+            _ => "checkpoint",
+        };
+        report_stage(sys, label, n_masters);
     };
-    let workload = Workload {
-        reads_per_sec: 5.0,
-        writes_per_sec: 0.3,
-        ..Workload::default()
-    };
-    let mut system = SystemBuilder::new(config)
-        .behaviors(vec![SlaveBehavior::Honest; 8])
-        .workload(workload)
-        .build();
 
-    // Failure schedule: the sequencer dies at t=20s, the elected auditor
-    // at t=50s.
-    system.crash_master_at(SimTime::from_secs(20), 0);
-    system.crash_master_at(SimTime::from_secs(50), n_masters - 1);
+    let report = Runner::new(spec)
+        .checkpoint_probe(stage_label)
+        .probe(move |sys, _rec| {
+            report_stage(
+                sys,
+                "t=90s: after the auditor also crashed (new auditor elected)",
+                n_masters,
+            );
+        })
+        .run()
+        .expect("scenario runs");
 
-    system.run_until(SimTime::from_secs(15));
-    report(&mut system, "t=15s: steady state", n_masters);
-
-    system.run_until(SimTime::from_secs(40));
-    report(
-        &mut system,
-        "t=40s: after the sequencer (master 0) crashed",
-        n_masters,
-    );
-
-    system.run_until(SimTime::from_secs(90));
-    report(
-        &mut system,
-        "t=90s: after the auditor also crashed (new auditor elected)",
-        n_masters,
-    );
-
-    let stats = system.stats();
+    let stats = &report.cells[0].runs[0].stats;
     println!(
         "\nafter losing 2 of 5 masters the service never stopped: {} reads accepted, \
          {} writes committed, read latency p99 = {} µs.",

@@ -7,64 +7,36 @@
 //! trusted servers (which guarantees that clients always get correct
 //! results)".
 //!
+//! The `medical_db` scenario sweeps the sensitive fraction with one
+//! compromised replica; the whole table is one `Runner` invocation.
+//!
 //! Run with: `cargo run --release --example medical_db`
 
-use secure_replication::core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
-use secure_replication::sim::SimDuration;
-
-fn run(sensitive_fraction: f64) -> (u64, u64, u64, f64) {
-    let config = SystemConfig {
-        n_masters: 3,
-        n_slaves: 6,
-        n_clients: 12,
-        sensitive_fraction,
-        // Checks off so the table isolates what the variant itself buys.
-        double_check_prob: 0.0,
-        audit_fraction: 0.0,
-        seed: 99,
-        ..SystemConfig::default()
-    };
-    // A compromised replica lies on a quarter of its answers.
-    let mut behaviors = vec![SlaveBehavior::Honest; 6];
-    behaviors[2] = SlaveBehavior::ConsistentLiar {
-        prob: 0.25,
-        collude: false,
-    };
-    let workload = Workload {
-        reads_per_sec: 6.0,
-        writes_per_sec: 0.05,
-        ..Workload::default()
-    };
-    let mut system = SystemBuilder::new(config)
-        .behaviors(behaviors)
-        .workload(workload)
-        .build();
-    system.run_for(SimDuration::from_secs(60));
-    let stats = system.stats();
-    let nm = stats.master_utilisation.len();
-    let trusted_cpu =
-        stats.master_utilisation[..nm - 1].iter().sum::<f64>() / (nm - 1) as f64 * 100.0;
-    (
-        stats.reads_sensitive,
-        stats.reads_accepted,
-        stats.wrong_accepted,
-        trusted_cpu,
-    )
-}
+use secure_replication::core::scenario::{registry, Runner};
 
 fn main() {
+    let spec = registry::lookup("medical_db").expect("registered scenario");
+
     println!("hospital database with one compromised replica (lies on 25% of reads)");
     println!("sweep: what fraction of queries do clinicians mark sensitive?\n");
     println!(
         "{:>20} {:>16} {:>15} {:>15} {:>18}",
         "sensitive fraction", "sensitive reads", "total accepted", "wrong accepted", "master CPU (%)"
     );
-    for &sf in &[0.0, 0.25, 0.5, 1.0] {
-        let (sensitive, accepted, wrong, cpu) = run(sf);
+
+    let report = Runner::new(spec).run().expect("scenario runs");
+    for cell in &report.cells {
+        let sf = cell.coord("sensitive fraction").unwrap_or(0.0);
+        let stats = &cell.runs[0].stats;
+        let nm = stats.master_utilisation.len();
+        let trusted_cpu =
+            stats.master_utilisation[..nm - 1].iter().sum::<f64>() / (nm - 1) as f64 * 100.0;
         println!(
-            "{sf:>20.2} {sensitive:>16} {accepted:>15} {wrong:>15} {cpu:>18.2}"
+            "{sf:>20.2} {:>16} {:>15} {:>15} {trusted_cpu:>18.2}",
+            stats.reads_sensitive, stats.reads_accepted, stats.wrong_accepted
         );
     }
+
     println!(
         "\nreading the table: every wrong answer came through the *normal* path; \n\
          sensitive queries were answered by trusted masters and were always correct.\n\

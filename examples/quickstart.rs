@@ -1,46 +1,32 @@
 //! Quickstart: the smallest end-to-end deployment.
 //!
-//! Builds a 3-master / 4-slave / 8-client system over the default
-//! catalogue content, runs 30 simulated seconds of mixed reads and writes,
-//! and prints the run statistics.
+//! Fetches the `quickstart` scenario from the registry — a 3-master /
+//! 4-slave / 8-client system over the default catalogue content with one
+//! subtly lying slave — runs 30 simulated seconds of mixed reads and
+//! writes through the scenario [`Runner`], and prints the run statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use secure_replication::core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
+use secure_replication::core::scenario::{registry, Runner};
 use secure_replication::sim::SimDuration;
 
 fn main() {
-    let config = SystemConfig {
-        n_masters: 3,
-        n_slaves: 4,
-        n_clients: 8,
-        double_check_prob: 0.05, // 5% of reads are double-checked.
-        seed: 2003,              // HotOS IX.
-        ..SystemConfig::default()
-    };
-
-    // One slave lies on 20% of reads — with a *self-consistent* pledge, so
-    // only double-checking or the audit can catch it.
-    let mut behaviors = vec![SlaveBehavior::Honest; 4];
-    behaviors[0] = SlaveBehavior::ConsistentLiar {
-        prob: 0.2,
-        collude: false,
-    };
-
-    let mut system = SystemBuilder::new(config)
-        .behaviors(behaviors)
-        .workload(Workload::default())
-        .build();
+    let mut spec = registry::lookup("quickstart").expect("registered scenario");
 
     // The examples smoke test shortens the run; humans get the full 30 s.
-    let sim_secs: u64 = std::env::var("QUICKSTART_SIM_SECS")
+    if let Some(secs) = std::env::var("QUICKSTART_SIM_SECS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(30);
-    println!("running {sim_secs} simulated seconds ...");
-    system.run_for(SimDuration::from_secs(sim_secs));
+    {
+        spec.duration = SimDuration::from_secs(secs);
+    }
+    println!(
+        "running {} simulated seconds ...",
+        spec.duration.as_secs_f64()
+    );
 
-    let stats = system.stats();
+    let report = Runner::new(spec).run().expect("scenario runs");
+    let stats = &report.cells[0].runs[0].stats;
     println!("\n{}", stats.render());
 
     if stats.exclusions > 0 {

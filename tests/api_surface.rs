@@ -64,6 +64,22 @@ type SystemStats = core::SystemStats;
 type HashAlgo = core::HashAlgo;
 type ReadLevel = core::ReadLevel;
 
+// core::scenario — the declarative experiment front door.
+type ScenarioSpec = core::scenario::ScenarioSpec;
+type BehaviorSpec = core::scenario::BehaviorSpec;
+type NetworkSpec = core::scenario::NetworkSpec;
+type LinkSpec = core::scenario::LinkSpec;
+type CrashSpec = core::scenario::CrashSpec;
+type Grid = core::scenario::Grid;
+type SweepAxis = core::scenario::SweepAxis;
+type Param = core::scenario::Param;
+type Runner<'a> = core::scenario::Runner<'a>;
+type RunReport = core::scenario::RunReport;
+type CellReport = core::scenario::CellReport;
+type RunRecord = core::scenario::RunRecord;
+const REGISTRY_LOOKUP: fn(&str) -> Option<core::scenario::ScenarioSpec> =
+    core::scenario::registry::lookup;
+
 // baselines — comparator schemes.
 type SchemeCosts = baselines::SchemeCosts;
 type SmrCluster = baselines::SmrCluster;
