@@ -45,6 +45,25 @@ fn registry_names_are_unique_and_valid() {
     }
 }
 
+/// The production-scale scenario actually runs: a shrunk `large_catalog`
+/// (10k products) completes end-to-end — infeasible before the
+/// copy-on-write store, when every committed write deep-cloned and every
+/// digest re-encoded the whole dataset.
+#[test]
+fn large_catalog_scenario_runs_shrunk() {
+    use sdr_core::scenario::Runner;
+    use sdr_sim::SimDuration;
+
+    let mut spec = registry::lookup("large_catalog").expect("registered");
+    spec.duration = SimDuration::from_secs(10);
+    spec.checkpoints.clear();
+    spec.seeds = vec![spec.seeds[0]];
+    let report = Runner::new(spec).run().expect("scenario runs");
+    let stats = &report.cells[0].runs[0].stats;
+    assert!(stats.reads_issued > 0, "no reads issued");
+    assert!(stats.writes_committed > 0, "no writes committed");
+}
+
 /// The five examples are registered too (they fetch specs by name).
 #[test]
 fn example_scenarios_are_registered() {

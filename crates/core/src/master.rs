@@ -159,6 +159,21 @@ impl MasterProcess {
         &self.auditor_state
     }
 
+    /// Versions retained by the snapshot ring (test inspection).
+    pub fn snapshot_versions(&self) -> Vec<u64> {
+        self.snapshots.versions()
+    }
+
+    /// Versions retained in the bounded write log (test inspection).
+    pub fn write_log_versions(&self) -> Vec<u64> {
+        self.write_log.keys().copied().collect()
+    }
+
+    /// Digest of the retained snapshot at `version` (test inspection).
+    pub fn snapshot_digest(&self, version: u64) -> Option<Hash256> {
+        self.snapshots.get(version).map(Database::state_digest)
+    }
+
     /// Write-access policy (test harness mutation).
     pub fn policy_mut(&mut self) -> &mut WritePolicy {
         &mut self.policy
@@ -166,6 +181,17 @@ impl MasterProcess {
 
     fn node_of(&self, m: MemberId) -> NodeId {
         self.member_nodes[m.index()]
+    }
+
+    /// The reference state for `version`: the live replica when current,
+    /// otherwise the snapshot ring's copy (None once evicted).  Both the
+    /// double-check path and accusation handling re-execute against this.
+    fn reference_state(&self, version: u64) -> Option<&Database> {
+        if version == self.db.version() {
+            Some(&self.db)
+        } else {
+            self.snapshots.get(version)
+        }
     }
 
     fn make_stamp(&mut self, ctx: &mut Ctx<'_, Msg>) -> Option<VersionStamp> {
@@ -557,12 +583,7 @@ impl MasterProcess {
             return;
         }
         let version = pledge.stamp.version;
-        let reference: Option<&Database> = if version == self.db.version() {
-            Some(&self.db)
-        } else {
-            self.snapshots.get(version)
-        };
-        let Some(reference) = reference else {
+        let Some(reference) = self.reference_state(version) else {
             ctx.send(
                 client,
                 Msg::DoubleCheckResponse {
@@ -650,12 +671,7 @@ impl MasterProcess {
             ctx.metrics().inc("accusation.unknown_slave");
             return;
         };
-        let reference: Option<&Database> = if version == self.db.version() {
-            Some(&self.db)
-        } else {
-            self.snapshots.get(version)
-        };
-        let Some(reference) = reference else {
+        let Some(reference) = self.reference_state(version) else {
             ctx.metrics().inc("accusation.version_unavailable");
             return;
         };

@@ -48,6 +48,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("master_failover", master_failover),
     ("cdn_catalog", cdn_catalog),
     ("medical_db", medical_db),
+    ("large_catalog", large_catalog),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -552,6 +553,50 @@ fn medical_db() -> ScenarioSpec {
         Param::SensitiveFraction,
         &[0.0, 0.25, 0.5, 1.0],
     );
+    spec
+}
+
+fn large_catalog() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "large_catalog",
+        "Production-scale catalogue (10k products): feasible only with the \
+         copy-on-write store — per-write snapshots and digests no longer \
+         scan the whole dataset",
+        SystemConfig {
+            n_masters: 3,
+            n_slaves: 8,
+            n_clients: 16,
+            double_check_prob: 0.02,
+            snapshot_capacity: 32,
+            seed: 4_242,
+            ..SystemConfig::default()
+        },
+    );
+    // One compromised edge node keeps the detection machinery (and its
+    // snapshot re-materialisations) exercised at scale.
+    spec.behaviors = BehaviorSpec::with_overrides(vec![(5, SlaveBehavior::ConsistentLiar {
+        prob: 0.05,
+        collude: false,
+    })]);
+    spec.workload = Workload {
+        dataset: DatasetSpec {
+            n_products: 10_000,
+            n_reviews: 20_000,
+            n_files: 200,
+            lines_per_file: 20,
+            seed: 4_242,
+        },
+        reads_per_sec: 3.0,
+        // A steady write stream: before the persistent store each of
+        // these cloned and re-hashed the full 30k-row state several
+        // times over (undo backup + snapshot ring + digests).
+        writes_per_sec: 1.0,
+        writer_fraction: 0.25,
+        mix: QueryMix::catalogue(),
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(120);
+    spec.checkpoints = vec![SimDuration::from_secs(60)];
     spec
 }
 

@@ -295,6 +295,9 @@ impl ScenarioSpec {
         self.config
             .validate()
             .map_err(|e| format!("{}: config: {e}", self.name))?;
+        self.workload
+            .validate()
+            .map_err(|e| format!("{}: {e}", self.name))?;
         self.behaviors
             .materialize(self.config.n_slaves)
             .map_err(|e| format!("{}: {e}", self.name))?;
@@ -356,6 +359,14 @@ mod tests {
             ..NetworkSpec::default()
         };
         assert!(bad.validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn spec_validation_catches_bad_writer_fraction() {
+        let mut spec = ScenarioSpec::new("t", "", SystemConfig::default());
+        spec.workload.writer_fraction = 1.75;
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("writer_fraction"), "{err}");
     }
 
     #[test]

@@ -242,7 +242,10 @@ impl SystemBuilder {
         debug_assert_eq!(id, directory_id);
 
         // Spawn clients.
-        let n_writers = ((cfg.n_clients as f64) * self.workload.writer_fraction).ceil() as usize;
+        // `Workload::validate` bounds writer_fraction at spec level; the
+        // clamp keeps direct builder users safe from `ceil` overshoot too.
+        let n_writers = (((cfg.n_clients as f64) * self.workload.writer_fraction).ceil() as usize)
+            .min(cfg.n_clients);
         for (i, expected_id) in client_ids.iter().enumerate() {
             let process = ClientProcess::new(
                 cfg.clone(),

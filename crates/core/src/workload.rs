@@ -202,6 +202,39 @@ impl Default for Workload {
 }
 
 impl Workload {
+    /// Sanity-checks the workload, returning a description of the first
+    /// problem found.  Runs at spec/config validation time so a bad
+    /// `writer_fraction` can no longer make the writer count overshoot
+    /// `n_clients` via the builder's `ceil`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.writer_fraction) {
+            return Err(format!(
+                "workload.writer_fraction must be in [0,1], got {}",
+                self.writer_fraction
+            ));
+        }
+        if !self.reads_per_sec.is_finite() || self.reads_per_sec < 0.0 {
+            return Err(format!(
+                "workload.reads_per_sec must be finite and >= 0, got {}",
+                self.reads_per_sec
+            ));
+        }
+        if !self.writes_per_sec.is_finite() || self.writes_per_sec < 0.0 {
+            return Err(format!(
+                "workload.writes_per_sec must be finite and >= 0, got {}",
+                self.writes_per_sec
+            ));
+        }
+        for &(_, p) in &self.greedy_clients {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "workload.greedy_clients: probability must be in [0,1], got {p}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Samples an exponential inter-arrival gap for rate `per_sec`
     /// (modulated by the diurnal pattern at time `now`).
     pub fn read_gap<R: Rng>(&self, rng: &mut R, now: SimTime) -> SimDuration {
@@ -309,6 +342,25 @@ mod tests {
             ..Workload::default()
         };
         assert!(w.write_gap(&mut rng, 1) >= SimDuration::from_secs(3_600));
+    }
+
+    #[test]
+    fn writer_fraction_bounds_are_validated() {
+        let ok = Workload::default();
+        assert!(ok.validate().is_ok());
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let w = Workload {
+                writer_fraction: bad,
+                ..Workload::default()
+            };
+            let err = w.validate().unwrap_err();
+            assert!(err.contains("writer_fraction"), "{err}");
+        }
+        let w = Workload {
+            reads_per_sec: f64::INFINITY,
+            ..Workload::default()
+        };
+        assert!(w.validate().is_err());
     }
 
     #[test]

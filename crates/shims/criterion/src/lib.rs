@@ -11,10 +11,20 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export matching upstream's `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// Completed measurements, collected for the optional JSON report.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+struct BenchResult {
+    label: String,
+    ns_per_iter: u128,
+    iters: u64,
+}
 
 /// How long each benchmark measures for, after warm-up.
 fn budget() -> Duration {
@@ -186,6 +196,88 @@ fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     } else {
         let per_iter = b.total.as_nanos() / u128::from(b.iters);
         println!("{label:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        if let Ok(mut results) = RESULTS.lock() {
+            results.push(BenchResult {
+                label: label.to_string(),
+                ns_per_iter: per_iter,
+                iters: b.iters,
+            });
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every measurement taken so far to the file named by
+/// `CRITERION_SHIM_JSON` (a baseline artefact CI can diff across PRs);
+/// a no-op when the variable is unset.  Called by [`criterion_main!`]
+/// after all groups finish.
+///
+/// Each bench binary runs in its own process, so when the file already
+/// holds a result array (an earlier binary of the same `cargo bench`
+/// invocation) the new measurements are merged into it instead of
+/// truncating it.  Entries with the same name are replaced, so re-runs
+/// update in place; delete the file to start a baseline from scratch.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    let results = match RESULTS.lock() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let fresh: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}}}",
+                json_escape(&r.label),
+                r.ns_per_iter,
+                r.iters
+            )
+        })
+        .collect();
+    // Keep prior entries (from other bench binaries) whose names this
+    // run did not re-measure.  The file is our own one-object-per-line
+    // format, so a line scan is enough to merge.
+    let mut merged: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let entry = line.trim().trim_end_matches(',');
+            if !entry.starts_with('{') {
+                continue;
+            }
+            let replaced = results.iter().any(|r| {
+                entry.starts_with(&format!("{{\"name\": \"{}\"", json_escape(&r.label)))
+            });
+            if !replaced {
+                merged.push(entry.to_string());
+            }
+        }
+    }
+    merged.extend(fresh);
+    let mut out = String::from("[\n");
+    for (i, entry) in merged.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(entry);
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
     }
 }
 
@@ -201,11 +293,15 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench entry point, mirroring upstream.
+///
+/// After all groups run, results are optionally dumped as JSON (see
+/// [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }

@@ -2,11 +2,11 @@
 
 use crate::error::StoreError;
 use crate::fsview::FsView;
+use crate::pmap::PMap;
 use crate::table::Table;
 use crate::update::UpdateOp;
 use sdr_crypto::{Digest, Hash256, Sha256};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// The replicated data content: tables plus a file-system view, stamped
 /// with the paper's `content_version` counter.
@@ -14,6 +14,19 @@ use std::collections::BTreeMap;
 /// The version is bumped *only* by [`Database::apply_write`] — one
 /// committed write request per increment, exactly as in Section 3.1 ("each
 /// master executes the request and increments … `content_version`").
+///
+/// # Persistence and cost model
+///
+/// All content lives in persistent ([`PMap`]) structures, so:
+///
+/// * `clone()` is **O(1)** — a handful of reference-count bumps.  Version
+///   snapshots ([`crate::snapshot::SnapshotStore`]) and the pre-write
+///   rollback handle are therefore free, no matter the dataset size.
+/// * Writes copy only the touched paths (O(log n) nodes per touched row
+///   or file); everything else stays shared with earlier snapshots.
+/// * [`Database::state_digest`] folds cached Merkle subtree hashes, so
+///   after a point write it re-hashes O(log n) nodes instead of
+///   re-encoding the whole state.
 ///
 /// # Examples
 ///
@@ -38,7 +51,7 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: PMap<String, Table>,
     fs: FsView,
     version: u64,
 }
@@ -79,7 +92,7 @@ impl Database {
 
     /// Names of all tables.
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(String::as_str)
+        self.tables.iter().map(|(k, _)| k.as_str())
     }
 
     /// Read access to the file-system view.
@@ -97,8 +110,9 @@ impl Database {
     ///
     /// The batch is transactional in the failure-free sense the protocol
     /// needs: operations apply in order, and the first error aborts with
-    /// the version untouched and prior ops of the batch rolled back (via
-    /// snapshot restore).
+    /// the version untouched and prior ops of the batch rolled back by
+    /// restoring the pre-write handle (an O(1) structural-sharing clone,
+    /// not a deep copy).
     pub fn apply_write(&mut self, ops: &[UpdateOp]) -> Result<u64, StoreError> {
         let backup = self.clone();
         for op in ops {
@@ -114,22 +128,24 @@ impl Database {
     /// Digest of the full state *including* the version counter.
     ///
     /// Two replicas agree on content iff their digests match; tests and the
-    /// audit mechanism compare these.
+    /// audit mechanism compare these.  The digest folds the cached Merkle
+    /// roots of the table set and the file tree, so it is O(log n)
+    /// amortized after a point write (and O(1) when nothing changed); the
+    /// underlying trees are history-independent, so equal content always
+    /// produces equal digests regardless of the op sequence that built it.
     pub fn state_digest(&self) -> Hash256 {
-        let mut buf = Vec::with_capacity(1024);
-        buf.extend_from_slice(b"sdr/state/v1");
+        let mut buf = Vec::with_capacity(96);
+        buf.extend_from_slice(b"sdr/state/v2");
         buf.extend_from_slice(&self.version.to_be_bytes());
         buf.extend_from_slice(&(self.tables.len() as u32).to_be_bytes());
-        for t in self.tables.values() {
-            t.encode_into(&mut buf);
-        }
-        self.fs.encode_into(&mut buf);
+        buf.extend_from_slice(self.tables.root_hash().as_ref());
+        buf.extend_from_slice(self.fs.files_digest().as_ref());
         Sha256::digest(&buf)
     }
 
     /// Approximate total content size in bytes.
     pub fn size(&self) -> usize {
-        self.tables.values().map(Table::size).sum::<usize>() + self.fs.total_bytes()
+        self.tables.iter().map(|(_, t)| t.size()).sum::<usize>() + self.fs.total_bytes()
     }
 }
 
@@ -215,5 +231,73 @@ mod tests {
         db.create_table("a").unwrap();
         let names: Vec<&str> = db.table_names().collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn clone_is_a_cheap_isolated_snapshot() {
+        let mut db = Database::new();
+        db.apply_write(&[UpdateOp::CreateTable {
+            table: "t".into(),
+            indexes: vec![],
+        }])
+        .unwrap();
+        db.apply_write(&[insert_op(1, 10)]).unwrap();
+        db.apply_write(&[UpdateOp::WriteFile {
+            path: "/a".into(),
+            contents: "one".into(),
+        }])
+        .unwrap();
+
+        let snap = db.clone();
+        let snap_digest = snap.state_digest();
+
+        db.apply_write(&[insert_op(2, 20)]).unwrap();
+        db.apply_write(&[UpdateOp::AppendFile {
+            path: "/a".into(),
+            contents: "two".into(),
+        }])
+        .unwrap();
+
+        // The snapshot still sees the captured state, digest included.
+        assert_eq!(snap.version(), 3);
+        assert!(snap.table("t").unwrap().get(2).is_none());
+        assert_eq!(snap.fs().read("/a"), Some("one"));
+        assert_eq!(snap.state_digest(), snap_digest);
+        assert_ne!(db.state_digest(), snap_digest);
+    }
+
+    #[test]
+    fn digest_is_history_independent() {
+        // Equal content reached via different op orders (including a
+        // rollback on one side) digests identically.
+        let mut a = Database::new();
+        a.apply_write(&[
+            UpdateOp::CreateTable {
+                table: "t".into(),
+                indexes: vec![],
+            },
+            insert_op(1, 1),
+            insert_op(2, 2),
+        ])
+        .unwrap();
+
+        let mut b = Database::new();
+        b.apply_write(&[
+            UpdateOp::CreateTable {
+                table: "t".into(),
+                indexes: vec![],
+            },
+            insert_op(2, 2),
+            insert_op(3, 3),
+            UpdateOp::Delete {
+                table: "t".into(),
+                key: 3,
+            },
+            insert_op(1, 1),
+        ])
+        .unwrap();
+        // A failed batch must leave no trace in the digest either.
+        assert!(b.apply_write(&[insert_op(9, 9), insert_op(1, 0)]).is_err());
+        assert_eq!(a.state_digest(), b.state_digest());
     }
 }

@@ -6,8 +6,9 @@
 
 use crate::error::StoreError;
 use crate::pattern::Pattern;
+use crate::pmap::PMap;
+use sdr_crypto::Hash256;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One grep hit: file, line number (1-based), and the matching line.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,9 +22,13 @@ pub struct GrepMatch {
 }
 
 /// An in-memory tree of text files keyed by path.
+///
+/// The tree is persistent ([`PMap`]): cloning a view is O(1) and writes
+/// copy only the touched path, so database snapshots share file content
+/// structurally.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FsView {
-    files: BTreeMap<String, String>,
+    files: PMap<String, String>,
 }
 
 impl FsView {
@@ -39,7 +44,13 @@ impl FsView {
 
     /// Appends to a file, creating it when absent.
     pub fn append_file(&mut self, path: impl Into<String>, contents: &str) {
-        self.files.entry(path.into()).or_default().push_str(contents);
+        let path = path.into();
+        match self.files.get_mut(&path) {
+            Some(existing) => existing.push_str(contents),
+            None => {
+                self.files.insert(path, contents.to_string());
+            }
+        }
     }
 
     /// Deletes a file; fails when absent.
@@ -58,9 +69,9 @@ impl FsView {
     /// Lists paths under `prefix` (all files when empty).
     pub fn list(&self, prefix: &str) -> Vec<String> {
         self.files
-            .keys()
-            .filter(|p| p.starts_with(prefix))
-            .cloned()
+            .iter_from(prefix)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, _)| p.clone())
             .collect()
     }
 
@@ -71,7 +82,7 @@ impl FsView {
 
     /// Total bytes of file content.
     pub fn total_bytes(&self) -> usize {
-        self.files.values().map(String::len).sum()
+        self.files.iter().map(|(_, c)| c.len()).sum()
     }
 
     /// Greps all files under `prefix` line-by-line with `pattern`
@@ -80,10 +91,11 @@ impl FsView {
     pub fn grep(&self, pattern: &Pattern, prefix: &str) -> (Vec<GrepMatch>, usize) {
         let mut matches = Vec::new();
         let mut scanned = 0usize;
-        for (path, contents) in self.files.range(prefix.to_string()..) {
-            if !path.starts_with(prefix) {
-                break;
-            }
+        for (path, contents) in self
+            .files
+            .iter_from(prefix)
+            .take_while(|(p, _)| p.starts_with(prefix))
+        {
             scanned += contents.len();
             for (i, line) in contents.lines().enumerate() {
                 if pattern.search(line) {
@@ -98,10 +110,17 @@ impl FsView {
         (matches, scanned)
     }
 
-    /// Appends a canonical encoding of the whole tree.
+    /// The Merkle digest of the file tree (cached; see
+    /// [`PMap::root_hash`]).
+    pub fn files_digest(&self) -> Hash256 {
+        self.files.root_hash()
+    }
+
+    /// Appends a canonical encoding of the whole tree (a linear scan —
+    /// digests should prefer [`FsView::files_digest`]).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.files.len() as u64).to_be_bytes());
-        for (path, contents) in &self.files {
+        for (path, contents) in self.files.iter() {
             out.extend_from_slice(&(path.len() as u32).to_be_bytes());
             out.extend_from_slice(path.as_bytes());
             out.extend_from_slice(&(contents.len() as u64).to_be_bytes());
@@ -192,5 +211,18 @@ mod tests {
         a.encode_into(&mut ea);
         b.encode_into(&mut eb);
         assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn clone_shares_until_write() {
+        let mut f = fs();
+        let snap = f.clone();
+        let snap_digest = snap.files_digest();
+        f.append_file("/etc/config", "extra=1\n");
+        f.delete_file("/var/log/db.log").unwrap();
+        assert_eq!(snap.file_count(), 3);
+        assert_eq!(snap.read("/etc/config"), Some("mode=fast\n"));
+        assert_eq!(snap.files_digest(), snap_digest);
+        assert_ne!(f.files_digest(), snap_digest);
     }
 }

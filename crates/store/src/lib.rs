@@ -10,9 +10,13 @@
 //! This crate implements exactly that content model:
 //!
 //! * [`value`] / [`document`] — typed field values and records;
+//! * [`pmap`] — the persistent (copy-on-write) ordered map every
+//!   container is built on: O(1) clone, path-copying writes, and cached
+//!   Merkle subtree digests;
 //! * [`table`] — tables with a primary key and secondary indexes;
 //! * [`database`] — the named-table + file-system container, with the
-//!   `content_version` counter and a whole-state digest;
+//!   `content_version` counter and an incrementally maintained
+//!   whole-state digest;
 //! * [`fsview`] — the file-system flavoured content (`read`, `grep`);
 //! * [`predicate`] / [`pattern`] — filter expressions and the from-scratch
 //!   glob/substring matcher that powers grep;
@@ -24,10 +28,25 @@
 //! * [`cache`] — a `(version, query) → result` cache (the auditor's main
 //!   optimisation in Section 3.4);
 //! * [`snapshot`] — versioned snapshots enabling the delayed-discovery
-//!   rollback of Section 3.5.
+//!   rollback of Section 3.5 (O(1) per version thanks to structural
+//!   sharing).
 //!
 //! Everything is deterministic: canonical byte encodings make result hashes
-//! reproducible across masters, slaves, and the auditor.
+//! reproducible across masters, slaves, and the auditor, and the
+//! persistent trees are history-independent so equal content always
+//! yields equal digests.
+//!
+//! # Cost model
+//!
+//! With `n` rows/files and point writes touching one entry:
+//!
+//! | operation                        | cost                            |
+//! |----------------------------------|---------------------------------|
+//! | `Database::clone` / snapshot     | O(1)                            |
+//! | `apply_write` (per touched row)  | O(log n) node copies            |
+//! | failed-batch rollback            | O(1) (restore pre-write handle) |
+//! | `state_digest` after a write     | O(log n) re-hashed nodes        |
+//! | `state_digest`, nothing changed  | O(1)                            |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +58,7 @@ pub mod error;
 pub mod exec;
 pub mod fsview;
 pub mod pattern;
+pub mod pmap;
 pub mod predicate;
 pub mod query;
 pub mod snapshot;
@@ -53,6 +73,7 @@ pub use error::StoreError;
 pub use exec::{execute, QueryCost};
 pub use fsview::FsView;
 pub use pattern::Pattern;
+pub use pmap::PMap;
 pub use predicate::{CmpOp, Predicate};
 pub use query::{Aggregate, Query, QueryResult};
 pub use snapshot::SnapshotStore;

@@ -1,0 +1,652 @@
+//! Persistent ordered maps with cached Merkle subtree digests.
+//!
+//! [`PMap`] is the copy-on-write backbone of the store: a *deterministic
+//! treap* whose nodes live behind [`Arc`].  Cloning a map is O(1) (one
+//! reference-count bump); mutation copies only the O(log n) nodes on the
+//! path from the root to the touched key, so a snapshot and its successor
+//! share everything else.  Heap priorities are derived by hashing the key
+//! itself, which makes the tree shape a pure function of the key *set* —
+//! two maps holding the same entries are structurally identical no matter
+//! what sequence of inserts and removes produced them (history
+//! independence), so structural digests double as content digests.
+//!
+//! Every node caches the Merkle hash of its subtree (built from
+//! [`sdr_crypto::merkle::leaf_hash`] / [`node_hash`]); path copying
+//! naturally discards the caches along a mutated path and nothing else,
+//! so re-computing the root digest after a point update re-hashes only
+//! O(log n) nodes.
+//!
+//! Cost model (n = entries, shared = a clone of this map is alive):
+//!
+//! | operation        | unshared        | shared                     |
+//! |------------------|-----------------|----------------------------|
+//! | `clone`          | O(1)            | O(1)                       |
+//! | `get` / `iter`   | O(log n) / O(n) | same                       |
+//! | `insert`/`remove`| O(log n)        | O(log n) node copies       |
+//! | `get_mut`        | O(log n)        | O(log n) node copies       |
+//! | `root_hash`      | O(1) amortized  | O(log n) after a mutation  |
+
+use sdr_crypto::merkle::{leaf_hash, node_hash};
+use sdr_crypto::Hash256;
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Keys a [`PMap`] can index: ordered, cloneable, and canonically
+/// encodable.  The encoding feeds both the deterministic heap priority
+/// and the per-entry Merkle leaf hash, so it must be injective and
+/// self-delimiting.
+pub trait PKey: Ord + Clone {
+    /// Appends the canonical encoding of this key to `out`.
+    fn encode_key(&self, out: &mut Vec<u8>);
+}
+
+impl PKey for u64 {
+    fn encode_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+}
+
+impl PKey for String {
+    fn encode_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl PKey for crate::value::Value {
+    fn encode_key(&self, out: &mut Vec<u8>) {
+        self.encode_into(out);
+    }
+}
+
+/// Values that can contribute to a [`PMap`]'s Merkle digest.
+///
+/// Only required by [`PMap::root_hash`]; maps over values without an
+/// encoding (for example derived index postings) simply never ask for a
+/// digest.
+pub trait MerkleContent {
+    /// Appends the canonical encoding of this value to `out`.
+    fn content_encode(&self, out: &mut Vec<u8>);
+}
+
+impl MerkleContent for String {
+    fn content_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_be_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl MerkleContent for crate::document::Document {
+    fn content_encode(&self, out: &mut Vec<u8>) {
+        self.encode_into(out);
+    }
+}
+
+/// Deterministic heap priority: a hash of the key's canonical encoding.
+///
+/// FNV-1a accumulates the bytes; a splitmix64 finaliser diffuses them so
+/// near-identical keys (sequential row ids) get uncorrelated priorities.
+fn priority(encoded_key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in encoded_key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finaliser.
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    /// Deterministic heap priority (ties broken by key order, so the
+    /// composite `(prio, key)` is a strict total order over live nodes).
+    prio: u64,
+    left: Link<K, V>,
+    right: Link<K, V>,
+    /// Subtree entry count.
+    len: usize,
+    /// Cached Merkle hash of this subtree; empty on every fresh
+    /// (path-copied) node, filled lazily by [`PMap::root_hash`].
+    hash: OnceLock<Hash256>,
+}
+
+impl<K: Clone, V: Clone> Clone for Node<K, V> {
+    fn clone(&self) -> Self {
+        // Cloning happens only on the copy-on-write path (`Arc::make_mut`
+        // just before a mutation), so the copy starts with a cold digest
+        // cache.
+        Node {
+            key: self.key.clone(),
+            value: self.value.clone(),
+            prio: self.prio,
+            left: self.left.clone(),
+            right: self.right.clone(),
+            len: self.len,
+            hash: OnceLock::new(),
+        }
+    }
+}
+
+fn link_len<K, V>(link: &Link<K, V>) -> usize {
+    link.as_ref().map_or(0, |n| n.len)
+}
+
+/// `true` when `(pa, ka)` outranks `(pb, kb)` in the heap order.
+fn heap_gt<K: Ord>(pa: u64, ka: &K, pb: u64, kb: &K) -> bool {
+    (pa, ka) > (pb, kb)
+}
+
+/// A persistent ordered map (deterministic treap behind [`Arc`] nodes).
+///
+/// See the [module docs](self) for the cost model.
+pub struct PMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap { root: None }
+    }
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        PMap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K, V> PMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        link_len(&self.root)
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// In-order iteration over `(key, value)` pairs.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left_spine(self.root.as_deref());
+        it
+    }
+}
+
+impl<K: PKey, V: Clone> PMap<K, V> {
+    /// Reads the value at `key`.
+    ///
+    /// Accepts any borrowed form of the key (`&str` for `String` keys),
+    /// so hot-path lookups never allocate.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Ordering::Equal => return Some(&n.value),
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Greater => cur = n.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Mutable access to the value at `key`.
+    ///
+    /// Copies the (shared parts of the) path to the entry and discards
+    /// the digest caches along it, so the next [`PMap::root_hash`] sees
+    /// the mutation.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        if !self.contains_key(key) {
+            // Checked up front so a miss copies nothing.
+            return None;
+        }
+        Some(get_mut_rec(&mut self.root, key))
+    }
+
+    /// Inserts or replaces; returns the previous value if the key was
+    /// present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut buf = Vec::with_capacity(16);
+        key.encode_key(&mut buf);
+        insert_rec(&mut self.root, key, value, priority(&buf))
+    }
+
+    /// Removes the entry at `key`, returning its value.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        if !self.contains_key(key) {
+            // Checked up front so a miss copies nothing.
+            return None;
+        }
+        Some(remove_rec(&mut self.root, key))
+    }
+
+    /// In-order iteration starting at the first key `>= start`.
+    pub fn iter_from<Q>(&self, start: &Q) -> Iter<'_, K, V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut stack = Vec::new();
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            if n.key.borrow() < start {
+                cur = n.right.as_deref();
+            } else {
+                stack.push(n);
+                cur = n.left.as_deref();
+            }
+        }
+        Iter { stack }
+    }
+}
+
+impl<K: PKey, V: Clone + MerkleContent> PMap<K, V> {
+    /// The Merkle digest of the whole map.
+    ///
+    /// Node hashes are cached; after a point mutation only the copied
+    /// path (O(log n) nodes) is re-hashed.  Because the tree shape is
+    /// history-independent, equal content implies equal digests.
+    pub fn root_hash(&self) -> Hash256 {
+        link_hash(&self.root)
+    }
+
+    /// Recomputes the digest ignoring every cache (test oracle).
+    pub fn root_hash_uncached(&self) -> Hash256 {
+        link_hash_uncached(&self.root)
+    }
+}
+
+/// Digest of an empty subtree (distinct domain from any entry).
+fn empty_hash() -> Hash256 {
+    static EMPTY: OnceLock<Hash256> = OnceLock::new();
+    *EMPTY.get_or_init(|| leaf_hash(b"sdr/pmap/empty"))
+}
+
+fn entry_hash<K: PKey, V: MerkleContent>(node: &Node<K, V>) -> Hash256 {
+    let mut buf = Vec::with_capacity(64);
+    node.key.encode_key(&mut buf);
+    node.value.content_encode(&mut buf);
+    leaf_hash(&buf)
+}
+
+fn link_hash<K: PKey, V: Clone + MerkleContent>(link: &Link<K, V>) -> Hash256 {
+    match link {
+        None => empty_hash(),
+        Some(n) => *n.hash.get_or_init(|| {
+            node_hash(
+                &node_hash(&link_hash(&n.left), &entry_hash(n)),
+                &link_hash(&n.right),
+            )
+        }),
+    }
+}
+
+fn link_hash_uncached<K: PKey, V: Clone + MerkleContent>(link: &Link<K, V>) -> Hash256 {
+    match link {
+        None => empty_hash(),
+        Some(n) => node_hash(
+            &node_hash(&link_hash_uncached(&n.left), &entry_hash(n)),
+            &link_hash_uncached(&n.right),
+        ),
+    }
+}
+
+fn get_mut_rec<'a, K, V, Q>(link: &'a mut Link<K, V>, key: &Q) -> &'a mut V
+where
+    K: PKey + Borrow<Q>,
+    V: Clone,
+    Q: Ord + ?Sized,
+{
+    let arc = link.as_mut().expect("presence checked by caller");
+    let n = Arc::make_mut(arc);
+    n.hash = OnceLock::new();
+    match key.cmp(n.key.borrow()) {
+        Ordering::Equal => &mut n.value,
+        Ordering::Less => get_mut_rec(&mut n.left, key),
+        Ordering::Greater => get_mut_rec(&mut n.right, key),
+    }
+}
+
+fn insert_rec<K: PKey, V: Clone>(
+    link: &mut Link<K, V>,
+    key: K,
+    value: V,
+    prio: u64,
+) -> Option<V> {
+    let Some(existing) = link.as_ref() else {
+        *link = Some(Arc::new(Node {
+            key,
+            value,
+            prio,
+            left: None,
+            right: None,
+            len: 1,
+            hash: OnceLock::new(),
+        }));
+        return None;
+    };
+    if heap_gt(prio, &key, existing.prio, &existing.key) {
+        // The new entry outranks this subtree's root, so it becomes the
+        // root here; the old subtree splits around the key.  (A key
+        // already present never takes this branch: its node has the same
+        // composite priority, which every ancestor strictly outranks.)
+        let (left, right) = split(link.take(), &key);
+        let len = 1 + link_len(&left) + link_len(&right);
+        *link = Some(Arc::new(Node {
+            key,
+            value,
+            prio,
+            left,
+            right,
+            len,
+            hash: OnceLock::new(),
+        }));
+        return None;
+    }
+    let arc = link.as_mut().expect("checked above");
+    let n = Arc::make_mut(arc);
+    n.hash = OnceLock::new();
+    let old = match key.cmp(&n.key) {
+        Ordering::Equal => Some(std::mem::replace(&mut n.value, value)),
+        Ordering::Less => insert_rec(&mut n.left, key, value, prio),
+        Ordering::Greater => insert_rec(&mut n.right, key, value, prio),
+    };
+    n.len = 1 + link_len(&n.left) + link_len(&n.right);
+    old
+}
+
+/// Splits a subtree into (keys `< key`, keys `>= key`).
+fn split<K: PKey, V: Clone>(link: Link<K, V>, key: &K) -> (Link<K, V>, Link<K, V>) {
+    let Some(mut arc) = link else {
+        return (None, None);
+    };
+    let n = Arc::make_mut(&mut arc);
+    n.hash = OnceLock::new();
+    if n.key < *key {
+        let (low, high) = split(n.right.take(), key);
+        n.right = low;
+        n.len = 1 + link_len(&n.left) + link_len(&n.right);
+        (Some(arc), high)
+    } else {
+        let (low, high) = split(n.left.take(), key);
+        n.left = high;
+        n.len = 1 + link_len(&n.left) + link_len(&n.right);
+        (low, Some(arc))
+    }
+}
+
+/// Merges two subtrees where every key in `a` precedes every key in `b`.
+fn merge<K: PKey, V: Clone>(a: Link<K, V>, b: Link<K, V>) -> Link<K, V> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(mut x), Some(mut y)) => {
+            if heap_gt(x.prio, &x.key, y.prio, &y.key) {
+                let n = Arc::make_mut(&mut x);
+                n.hash = OnceLock::new();
+                let right = n.right.take();
+                n.right = merge(right, Some(y));
+                n.len = 1 + link_len(&n.left) + link_len(&n.right);
+                Some(x)
+            } else {
+                let n = Arc::make_mut(&mut y);
+                n.hash = OnceLock::new();
+                let left = n.left.take();
+                n.left = merge(Some(x), left);
+                n.len = 1 + link_len(&n.left) + link_len(&n.right);
+                Some(y)
+            }
+        }
+    }
+}
+
+fn remove_rec<K, V, Q>(link: &mut Link<K, V>, key: &Q) -> V
+where
+    K: PKey + Borrow<Q>,
+    V: Clone,
+    Q: Ord + ?Sized,
+{
+    let arc = link.as_mut().expect("presence checked by caller");
+    let ord = key.cmp(arc.key.borrow());
+    if ord == Ordering::Equal {
+        let node = link.take().expect("checked above");
+        return match Arc::try_unwrap(node) {
+            Ok(n) => {
+                *link = merge(n.left, n.right);
+                n.value
+            }
+            Err(shared) => {
+                let value = shared.value.clone();
+                *link = merge(shared.left.clone(), shared.right.clone());
+                value
+            }
+        };
+    }
+    let n = Arc::make_mut(arc);
+    n.hash = OnceLock::new();
+    let value = if ord == Ordering::Less {
+        remove_rec(&mut n.left, key)
+    } else {
+        remove_rec(&mut n.right, key)
+    };
+    n.len = 1 + link_len(&n.left) + link_len(&n.right);
+    value
+}
+
+/// In-order iterator over a [`PMap`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn push_left_spine(&mut self, mut cur: Option<&'a Node<K, V>>) {
+        while let Some(n) = cur {
+            self.stack.push(n);
+            cur = n.left.as_deref();
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left_spine(n.right.as_deref());
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn map_of(keys: &[u64]) -> PMap<u64, String> {
+        let mut m = PMap::new();
+        for &k in keys {
+            m.insert(k, format!("v{k}"));
+        }
+        m
+    }
+
+    #[test]
+    fn insert_get_remove_len() {
+        let mut m = PMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(3, "three".to_string()), None);
+        assert_eq!(m.insert(1, "one".to_string()), None);
+        assert_eq!(m.insert(3, "THREE".to_string()), Some("three".to_string()));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&3), Some(&"THREE".to_string()));
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.remove(&1), Some("one".to_string()));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let m = map_of(&[5, 1, 9, 3, 7, 2, 8]);
+        let keys: Vec<u64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn iter_from_starts_at_bound() {
+        let m = map_of(&[1, 3, 5, 7, 9]);
+        let keys: Vec<u64> = m.iter_from(&4).map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![5, 7, 9]);
+        let keys: Vec<u64> = m.iter_from(&5).map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![5, 7, 9]);
+        assert_eq!(m.iter_from(&10).count(), 0);
+    }
+
+    #[test]
+    fn clone_is_isolated_from_mutations() {
+        let mut m = map_of(&[1, 2, 3]);
+        let snapshot = m.clone();
+        let snap_hash = snapshot.root_hash();
+        m.insert(4, "v4".to_string());
+        *m.get_mut(&2).expect("present") = "mutated".to_string();
+        m.remove(&1);
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(snapshot.get(&2), Some(&"v2".to_string()));
+        assert_eq!(snapshot.get(&1), Some(&"v1".to_string()));
+        assert_eq!(snapshot.root_hash(), snap_hash);
+        assert_ne!(m.root_hash(), snap_hash);
+    }
+
+    #[test]
+    fn shape_and_digest_are_history_independent() {
+        // Same final content via very different op sequences.
+        let mut a: PMap<u64, String> = PMap::new();
+        for k in 0..50 {
+            a.insert(k, format!("v{k}"));
+        }
+        for k in (0..50).filter(|k: &u64| k.is_multiple_of(3)) {
+            a.remove(&k);
+        }
+        let mut b: PMap<u64, String> = PMap::new();
+        for k in (0..50).rev().filter(|k: &u64| !k.is_multiple_of(3)) {
+            b.insert(k, "tmp".to_string());
+        }
+        for k in (0..50).filter(|k: &u64| !k.is_multiple_of(3)) {
+            b.insert(k, format!("v{k}"));
+        }
+        assert_eq!(a.root_hash(), b.root_hash());
+        assert_eq!(a.root_hash(), a.root_hash_uncached());
+    }
+
+    #[test]
+    fn digest_tracks_every_mutation_kind() {
+        let mut m = map_of(&[1, 2, 3]);
+        let h0 = m.root_hash();
+        m.insert(4, "v4".to_string());
+        let h1 = m.root_hash();
+        assert_ne!(h0, h1);
+        *m.get_mut(&2).expect("present") = "new".to_string();
+        let h2 = m.root_hash();
+        assert_ne!(h1, h2);
+        m.remove(&4);
+        m.insert(2, "v2".to_string());
+        assert_eq!(m.root_hash(), h0);
+        assert_eq!(m.root_hash(), m.root_hash_uncached());
+    }
+
+    #[test]
+    fn cached_digest_matches_uncached_after_shared_mutations() {
+        let mut m = map_of(&(0..100).collect::<Vec<_>>());
+        let _keep = m.clone(); // Force copy-on-write paths below.
+        for k in [0u64, 37, 99, 50] {
+            *m.get_mut(&k).expect("present") = "changed".to_string();
+            assert_eq!(m.root_hash(), m.root_hash_uncached());
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_on_mixed_ops() {
+        let mut m: PMap<u64, String> = PMap::new();
+        let mut model: BTreeMap<u64, String> = BTreeMap::new();
+        // Deterministic pseudo-random op stream.
+        let mut x: u64 = 0x12345;
+        for i in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 64;
+            if x.is_multiple_of(3) && !model.is_empty() {
+                assert_eq!(m.remove(&key), model.remove(&key));
+            } else {
+                let v = format!("v{i}");
+                assert_eq!(m.insert(key, v.clone()), model.insert(key, v));
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        let got: Vec<(u64, String)> = m.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let want: Vec<(u64, String)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn string_keys_order_and_prefix_scan() {
+        let mut m: PMap<String, String> = PMap::new();
+        for p in ["/b/1", "/a/2", "/a/1", "/c", "/a/10"] {
+            m.insert(p.to_string(), String::new());
+        }
+        let under_a: Vec<String> = m
+            .iter_from(&"/a".to_string())
+            .take_while(|(k, _)| k.starts_with("/a"))
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(under_a, vec!["/a/1", "/a/10", "/a/2"]);
+    }
+
+    #[test]
+    fn empty_map_digest_is_stable() {
+        let a: PMap<u64, String> = PMap::new();
+        let b: PMap<u64, String> = PMap::new();
+        assert_eq!(a.root_hash(), b.root_hash());
+        assert_ne!(a.root_hash(), map_of(&[1]).root_hash());
+    }
+}

@@ -4,6 +4,12 @@
 //! rolling back the client to the state before that particular read".
 //! Masters and the auditor keep a bounded ring of per-version snapshots so
 //! any recent version can be re-materialised for re-execution or rollback.
+//!
+//! Because [`Database`] is persistent, [`SnapshotStore::record`] retains
+//! an O(1) structural-sharing handle, not a deep copy: consecutive
+//! versions share every untouched row and file, so a full ring over a
+//! large dataset costs memory proportional to the *churn* between
+//! versions, not to `capacity x dataset`.
 
 use crate::database::Database;
 use std::collections::BTreeMap;
@@ -17,16 +23,36 @@ pub struct SnapshotStore {
 
 impl SnapshotStore {
     /// Creates a store retaining at most `capacity` versions.
+    ///
+    /// `capacity == 0` is the explicit **no-retention mode**: [`record`]
+    /// becomes a no-op and [`get`] never finds anything.  Use it for
+    /// deployments that deliberately give up Section 3.5 rollback (every
+    /// double-check for a non-current version then answers
+    /// `VersionUnavailable`).
+    ///
+    /// [`record`]: SnapshotStore::record
+    /// [`get`]: SnapshotStore::get
     pub fn new(capacity: usize) -> Self {
         SnapshotStore {
             snaps: BTreeMap::new(),
-            capacity: capacity.max(1),
+            capacity,
         }
+    }
+
+    /// The configured capacity (0 = no-retention mode).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Records the state at its current version, evicting the oldest
     /// snapshot beyond capacity.
+    ///
+    /// O(1) modulo the ring bookkeeping: the handle shares structure with
+    /// the live database instead of deep-copying it.
     pub fn record(&mut self, db: &Database) {
+        if self.capacity == 0 {
+            return;
+        }
         self.snaps.insert(db.version(), db.clone());
         while self.snaps.len() > self.capacity {
             let oldest = *self.snaps.keys().next().expect("non-empty");
@@ -47,6 +73,11 @@ impl SnapshotStore {
     /// Newest retained version.
     pub fn newest(&self) -> Option<u64> {
         self.snaps.keys().next_back().copied()
+    }
+
+    /// Retained versions in ascending order.
+    pub fn versions(&self) -> Vec<u64> {
+        self.snaps.keys().copied().collect()
     }
 
     /// Number of retained snapshots.
@@ -117,7 +148,24 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.oldest(), Some(4));
         assert_eq!(s.newest(), Some(5));
+        assert_eq!(s.versions(), vec![4, 5]);
         assert!(s.get(2).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_no_retention_mode() {
+        let mut db = setup();
+        let mut s = SnapshotStore::new(0);
+        assert_eq!(s.capacity(), 0);
+        for k in 1..=3 {
+            advance(&mut db, k);
+            s.record(&db);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.get(db.version()).is_none());
+        assert_eq!(s.oldest(), None);
+        assert_eq!(s.newest(), None);
     }
 
     #[test]
@@ -141,5 +189,35 @@ mod tests {
         let v1_digest = s.get(1).unwrap().state_digest();
         advance(&mut db, 9);
         assert_eq!(s.get(1).unwrap().state_digest(), v1_digest);
+    }
+
+    #[test]
+    fn ring_rematerialises_any_retained_version_exactly() {
+        // Section 3.5 rollback: each retained handle must replay to the
+        // precise historical state, independent of later writes sharing
+        // structure with it.
+        let mut db = setup();
+        let mut s = SnapshotStore::new(8);
+        let mut reference = Vec::new();
+        for k in 1..=6 {
+            advance(&mut db, k);
+            s.record(&db);
+            reference.push((db.version(), db.state_digest()));
+        }
+        for (version, digest) in reference {
+            let snap = s.get(version).expect("retained");
+            assert_eq!(snap.version(), version);
+            assert_eq!(snap.state_digest(), digest);
+            // The snapshot still answers queries against its own state:
+            // row k exists in version v iff k < v (rows added one per
+            // version starting at v2).
+            for k in 1..=6u64 {
+                assert_eq!(
+                    snap.table("t").unwrap().get(k).is_some(),
+                    k < version,
+                    "version {version} row {k}"
+                );
+            }
+        }
     }
 }

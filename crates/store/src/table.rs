@@ -2,21 +2,49 @@
 
 use crate::document::Document;
 use crate::error::StoreError;
+use crate::pmap::{MerkleContent, PMap};
 use crate::value::Value;
+use sdr_crypto::Hash256;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One secondary index: indexed value → set of primary keys.
+///
+/// The value map is persistent and the posting sets sit behind [`Arc`],
+/// so a post-snapshot write clones only the one bucket it touches, not
+/// the whole index.
+type FieldIndex = PMap<Value, Arc<BTreeSet<u64>>>;
+
+/// Adds `key` to the index bucket for `value`, creating the bucket when
+/// absent.
+fn bucket_insert(index: &mut FieldIndex, value: &Value, key: u64) {
+    match index.get_mut(value) {
+        Some(set) => {
+            Arc::make_mut(set).insert(key);
+        }
+        None => {
+            index.insert(value.clone(), Arc::new(BTreeSet::from([key])));
+        }
+    }
+}
 
 /// A table of documents keyed by a `u64` primary key, with optional
 /// secondary indexes on document fields.
 ///
+/// Rows and index buckets live in persistent ([`PMap`]) structures, so
+/// cloning a table is O(1) and mutating it copies only the touched paths
+/// — older clones (snapshots) keep seeing the state they captured.
 /// Indexes are maintained eagerly on every mutation; lookups through
 /// [`Table::index_keys`] are `O(log n)` instead of a full scan, and the
 /// executor reports which path it took via its cost structure.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Table {
     name: String,
-    rows: BTreeMap<u64, Document>,
-    indexes: BTreeMap<String, BTreeMap<Value, BTreeSet<u64>>>,
+    rows: PMap<u64, Document>,
+    /// Outer registry is a plain map — there are only ever a handful of
+    /// indexed fields, and each [`FieldIndex`] clones in O(1).
+    indexes: BTreeMap<String, FieldIndex>,
 }
 
 impl Table {
@@ -24,7 +52,7 @@ impl Table {
     pub fn new(name: impl Into<String>) -> Self {
         Table {
             name: name.into(),
-            rows: BTreeMap::new(),
+            rows: PMap::new(),
             indexes: BTreeMap::new(),
         }
     }
@@ -51,10 +79,10 @@ impl Table {
         if self.indexes.contains_key(&field) {
             return;
         }
-        let mut index: BTreeMap<Value, BTreeSet<u64>> = BTreeMap::new();
-        for (&key, doc) in &self.rows {
+        let mut index = FieldIndex::new();
+        for (&key, doc) in self.rows.iter() {
             if let Some(v) = doc.get(&field) {
-                index.entry(v.clone()).or_default().insert(key);
+                bucket_insert(&mut index, v, key);
             }
         }
         self.indexes.insert(field, index);
@@ -73,7 +101,7 @@ impl Table {
     fn index_insert(&mut self, key: u64, doc: &Document) {
         for (field, index) in &mut self.indexes {
             if let Some(v) = doc.get(field) {
-                index.entry(v.clone()).or_default().insert(key);
+                bucket_insert(index, v, key);
             }
         }
     }
@@ -81,11 +109,16 @@ impl Table {
     fn index_remove(&mut self, key: u64, doc: &Document) {
         for (field, index) in &mut self.indexes {
             if let Some(v) = doc.get(field) {
-                if let Some(set) = index.get_mut(v) {
-                    set.remove(&key);
-                    if set.is_empty() {
-                        index.remove(v);
+                let emptied = match index.get_mut(v) {
+                    Some(set) => {
+                        let set = Arc::make_mut(set);
+                        set.remove(&key);
+                        set.is_empty()
                     }
+                    None => false,
+                };
+                if emptied {
+                    index.remove(v);
                 }
             }
         }
@@ -146,24 +179,35 @@ impl Table {
 
     /// Iterates rows with keys in `[low, high]`.
     pub fn range(&self, low: u64, high: u64) -> impl Iterator<Item = (u64, &Document)> {
-        self.rows.range(low..=high).map(|(&k, d)| (k, d))
+        self.rows
+            .iter_from(&low)
+            .take_while(move |(&k, _)| k <= high)
+            .map(|(&k, d)| (k, d))
     }
 
     /// Primary keys whose `field` equals `value`, via the secondary index.
     ///
     /// Returns `None` when the field is not indexed (caller must scan).
     pub fn index_keys(&self, field: &str, value: &Value) -> Option<Vec<u64>> {
-        self.indexes
-            .get(field)
-            .map(|idx| idx.get(value).map(|s| s.iter().copied().collect()).unwrap_or_default())
+        self.indexes.get(field).map(|idx| {
+            idx.get(value)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default()
+        })
     }
 
-    /// Appends a canonical encoding of the full table state.
+    /// The Merkle digest of the row set (cached; see [`PMap::root_hash`]).
+    pub fn rows_digest(&self) -> Hash256 {
+        self.rows.root_hash()
+    }
+
+    /// Appends a canonical encoding of the full table state (a linear
+    /// scan — digests should prefer [`Table::rows_digest`]).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.name.len() as u32).to_be_bytes());
         out.extend_from_slice(self.name.as_bytes());
         out.extend_from_slice(&(self.rows.len() as u64).to_be_bytes());
-        for (k, doc) in &self.rows {
+        for (k, doc) in self.rows.iter() {
             out.extend_from_slice(&k.to_be_bytes());
             doc.encode_into(out);
         }
@@ -171,7 +215,17 @@ impl Table {
 
     /// Approximate total size in bytes.
     pub fn size(&self) -> usize {
-        self.rows.values().map(|d| 8 + d.size()).sum()
+        self.rows.iter().map(|(_, d)| 8 + d.size()).sum()
+    }
+}
+
+impl MerkleContent for Table {
+    /// Tables contribute their cached row-set digest (indexes are derived
+    /// data and stay outside the authenticated state; the table name is
+    /// the entry key and is hashed by the containing map).
+    fn content_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.rows.len() as u64).to_be_bytes());
+        out.extend_from_slice(self.rows.root_hash().as_ref());
     }
 }
 
@@ -308,5 +362,38 @@ mod tests {
             t.update(42, &Document::new()),
             Err(StoreError::NoSuchKey(42))
         );
+    }
+
+    #[test]
+    fn clone_is_o1_snapshot_isolated_from_writes() {
+        let mut t = table();
+        let snap = t.clone();
+        let snap_digest = snap.rows_digest();
+        t.upsert(1, product("anvil-xl", 200, "heavy"));
+        t.delete(2).unwrap();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.get(1).unwrap().get("name"),
+            Some(&Value::Str("anvil".into()))
+        );
+        assert_eq!(
+            snap.index_keys("category", &Value::Str("tools".into())),
+            Some(vec![1, 2])
+        );
+        assert_eq!(snap.rows_digest(), snap_digest);
+        assert_ne!(t.rows_digest(), snap_digest);
+    }
+
+    #[test]
+    fn rows_digest_is_content_only() {
+        // Same rows reached via different histories digest identically.
+        let a = table();
+        let mut b = Table::new("products");
+        b.create_index("category");
+        b.insert(3, product("tnt", 50, "explosives")).unwrap();
+        b.insert(1, product("old", 1, "junk")).unwrap();
+        b.insert(2, product("rope", 10, "tools")).unwrap();
+        b.upsert(1, product("anvil", 100, "tools"));
+        assert_eq!(a.rows_digest(), b.rows_digest());
     }
 }

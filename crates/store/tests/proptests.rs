@@ -3,8 +3,10 @@
 
 use proptest::prelude::*;
 use sdr_store::{
-    execute, CmpOp, Database, Document, Pattern, Predicate, Query, QueryResult, UpdateOp, Value,
+    execute, CmpOp, Database, Document, PMap, Pattern, Predicate, Query, QueryResult, UpdateOp,
+    Value,
 };
+use std::collections::BTreeMap;
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -173,5 +175,105 @@ proptest! {
         let ra = QueryResult::Scalar(Value::Int(a));
         let rb = QueryResult::Scalar(Value::Int(b));
         prop_assert_eq!(ra.sha1() == rb.sha1(), a == b);
+    }
+
+    /// The persistent map agrees with a `BTreeMap` model under arbitrary
+    /// op sequences, its digest is a pure function of content (rebuild
+    /// oracle), and snapshots taken mid-stream stay frozen.
+    #[test]
+    fn pmap_matches_model_and_digest_is_content_pure(
+        ops in proptest::collection::vec((0u64..48, "[a-z]{0,6}", any::<bool>()), 1..80),
+    ) {
+        type Snapshot = (PMap<u64, String>, Vec<(u64, String)>);
+        let mut map: PMap<u64, String> = PMap::new();
+        let mut model: BTreeMap<u64, String> = BTreeMap::new();
+        let mut snapshots: Vec<Snapshot> = Vec::new();
+
+        for (i, (key, val, is_remove)) in ops.iter().enumerate() {
+            if *is_remove {
+                prop_assert_eq!(map.remove(key), model.remove(key));
+            } else {
+                prop_assert_eq!(
+                    map.insert(*key, val.clone()),
+                    model.insert(*key, val.clone())
+                );
+            }
+            prop_assert_eq!(map.len(), model.len());
+            if i.is_multiple_of(13) {
+                snapshots.push((
+                    map.clone(),
+                    model.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                ));
+            }
+        }
+
+        // Content agreement, in order.
+        let got: Vec<(u64, String)> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let want: Vec<(u64, String)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+        prop_assert_eq!(&got, &want);
+
+        // Digest oracle: a map rebuilt from scratch out of the final
+        // content (fresh nodes, cold caches) digests identically, and the
+        // cache agrees with a cache-free recomputation.
+        let mut rebuilt: PMap<u64, String> = PMap::new();
+        for (k, v) in &want {
+            rebuilt.insert(*k, v.clone());
+        }
+        prop_assert_eq!(map.root_hash(), rebuilt.root_hash());
+        prop_assert_eq!(map.root_hash(), map.root_hash_uncached());
+
+        // Snapshots still hold exactly the content they captured.
+        for (snap, content) in snapshots {
+            let snap_got: Vec<(u64, String)> =
+                snap.iter().map(|(k, v)| (*k, v.clone())).collect();
+            prop_assert_eq!(&snap_got, &content);
+            prop_assert_eq!(snap.root_hash(), snap.root_hash_uncached());
+        }
+    }
+
+    /// Database digests are a pure function of content across interleaved
+    /// snapshots, rolled-back batches, and shared structure.
+    #[test]
+    fn state_digest_survives_cow_sharing_and_rollbacks(
+        writes in proptest::collection::vec(
+            proptest::collection::vec((0u64..32, -100i64..100), 1..4),
+            1..12,
+        ),
+    ) {
+        let setup = UpdateOp::CreateTable { table: "t".into(), indexes: vec!["v".into()] };
+        let mut plain = Database::new();
+        plain.apply_write(std::slice::from_ref(&setup)).expect("schema");
+        let mut cow = Database::new();
+        cow.apply_write(std::slice::from_ref(&setup)).expect("schema");
+
+        let mut retained = Vec::new();
+        for batch in &writes {
+            let ops: Vec<UpdateOp> = batch
+                .iter()
+                .map(|(k, v)| UpdateOp::Upsert {
+                    table: "t".into(),
+                    key: *k,
+                    doc: Document::new().with("v", *v),
+                })
+                .collect();
+            // The cow copy takes a snapshot before every batch and
+            // suffers a failing batch (rolled back via the pre-write
+            // handle) between real ones.
+            retained.push((cow.clone(), cow.state_digest()));
+            let mut poisoned = ops.clone();
+            poisoned.push(UpdateOp::Insert {
+                table: "missing".into(),
+                key: 0,
+                doc: Document::new(),
+            });
+            prop_assert!(cow.apply_write(&poisoned).is_err());
+            plain.apply_write(&ops).expect("applies");
+            cow.apply_write(&ops).expect("applies");
+            prop_assert_eq!(plain.state_digest(), cow.state_digest());
+        }
+        // Every snapshot kept its digest despite all the sharing.
+        for (snap, digest) in retained {
+            prop_assert_eq!(snap.state_digest(), digest);
+        }
     }
 }
