@@ -1,170 +1,148 @@
-//! The state-signing baseline: Merkle-tree authenticated content.
+//! The state-signing baseline: digest-signed, proof-served content.
 //!
-//! The owner divides the content into leaves (rows and files), builds a
-//! Merkle tree, and signs the root with the content key.  Untrusted
-//! storage serves leaves with authentication paths; clients verify paths
-//! and the root signature themselves.  The scheme's strength is that
-//! *static subset reads* need no trusted party at all; its weakness — the
-//! one the paper's system removes — is that *dynamic queries* (filters,
-//! aggregations, grep, joins) "need to be executed on trusted hosts",
-//! which must fetch and verify every relevant leaf first.
+//! The owner signs a commitment to the whole content; untrusted storage
+//! serves *static subset reads* with authentication paths that clients
+//! verify against the signed commitment — no trusted party in the read
+//! path at all.  The scheme's weakness — the one the paper's system
+//! removes — is that *dynamic queries* (filters, aggregations, grep,
+//! joins) "need to be executed on trusted hosts", which must fetch and
+//! verify every relevant leaf first.
+//!
+//! This baseline is rebased on the protocol's shared digest machinery:
+//! the signed commitment is [`Database::state_digest`] — the very value
+//! masters stamp on every commit — and subset reads are served as
+//! [`sdr_store::StateProof`]s straight out of the store's search-tree
+//! digests.  What used to be a strawman with its own flat Merkle tree is
+//! now literally the protocol's authenticated read path minus the
+//! master: a static read here costs the same O(log n) proof bytes and
+//! hashes, which is what makes the e6 comparison an apples-to-apples
+//! account of *dynamic* query cost.
 
 use crate::accounting::SchemeCosts;
-use sdr_crypto::{CryptoError, MerkleProof, MerkleTree, PublicKey, Signature, Signer};
+use sdr_crypto::{CryptoError, Hash256, PublicKey, Signature, Signer};
 use sdr_sim::{CostModel, SimDuration};
-use sdr_store::{execute, Database, Query, QueryResult, StoreError};
-
-/// Identifies a leaf in the published tree.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub enum LeafId {
-    /// A table row: `(table, key)`.
-    Row(String, u64),
-    /// A file: path.
-    File(String),
-}
+use sdr_store::{execute, Database, Query, QueryResult, StateProof, StoreError};
 
 /// The published, owner-signed snapshot of the content.
 pub struct SignedState {
     db: Database,
-    tree: MerkleTree,
-    leaves: Vec<(LeafId, Vec<u8>)>,
+    digest: Hash256,
     root_signature: Signature,
+    /// Rows plus files: sizes the dynamic-read path-length estimates.
+    leaf_count: usize,
 }
 
-/// A verifiable subset read: leaf bytes plus an authentication path.
+/// A verifiable subset read: the result plus its authentication path to
+/// the signed state digest.  Absence is proven the same way presence is
+/// (the empty result folds up from the vacant slot), so "not found"
+/// answers are no longer taken on faith.
 #[derive(Clone, Debug)]
 pub struct SubsetProof {
-    /// The leaf's identity.
-    pub leaf: LeafId,
-    /// The leaf's encoded bytes (`None` + absent proof = not found).
-    pub bytes: Vec<u8>,
-    /// Authentication path to the signed root.
-    pub proof: MerkleProof,
-}
-
-fn encode_row(table: &str, key: u64, db: &Database) -> Option<Vec<u8>> {
-    let doc = db.table(table).ok()?.get(key)?;
-    let mut out = Vec::new();
-    out.extend_from_slice(b"row/");
-    out.extend_from_slice(table.as_bytes());
-    out.push(0);
-    out.extend_from_slice(&key.to_be_bytes());
-    doc.encode_into(&mut out);
-    Some(out)
-}
-
-fn encode_file(path: &str, db: &Database) -> Option<Vec<u8>> {
-    let contents = db.fs().read(path)?;
-    let mut out = Vec::new();
-    out.extend_from_slice(b"file/");
-    out.extend_from_slice(path.as_bytes());
-    out.push(0);
-    out.extend_from_slice(contents.as_bytes());
-    Some(out)
+    /// The query this answers (`GetRow` or `ReadFile`).
+    pub query: Query,
+    /// The (claimed) result.
+    pub result: QueryResult,
+    /// Merkle path from the result to the signed digest.
+    pub proof: StateProof,
 }
 
 impl SignedState {
-    /// Publishes a snapshot: enumerates leaves, builds the tree, signs the
-    /// root.  Returns the state and the trusted CPU spent (hashing every
-    /// leaf + one signature) — the per-update cost of this baseline.
+    /// Publishes a snapshot: computes the state digest and signs it with
+    /// the content key.  Returns the state and the trusted CPU spent —
+    /// hashing every leaf once to build the digest tree, plus one
+    /// signature — the per-update cost of this baseline.
     pub fn publish(
         db: Database,
         owner: &mut dyn Signer,
         costs: &CostModel,
     ) -> Result<(Self, SimDuration), CryptoError> {
-        let mut leaves: Vec<(LeafId, Vec<u8>)> = Vec::new();
-        let mut names: Vec<String> = db.table_names().map(str::to_string).collect();
-        names.sort();
-        for table in &names {
-            let t = db.table(table).expect("listed");
-            for (key, _) in t.iter() {
-                let bytes = encode_row(table, key, &db).expect("row exists");
-                leaves.push((LeafId::Row(table.clone(), key), bytes));
-            }
-        }
-        for path in db.fs().list("") {
-            let bytes = encode_file(&path, &db).expect("file exists");
-            leaves.push((LeafId::File(path), bytes));
-        }
-        if leaves.is_empty() {
+        let rows: usize = db
+            .table_names()
+            .map(|t| db.table(t).expect("listed").len())
+            .sum();
+        let leaf_count = rows + db.fs().file_count();
+        if leaf_count == 0 {
             return Err(CryptoError::Malformed("empty content"));
         }
-
-        let mut spent = SimDuration::ZERO;
-        let hashes: Vec<_> = leaves
-            .iter()
-            .map(|(_, b)| {
-                spent += costs.hash_cost(b.len());
-                sdr_crypto::merkle::leaf_hash(b)
-            })
-            .collect();
-        let tree = MerkleTree::from_leaves(hashes)?;
+        // The first digest hashes all content bytes plus ~2 internal
+        // nodes per leaf (the store amortises *subsequent* digests to
+        // O(log n), but the baseline re-publishes from scratch).
+        let mut spent = costs.hash_cost(db.size());
+        spent += costs.hash_cost(64) * (2 * leaf_count as u64);
         spent += costs.sign;
-        let root_signature = owner.sign(tree.root().as_ref())?;
+        let digest = db.state_digest();
+        let root_signature = owner.sign(digest.as_ref())?;
         Ok((
             SignedState {
                 db,
-                tree,
-                leaves,
+                digest,
                 root_signature,
+                leaf_count,
             },
             spent,
         ))
     }
 
-    /// Number of leaves published.
+    /// Number of leaves (rows + files) committed to.
     pub fn leaf_count(&self) -> usize {
-        self.leaves.len()
+        self.leaf_count
     }
 
-    fn find_leaf(&self, id: &LeafId) -> Option<usize> {
-        self.leaves.iter().position(|(l, _)| l == id)
+    /// The signed digest and its signature (what clients pin).
+    pub fn root(&self) -> (Hash256, Signature) {
+        (self.digest, self.root_signature.clone())
     }
 
-    /// Untrusted storage serves a subset read: leaf + path.
+    /// The version the digest covers (bound into the preimage).
+    pub fn version(&self) -> u64 {
+        self.db.version()
+    }
+
+    /// Untrusted storage serves a static subset read: result + path.
     ///
-    /// Returns the proof and the untrusted CPU spent.
-    pub fn read_leaf(
+    /// Returns `None` for queries the proof path cannot cover (computed
+    /// queries, or a `GetRow` against a missing table); otherwise the
+    /// proof and the untrusted CPU spent.
+    pub fn read_subset(
         &self,
-        id: &LeafId,
+        query: &Query,
         costs: &CostModel,
     ) -> Option<(SubsetProof, SimDuration)> {
-        let idx = self.find_leaf(id)?;
-        let proof = self.tree.prove(idx).ok()?;
-        // Index lookup + proof assembly.
-        let spent = costs.index_probe * (1 + proof.siblings.len() as u64);
+        let proof = self.db.prove_query(query)?.ok()?;
+        let (result, _) = execute(&self.db, query).ok()?;
+        // Index walk + proof assembly, one probe per path node.
+        let spent = costs.index_probe * (1 + proof.depth() as u64);
         Some((
             SubsetProof {
-                leaf: id.clone(),
-                bytes: self.leaves[idx].1.clone(),
+                query: query.clone(),
+                result,
                 proof,
             },
             spent,
         ))
     }
 
-    /// Client-side verification of a subset read.
+    /// Client-side verification of a subset read: root signature once,
+    /// then the O(log n) path fold.
     ///
-    /// Returns the client CPU spent, or an error when the proof fails.
+    /// Returns the client CPU spent, or an error when anything fails.
     pub fn verify_subset(
         subset: &SubsetProof,
         root_signature: &Signature,
         content_key: &PublicKey,
-        expected_root: &sdr_crypto::Hash256,
+        expected_digest: &Hash256,
+        version: u64,
         costs: &CostModel,
     ) -> Result<SimDuration, CryptoError> {
         let mut spent = costs.verify; // Root signature.
-        content_key.verify(expected_root.as_ref(), root_signature)?;
-        spent += costs.hash_cost(subset.bytes.len());
-        let leaf = sdr_crypto::merkle::leaf_hash(&subset.bytes);
-        spent += costs.hash_cost(64) * subset.proof.siblings.len() as u64;
-        MerkleTree::verify(expected_root, &leaf, &subset.proof)?;
+        content_key.verify(expected_digest.as_ref(), root_signature)?;
+        spent += costs.hash_cost(subset.result.size());
+        spent += costs.hash_cost(64) * (1 + subset.proof.depth() as u64);
+        subset
+            .proof
+            .verify_result(expected_digest, version, &subset.query, &subset.result)
+            .map_err(|_| CryptoError::InvalidProof)?;
         Ok(spent)
-    }
-
-    /// The signed root and its signature (what clients pin).
-    pub fn root(&self) -> (sdr_crypto::Hash256, Signature) {
-        (self.tree.root(), self.root_signature.clone())
     }
 
     /// Serves an arbitrary query under the state-signing regime, charging
@@ -182,35 +160,29 @@ impl SignedState {
     ) -> Result<(QueryResult, SchemeCosts), StoreError> {
         let mut out = SchemeCosts::default();
         match query {
-            Query::GetRow { table, key } => {
-                let id = LeafId::Row(table.clone(), *key);
-                if let Some((subset, untrusted)) = self.read_leaf(&id, costs) {
+            Query::GetRow { .. } | Query::ReadFile { .. } => {
+                if let Some((subset, untrusted)) = self.read_subset(query, costs) {
                     out.untrusted += untrusted;
                     out.wire_bytes +=
-                        subset.bytes.len() as u64 + 32 * subset.proof.siblings.len() as u64;
+                        subset.result.size() as u64 + subset.proof.wire_len() as u64;
                     let (root, sig) = self.root();
-                    let client =
-                        Self::verify_subset(&subset, &sig, content_key, &root, costs)
-                            .map_err(|_| StoreError::BadQuery("proof verification failed"))?;
+                    let client = Self::verify_subset(
+                        &subset,
+                        &sig,
+                        content_key,
+                        &root,
+                        self.version(),
+                        costs,
+                    )
+                    .map_err(|_| StoreError::BadQuery("proof verification failed"))?;
                     out.client += client;
+                    Ok((subset.result, out))
+                } else {
+                    // Unprovable static read (e.g. missing table): plain
+                    // execution so the caller sees the store's own error.
+                    let (result, _) = execute(&self.db, query)?;
+                    Ok((result, out))
                 }
-                let (result, _) = execute(&self.db, query)?;
-                Ok((result, out))
-            }
-            Query::ReadFile { path } => {
-                let id = LeafId::File(path.clone());
-                if let Some((subset, untrusted)) = self.read_leaf(&id, costs) {
-                    out.untrusted += untrusted;
-                    out.wire_bytes +=
-                        subset.bytes.len() as u64 + 32 * subset.proof.siblings.len() as u64;
-                    let (root, sig) = self.root();
-                    let client =
-                        Self::verify_subset(&subset, &sig, content_key, &root, costs)
-                            .map_err(|_| StoreError::BadQuery("proof verification failed"))?;
-                    out.client += client;
-                }
-                let (result, _) = execute(&self.db, query)?;
-                Ok((result, out))
             }
             _ => {
                 // Dynamic query: a trusted host fetches + verifies every
@@ -223,7 +195,7 @@ impl SignedState {
                 out.untrusted += costs.index_probe * touched;
                 // ...the trusted host verifies each path (log n hashes) and
                 // re-hashes each leaf...
-                let path_len = self.tree.height() as u64;
+                let path_len = (self.leaf_count.max(2) as f64).log2().ceil() as u64;
                 out.trusted += (costs.hash_cost(256) + costs.hash_cost(64) * path_len) * touched;
                 out.trusted += costs.verify; // Root signature, once.
                 // ...then executes the query.
@@ -277,32 +249,45 @@ mod tests {
         (state, owner)
     }
 
+    fn get_row(key: u64) -> Query {
+        Query::GetRow {
+            table: "t".into(),
+            key,
+        }
+    }
+
     #[test]
-    fn publish_enumerates_rows_and_files() {
+    fn publish_counts_rows_and_files() {
         let (state, _) = published();
         assert_eq!(state.leaf_count(), 3);
+        // The signed digest is the shared machinery's digest, verbatim.
+        assert_eq!(state.root().0, db().state_digest());
     }
 
     #[test]
     fn subset_read_verifies_at_client() {
         let (state, owner) = published();
         let costs = CostModel::standard();
-        let (subset, _) = state
-            .read_leaf(&LeafId::Row("t".into(), 1), &costs)
-            .unwrap();
+        let (subset, _) = state.read_subset(&get_row(1), &costs).unwrap();
         let (root, sig) = state.root();
         use sdr_crypto::Signer as _;
-        SignedState::verify_subset(&subset, &sig, &owner.public_key(), &root, &costs).unwrap();
+        SignedState::verify_subset(
+            &subset,
+            &sig,
+            &owner.public_key(),
+            &root,
+            state.version(),
+            &costs,
+        )
+        .unwrap();
     }
 
     #[test]
-    fn tampered_leaf_fails_client_verification() {
+    fn tampered_result_fails_client_verification() {
         let (state, owner) = published();
         let costs = CostModel::standard();
-        let (mut subset, _) = state
-            .read_leaf(&LeafId::Row("t".into(), 1), &costs)
-            .unwrap();
-        subset.bytes[10] ^= 0xff;
+        let (mut subset, _) = state.read_subset(&get_row(1), &costs).unwrap();
+        subset.result = QueryResult::Rows(vec![(1, Document::new().with("v", 666i64))]);
         let (root, sig) = state.root();
         use sdr_crypto::Signer as _;
         assert!(SignedState::verify_subset(
@@ -310,9 +295,31 @@ mod tests {
             &sig,
             &owner.public_key(),
             &root,
+            state.version(),
             &costs
         )
         .is_err());
+    }
+
+    #[test]
+    fn missing_row_is_provably_absent() {
+        // The old flat-tree baseline served "not found" unverified; the
+        // rebased one proves absence like presence.
+        let (state, owner) = published();
+        let costs = CostModel::standard();
+        let (subset, _) = state.read_subset(&get_row(99), &costs).unwrap();
+        assert_eq!(subset.result, QueryResult::Rows(vec![]));
+        let (root, sig) = state.root();
+        use sdr_crypto::Signer as _;
+        SignedState::verify_subset(
+            &subset,
+            &sig,
+            &owner.public_key(),
+            &root,
+            state.version(),
+            &costs,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -321,18 +328,12 @@ mod tests {
         let costs = CostModel::standard();
         use sdr_crypto::Signer as _;
         let (_, c) = state
-            .serve_query(
-                &Query::GetRow {
-                    table: "t".into(),
-                    key: 1,
-                },
-                &owner.public_key(),
-                &costs,
-            )
+            .serve_query(&get_row(1), &owner.public_key(), &costs)
             .unwrap();
         assert_eq!(c.trusted, SimDuration::ZERO);
         assert!(c.untrusted > SimDuration::ZERO);
         assert!(c.client > SimDuration::ZERO);
+        assert!(c.wire_bytes > 0);
     }
 
     #[test]
@@ -359,9 +360,20 @@ mod tests {
     }
 
     #[test]
-    fn missing_leaf_read_is_none() {
+    fn computed_queries_have_no_subset_proof() {
         let (state, _) = published();
         let costs = CostModel::standard();
-        assert!(state.read_leaf(&LeafId::Row("t".into(), 99), &costs).is_none());
+        assert!(state
+            .read_subset(&Query::ListFiles { prefix: "/".into() }, &costs)
+            .is_none());
+        assert!(state
+            .read_subset(
+                &Query::GetRow {
+                    table: "missing".into(),
+                    key: 1
+                },
+                &costs
+            )
+            .is_none());
     }
 }

@@ -181,5 +181,58 @@ fn bench_cow_store(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_state_digest, bench_cow_store);
+/// Authenticated point reads on the 10k-row catalogue: proof generation
+/// must reuse the cached subtree hashes (O(log n), microseconds — no
+/// full-tree re-hash on the hot path) and verification must fold the
+/// same O(log n) path at the client.
+fn bench_proofs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proof_10k");
+    let db = large_dataset();
+    let digest = db.state_digest(); // Warm the subtree-hash caches once.
+    let version = db.version();
+
+    let mut k = 0u64;
+    group.bench_function("prove_row", |b| {
+        b.iter(|| {
+            k += 1;
+            black_box(db.prove_row("products", 1 + (k * 7919) % 10_000).expect("table"))
+        })
+    });
+    group.bench_function("prove_row_absent", |b| {
+        b.iter(|| black_box(db.prove_row("products", 5_000_000).expect("table")))
+    });
+    group.bench_function("prove_file", |b| {
+        b.iter(|| black_box(db.prove_file("/docs/file-042.log")))
+    });
+
+    let query = Query::GetRow {
+        table: "products".into(),
+        key: 4_242,
+    };
+    let (result, _) = execute(&db, &query).expect("row");
+    let proof = db.prove_row("products", 4_242).expect("table");
+    group.bench_function("verify_row", |b| {
+        b.iter(|| {
+            proof
+                .verify_result(black_box(&digest), version, &query, &result)
+                .expect("verifies")
+        })
+    });
+
+    // The strawman this path replaces: re-hashing the whole state to
+    // check one row (what a client would do with only a signed digest
+    // and the raw content).
+    group.bench_function("full_state_digest_rebuild", |b| {
+        b.iter(|| black_box(full_rescan_digest(&db)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queries,
+    bench_state_digest,
+    bench_cow_store,
+    bench_proofs
+);
 criterion_main!(benches);

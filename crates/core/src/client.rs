@@ -1,26 +1,35 @@
 //! Clients: issue reads/writes, verify everything, sample double-checks.
 //!
-//! The client-side read protocol is Section 3.2 verbatim: compute the
-//! result hash and compare with the pledge, verify the slave's signature,
-//! verify the master stamp, and check the stamp is no older than
-//! `max_latency` (possibly the client's *own* bound — the paper's
-//! slow-client accommodation).  Accepted results are either double-checked
-//! with the master (probability `p`) or their pledge is forwarded to the
-//! auditor — acceptance happens only after the pledge is on its way, as
-//! Section 3.4 requires.
+//! Reads are verified by one of two strategies, selected per query by
+//! [`crate::verify::strategy_for`]:
+//!
+//! * **Pledged** (computed queries) — Section 3.2 verbatim: compute the
+//!   result hash and compare with the pledge, verify the slave's
+//!   signature, verify the master stamp, and check the stamp is no older
+//!   than `max_latency` (possibly the client's *own* bound — the paper's
+//!   slow-client accommodation).  Accepted results are either
+//!   double-checked with the master (probability `p`) or their pledge is
+//!   forwarded to the auditor — acceptance happens only after the pledge
+//!   is on its way, as Section 3.4 requires.
+//! * **Proof-verified** (static `GetRow`/`ReadFile` lookups) — the slave
+//!   answers with an O(log n) Merkle path against a master-signed state
+//!   digest; the client verifies it locally and accepts *finally*: no
+//!   pledge, no double-check, no auditor traffic.  A failed proof (a
+//!   lying or corrupt slave) falls the read back to the pledged path.
 //!
 //! The Section 4 variants live here too: security-sensitive reads go
 //! straight to the trusted master, and `read_quorum > 1` sends the same
 //! query to several slaves, auto-double-checking on any disagreement.
 
 use crate::config::SystemConfig;
-use crate::messages::{CheckVerdict, Msg, RefuseReason, WriteOutcome};
+use crate::messages::{CheckVerdict, Msg, RefuseReason, StateDigestStamp, WriteOutcome};
 use crate::pledge::Pledge;
+use crate::verify::{self, ReadStrategy, RejectReason, VerifyEnv};
 use crate::workload::Workload;
 use rand::Rng;
 use sdr_crypto::{CertRole, PublicKey};
 use sdr_sim::{Ctx, NodeId, Process, SimDuration, SimTime};
-use sdr_store::{Query, QueryResult, UpdateOp};
+use sdr_store::{Query, QueryResult, StateProof, UpdateOp};
 use std::collections::{HashMap, HashSet};
 
 const K_BOOT: u64 = 1;
@@ -52,6 +61,9 @@ enum Phase {
 struct PendingRead {
     query: Query,
     sensitive: bool,
+    /// Which verification pipeline this read runs; flips from `Proof` to
+    /// `Pledged` when a proof attempt is rejected (fallback).
+    strategy: ReadStrategy,
     attempts: u32,
     issued_at: SimTime,
     awaiting: HashSet<NodeId>,
@@ -76,6 +88,10 @@ pub struct ClientCounters {
     pub stale_rejections: u64,
     /// Times this client had to redo the setup phase.
     pub re_setups: u64,
+    /// Static reads issued on the proof path.
+    pub proof_reads_issued: u64,
+    /// Proof-verified reads accepted (these never touch the auditor).
+    pub proof_reads_accepted: u64,
 }
 
 /// A client process.
@@ -205,6 +221,18 @@ impl ClientProcess {
         ctx.set_timer(gap, tag(K_NEXT_WRITE, 0));
     }
 
+    /// Picks the slave a proof read targets: rotated by request id and
+    /// attempt so retries (after timeouts) try a different replica.
+    /// `None` when the client currently has no slaves (mid-reassignment;
+    /// the read then waits for its timeout like the pledged path does).
+    fn proof_target(&self, req: u64, attempts: u32) -> Option<NodeId> {
+        if self.slaves.is_empty() {
+            return None;
+        }
+        let i = (req as usize + attempts as usize) % self.slaves.len();
+        Some(self.slaves[i].0)
+    }
+
     fn issue_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
         if self.phase != Phase::Ready || self.slaves.is_empty() {
             return;
@@ -217,6 +245,12 @@ impl ClientProcess {
 
         let sensitive =
             self.cfg.sensitive_fraction > 0.0 && ctx.coin() < self.cfg.sensitive_fraction;
+        let strategy = if sensitive {
+            // Trusted hardware is its own (stronger) guarantee.
+            ReadStrategy::Pledged
+        } else {
+            verify::strategy_for(&query, self.cfg.proof_reads)
+        };
         let mut awaiting = HashSet::new();
         if sensitive {
             // Section 4 variant: run on trusted hardware only.
@@ -230,6 +264,20 @@ impl ClientProcess {
                 },
             );
             awaiting.insert(m);
+        } else if strategy == ReadStrategy::Proof {
+            // One slave suffices: the proof is self-certifying, so there
+            // is nothing a quorum would vote on.
+            self.counters.proof_reads_issued += 1;
+            ctx.metrics().inc("read.proof_issued");
+            let s = self.proof_target(req, 0).expect("checked non-empty above");
+            ctx.send(
+                s,
+                Msg::ProofRead {
+                    req_id: req,
+                    query: query.clone(),
+                },
+            );
+            awaiting.insert(s);
         } else {
             for (s, _) in &self.slaves {
                 ctx.send(
@@ -247,6 +295,7 @@ impl ClientProcess {
             PendingRead {
                 query,
                 sensitive,
+                strategy,
                 attempts: 0,
                 issued_at: ctx.now(),
                 awaiting,
@@ -280,6 +329,18 @@ impl ClientProcess {
                 },
             );
             p.awaiting.insert(m);
+        } else if p.strategy == ReadStrategy::Proof {
+            let (query, attempts) = (p.query.clone(), p.attempts);
+            if let Some(s) = self.proof_target(req, attempts) {
+                ctx.send(s, Msg::ProofRead { req_id: req, query });
+                self.pending
+                    .get_mut(&req)
+                    .expect("present")
+                    .awaiting
+                    .insert(s);
+            }
+            // No slaves right now (mid-reassignment): the read idles on
+            // its timeout, exactly like the pledged branch below.
         } else {
             let targets: Vec<NodeId> = self.slaves.iter().map(|(n, _)| *n).collect();
             for s in targets {
@@ -295,8 +356,29 @@ impl ClientProcess {
         ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
     }
 
-    /// Full verification of one slave response (Section 3.2's three client
-    /// checks).  Returns false when the response must be discarded.
+    /// The verification environment for this client at `now`.
+    fn verify_env(&self, now: SimTime) -> VerifyEnv<'_> {
+        VerifyEnv {
+            masters: &self.masters,
+            slaves: &self.slaves,
+            now,
+            max_latency: self.my_max_latency,
+        }
+    }
+
+    /// Records a rejection: the reason-specific metric plus the
+    /// per-client staleness counter the experiments watch.
+    fn note_rejection(&mut self, ctx: &mut Ctx<'_, Msg>, reason: RejectReason) {
+        if reason == RejectReason::Stale {
+            self.counters.stale_rejections += 1;
+        }
+        ctx.metrics().inc(reason.metric());
+    }
+
+    /// Full verification of one pledged slave response (Section 3.2's
+    /// client checks, shared with the proof pipeline via
+    /// [`crate::verify`]).  Returns false when the response must be
+    /// discarded.
     fn verify_response(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -304,40 +386,78 @@ impl ClientProcess {
         result: &QueryResult,
         pledge: &Pledge,
     ) -> bool {
-        // 1. Hash of the delivered result matches the pledge.
+        // One result hash plus two signature verifications.
         ctx.charge(ctx.costs().hash_cost(result.size()));
-        if !pledge.matches_result(result) {
-            ctx.metrics().inc("read.rejected.hash");
-            return false;
+        ctx.charge(ctx.costs().verify * 2u64);
+        let env = self.verify_env(ctx.now());
+        match verify::verify_pledged_read(&env, slave, result, pledge) {
+            Ok(()) => true,
+            Err(reason) => {
+                self.note_rejection(ctx, reason);
+                false
+            }
         }
-        // 2. Slave signature on the pledge.
+    }
+
+    /// Handles one proof-read reply: verify the digest stamp and the
+    /// Merkle path, then accept *finally* — proof-verified reads never
+    /// touch the double-check or audit machinery.  A rejected proof
+    /// falls the read back to the pledged path.
+    fn handle_proof_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        result: QueryResult,
+        proof: StateProof,
+        stamp: StateDigestStamp,
+    ) {
+        let Some(p) = self.pending.get(&req) else { return };
+        if p.strategy != ReadStrategy::Proof || !p.awaiting.contains(&from) {
+            return; // Duplicate, unsolicited, or already fallen back.
+        }
+        // Stamp signature + O(log n) path hashes.
         ctx.charge(ctx.costs().verify);
-        let Some((_, key)) = self.slaves.iter().find(|(n, _)| *n == slave) else {
-            ctx.metrics().inc("read.rejected.unknown_slave");
-            return false;
-        };
-        if pledge.verify_signature(key).is_err() {
-            ctx.metrics().inc("read.rejected.sig");
-            return false;
+        ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
+        ctx.charge(ctx.costs().hash_cost(result.size()));
+        let env = self.verify_env(ctx.now());
+        let verdict = verify::verify_proof_read(&env, from, &p.query, &result, &proof, &stamp);
+        match verdict {
+            Ok(()) => {
+                let p = self.pending.remove(&req).expect("present");
+                self.acceptances.push((
+                    from,
+                    crate::pledge::ResultHash::of(&result, self.cfg.pledge_hash)
+                        .bytes()
+                        .to_vec(),
+                ));
+                self.counters.reads_accepted += 1;
+                self.counters.proof_reads_accepted += 1;
+                ctx.metrics().inc("read.accepted");
+                ctx.metrics().inc("read.proof_accepted");
+                ctx.metrics()
+                    .observe("proof.bytes", proof.wire_len() as u64);
+                ctx.metrics().observe("proof.depth", proof.depth() as u64);
+                let latency = ctx.now().since(p.issued_at);
+                ctx.metrics().observe("read.latency_us", latency.as_micros());
+                ctx.metrics()
+                    .observe("read.proof_latency_us", latency.as_micros());
+            }
+            Err(reason) => {
+                // Deterministic lie detection: the slave shipped a result
+                // its proof cannot cover (or a stale/forged anchor).
+                // Fall back to the pledged pipeline for the retries.
+                self.note_rejection(ctx, reason);
+                // Umbrella counter: *any* rejected proof reply, whatever
+                // the reason (the reason-specific metric has the detail).
+                ctx.metrics().inc("read.proof_rejected");
+                ctx.metrics().inc("read.proof_fallback");
+                let p = self.pending.get_mut(&req).expect("present");
+                p.strategy = ReadStrategy::Pledged;
+                p.awaiting.remove(&from);
+                self.retry_read(ctx, req);
+            }
         }
-        // 3. Master stamp signature + freshness under *this client's*
-        // max_latency.
-        ctx.charge(ctx.costs().verify);
-        let stamp_ok = self
-            .masters
-            .iter()
-            .find(|(n, _)| *n == pledge.stamp.master)
-            .is_some_and(|(_, k)| pledge.stamp.verify(k).is_ok());
-        if !stamp_ok {
-            ctx.metrics().inc("read.rejected.stamp_sig");
-            return false;
-        }
-        if !pledge.is_fresh(ctx.now(), self.my_max_latency) {
-            self.counters.stale_rejections += 1;
-            ctx.metrics().inc("read.rejected.stale");
-            return false;
-        }
-        true
     }
 
     fn finalize_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: u64) {
@@ -614,6 +734,12 @@ impl Process<Msg> for ClientProcess {
                     }
                 }
             }
+            Msg::ProofReadReply {
+                req_id,
+                result,
+                proof,
+                digest_stamp,
+            } => self.handle_proof_reply(ctx, from, req_id, result, proof, digest_stamp),
             Msg::ReadRefused { req_id, reason } => {
                 if !self.pending.contains_key(&req_id) {
                     return;

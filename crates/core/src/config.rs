@@ -95,6 +95,12 @@ pub struct SystemConfig {
     /// Number of slaves each client reads from (1 = basic protocol;
     /// >1 = the Section 4 replicated-read variant).
     pub read_quorum: usize,
+    /// Whether static point reads (`GetRow`/`ReadFile`) take the
+    /// authenticated proof path: the slave answers with an O(log n)
+    /// Merkle path against a master-signed state digest, the client
+    /// verifies deterministically, and the auditor never sees the read.
+    /// When off, every read goes through pledge + audit.
+    pub proof_reads: bool,
     /// Fraction of reads that are security-sensitive (Section 4 variant;
     /// 0.0 = everything normal).
     pub sensitive_fraction: f64,
@@ -132,6 +138,7 @@ impl Default for SystemConfig {
             read_timeout: SimDuration::from_millis(1_500),
             read_retries: 3,
             read_quorum: 1,
+            proof_reads: true,
             sensitive_fraction: 0.0,
             greedy: GreedyConfig::default(),
             pledge_hash: HashAlgo::Sha1,

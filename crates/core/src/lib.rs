@@ -49,13 +49,15 @@ pub mod scenario;
 pub mod slave;
 pub mod stats;
 pub mod system;
+pub mod verify;
 pub mod workload;
 
 pub use config::{GreedyConfig, HashAlgo, ReadLevel, SystemConfig};
 pub use error::CoreError;
 pub use evidence::Evidence;
-pub use messages::{Msg, VersionStamp};
+pub use messages::{Msg, StateDigestStamp, VersionStamp};
 pub use pledge::Pledge;
+pub use verify::{ReadStrategy, RejectReason};
 pub use scenario::{RunReport, Runner, ScenarioSpec};
 pub use slave::SlaveBehavior;
 pub use stats::SystemStats;

@@ -11,7 +11,9 @@ use crate::acl::WritePolicy;
 use crate::auditor::AuditorState;
 use crate::config::SystemConfig;
 use crate::evidence::{Discovery, Evidence};
-use crate::messages::{CheckVerdict, MasterEvent, Msg, VersionStamp, WriteOutcome};
+use crate::messages::{
+    CheckVerdict, MasterEvent, Msg, StateDigestStamp, VersionStamp, WriteOutcome,
+};
 use crate::pledge::{Pledge, ResultHash};
 use sdr_broadcast::{Action, MemberId, TobConfig, TotalOrder, View};
 use sdr_crypto::{CertRole, Certificate, CertificateBody, Hash256, PublicKey, Signer};
@@ -43,6 +45,10 @@ pub struct MasterProcess {
     db: Database,
     snapshots: SnapshotStore,
     write_log: BTreeMap<u64, Vec<UpdateOp>>,
+    /// `version → state digest`, bounded alongside `write_log`, so sync
+    /// replays can re-stamp historical versions without re-materialising
+    /// snapshots.
+    digest_log: BTreeMap<u64, Hash256>,
     policy: WritePolicy,
 
     tob: TotalOrder<MasterEvent>,
@@ -93,6 +99,8 @@ impl MasterProcess {
         let auditor_state = AuditorState::new(&cfg, db.clone(), SimTime::ZERO);
         let mut snapshots = SnapshotStore::new(cfg.snapshot_capacity);
         snapshots.record(&db);
+        let mut digest_log = BTreeMap::new();
+        digest_log.insert(db.version(), db.state_digest());
         MasterProcess {
             tob: TotalOrder::new(rank, n, TobConfig::default()),
             prev_view: View::initial(n),
@@ -106,6 +114,7 @@ impl MasterProcess {
             db,
             snapshots,
             write_log: BTreeMap::new(),
+            digest_log,
             policy,
             my_slaves,
             slave_keys,
@@ -174,6 +183,18 @@ impl MasterProcess {
         self.snapshots.get(version).map(Database::state_digest)
     }
 
+    /// Shared-vs-owned node counts over the snapshot ring (memory
+    /// telemetry: retention cost vs churn).
+    pub fn snapshot_node_stats(&self) -> sdr_store::NodeStats {
+        self.snapshots.node_stats()
+    }
+
+    /// Shared-vs-owned node counts of the live replica (memory
+    /// telemetry).
+    pub fn db_node_stats(&self) -> sdr_store::NodeStats {
+        self.db.node_stats()
+    }
+
     /// Write-access policy (test harness mutation).
     pub fn policy_mut(&mut self) -> &mut WritePolicy {
         &mut self.policy
@@ -197,6 +218,32 @@ impl MasterProcess {
     fn make_stamp(&mut self, ctx: &mut Ctx<'_, Msg>) -> Option<VersionStamp> {
         ctx.charge(ctx.costs().sign);
         VersionStamp::build(self.db.version(), ctx.now(), ctx.id(), self.signer.as_mut()).ok()
+    }
+
+    /// Signs a digest stamp for `version` (defaulting to the live state);
+    /// `None` when the version's digest is no longer retained.
+    fn make_digest_stamp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        version: u64,
+    ) -> Option<StateDigestStamp> {
+        let digest = if version == self.db.version() {
+            // O(1) amortized on the live copy-on-write state.
+            self.db.state_digest()
+        } else {
+            *self.digest_log.get(&version)?
+        };
+        ctx.charge(ctx.costs().sign);
+        StateDigestStamp::build(version, digest, ctx.now(), ctx.id(), self.signer.as_mut()).ok()
+    }
+
+    /// The stamp pair attached to keep-alives and state updates: the
+    /// version stamp (pledge freshness) plus the digest stamp (proof
+    /// anchor), both over the live version.
+    fn make_stamps(&mut self, ctx: &mut Ctx<'_, Msg>) -> Option<(VersionStamp, StateDigestStamp)> {
+        let stamp = self.make_stamp(ctx)?;
+        let digest_stamp = self.make_digest_stamp(ctx, self.db.version())?;
+        Some((stamp, digest_stamp))
     }
 
     fn issue_slave_cert(&mut self, ctx: &mut Ctx<'_, Msg>, slave: NodeId) -> Option<Certificate> {
@@ -282,17 +329,21 @@ impl MasterProcess {
                 ctx.metrics().inc("master.writes_applied");
                 self.snapshots.record(&self.db);
                 self.write_log.insert(version, ops.clone());
-                // Bound the op log like the snapshot ring.
+                self.digest_log.insert(version, self.db.state_digest());
+                // Bound the op and digest logs like the snapshot ring.
                 while self.write_log.len() > self.cfg.snapshot_capacity {
                     let oldest = *self.write_log.keys().next().expect("non-empty");
                     self.write_log.remove(&oldest);
+                    self.digest_log.remove(&oldest);
                 }
                 self.auditor_state.on_write_committed(version, ops.clone(), now);
                 self.earliest_next_write = now + self.cfg.max_latency;
 
-                // Lazy slave update (Section 3.1): push only after commit.
+                // Lazy slave update (Section 3.1): push only after commit,
+                // stamped with both the version (pledge freshness) and the
+                // state digest (proof-read anchor).
                 if !self.my_slaves.is_empty() {
-                    if let Some(stamp) = self.make_stamp(ctx) {
+                    if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
                         for &s in &self.my_slaves {
                             ctx.send(
                                 s,
@@ -300,6 +351,7 @@ impl MasterProcess {
                                     version,
                                     ops: ops.clone(),
                                     stamp: stamp.clone(),
+                                    digest_stamp: digest_stamp.clone(),
                                 },
                             );
                         }
@@ -433,8 +485,8 @@ impl MasterProcess {
                     ctx.metrics().inc("master.slaves_adopted");
                     // Immediately give the adopted slave a fresh stamp so it
                     // keeps serving.
-                    if let Some(stamp) = self.make_stamp(ctx) {
-                        ctx.send(*slave, Msg::KeepAlive { stamp });
+                    if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
+                        ctx.send(*slave, Msg::KeepAlive { stamp, digest_stamp });
                     }
                 }
             } else {
@@ -716,10 +768,16 @@ impl Process<Msg> for MasterProcess {
             }
             T_KEEPALIVE => {
                 if !self.my_slaves.is_empty() {
-                    if let Some(stamp) = self.make_stamp(ctx) {
+                    if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
                         ctx.metrics().inc("keepalive.sent");
                         for &s in &self.my_slaves {
-                            ctx.send(s, Msg::KeepAlive { stamp: stamp.clone() });
+                            ctx.send(
+                                s,
+                                Msg::KeepAlive {
+                                    stamp: stamp.clone(),
+                                    digest_stamp: digest_stamp.clone(),
+                                },
+                            );
                         }
                     }
                 }
@@ -765,9 +823,15 @@ impl Process<Msg> for MasterProcess {
                 });
                 self.drain_tob(ctx, actions);
                 if !self.my_slaves.is_empty() {
-                    if let Some(stamp) = self.make_stamp(ctx) {
+                    if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
                         for &s in &self.my_slaves {
-                            ctx.send(s, Msg::KeepAlive { stamp: stamp.clone() });
+                            ctx.send(
+                                s,
+                                Msg::KeepAlive {
+                                    stamp: stamp.clone(),
+                                    digest_stamp: digest_stamp.clone(),
+                                },
+                            );
                         }
                     }
                 }
@@ -839,6 +903,10 @@ impl Process<Msg> for MasterProcess {
             Msg::SlaveSyncRequest { from_version } => {
                 // Replay what we still hold, bounded per request; the
                 // slave re-requests if it is still behind afterwards.
+                // Each replayed version gets its *own* digest stamp (the
+                // digest log retains one per write-log entry) so the
+                // catching-up slave can re-anchor proof reads at every
+                // step.
                 let missing: Vec<(u64, Vec<UpdateOp>)> = self
                     .write_log
                     .range(from_version..)
@@ -847,12 +915,16 @@ impl Process<Msg> for MasterProcess {
                     .collect();
                 if let Some(stamp) = self.make_stamp(ctx) {
                     for (version, ops) in missing {
+                        let Some(digest_stamp) = self.make_digest_stamp(ctx, version) else {
+                            continue;
+                        };
                         ctx.send(
                             from,
                             Msg::StateUpdate {
                                 version,
                                 ops,
                                 stamp: stamp.clone(),
+                                digest_stamp,
                             },
                         );
                     }

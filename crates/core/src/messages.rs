@@ -3,9 +3,9 @@
 use crate::evidence::Evidence;
 use crate::pledge::Pledge;
 use sdr_broadcast::{MemberId, TobMessage};
-use sdr_crypto::{Certificate, CryptoError, PublicKey, Signature, Signer};
+use sdr_crypto::{Certificate, CryptoError, Hash256, PublicKey, Signature, Signer};
 use sdr_sim::{NodeId, Payload, SimTime};
-use sdr_store::{Query, QueryResult, UpdateOp};
+use sdr_store::{Query, QueryResult, StateProof, UpdateOp};
 use serde::{Deserialize, Serialize};
 
 /// The "signed and time-stamped value of the `content_version` variable"
@@ -55,6 +55,74 @@ impl VersionStamp {
     /// Verifies the master's signature.
     pub fn verify(&self, master_key: &PublicKey) -> Result<(), CryptoError> {
         master_key.verify(&self.signing_bytes(), &self.signature)
+    }
+}
+
+/// A master-signed commitment to the full content state at one version:
+/// the anchor of the authenticated (proof-verified) read path.
+///
+/// Where [`VersionStamp`] certifies only the *version counter* (enough
+/// for pledge freshness), this stamp also certifies the state *digest* —
+/// so a client holding one can check an O(log n) Merkle path proof from
+/// any row or file straight up to a trusted root, with no pledge, audit,
+/// or double-check involved.  The `state_signing` baseline signs the
+/// same bytes with the owner key; the protocol signs them with master
+/// keys on every commit and keep-alive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StateDigestStamp {
+    /// The content version the digest covers.
+    pub version: u64,
+    /// [`sdr_store::Database::state_digest`] at that version.
+    pub digest: Hash256,
+    /// When the issuing party signed it.
+    pub timestamp: SimTime,
+    /// The issuing master.
+    pub master: NodeId,
+    /// Signature over [`StateDigestStamp::signing_bytes`].
+    pub signature: Signature,
+}
+
+impl StateDigestStamp {
+    /// Canonical bytes the issuer signs (version + digest + timestamp).
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        Self::signing_bytes_raw(self.version, &self.digest, self.timestamp)
+    }
+
+    fn signing_bytes_raw(version: u64, digest: &Hash256, timestamp: SimTime) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(b"sdr/digest-stamp/v1");
+        out.extend_from_slice(&version.to_be_bytes());
+        out.extend_from_slice(digest.as_ref());
+        out.extend_from_slice(&timestamp.as_micros().to_be_bytes());
+        out
+    }
+
+    /// Builds and signs a stamp.
+    pub fn build(
+        version: u64,
+        digest: Hash256,
+        timestamp: SimTime,
+        master: NodeId,
+        signer: &mut dyn Signer,
+    ) -> Result<Self, CryptoError> {
+        let signature = signer.sign(&Self::signing_bytes_raw(version, &digest, timestamp))?;
+        Ok(StateDigestStamp {
+            version,
+            digest,
+            timestamp,
+            master,
+            signature,
+        })
+    }
+
+    /// Verifies the issuer's signature.
+    pub fn verify(&self, issuer_key: &PublicKey) -> Result<(), CryptoError> {
+        issuer_key.verify(&self.signing_bytes(), &self.signature)
+    }
+
+    /// Whether the stamp is still fresh at `now` under `max_latency`.
+    pub fn is_fresh(&self, now: SimTime, max_latency: sdr_sim::SimDuration) -> bool {
+        now.since(self.timestamp) <= max_latency
     }
 }
 
@@ -204,11 +272,16 @@ pub enum Msg {
         ops: Vec<UpdateOp>,
         /// Signed stamp for the new version.
         stamp: VersionStamp,
+        /// Signed state digest at the new version (anchors proof reads).
+        digest_stamp: StateDigestStamp,
     },
     /// Signed keep-alive (slaves may serve only while fresh).
     KeepAlive {
         /// Signed stamp of the current version.
         stamp: VersionStamp,
+        /// Signed state digest at the current version (refreshes the
+        /// anchor slaves serve proof reads against).
+        digest_stamp: StateDigestStamp,
     },
     /// Slave → master: I am missing updates from `from_version`.
     SlaveSyncRequest {
@@ -241,6 +314,26 @@ pub enum Msg {
         req_id: u64,
         /// Why.
         reason: RefuseReason,
+    },
+    /// Client → slave: execute this static point read and prove the
+    /// answer against the signed state digest (no pledge needed).
+    ProofRead {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// The query (must be `GetRow` or `ReadFile`).
+        query: Query,
+    },
+    /// Slave → client: result, Merkle path proof, and the master-signed
+    /// digest stamp the proof folds up to.
+    ProofReadReply {
+        /// Echoed request id.
+        req_id: u64,
+        /// The (claimed) query result.
+        result: QueryResult,
+        /// O(log n) path proof from the result to the digest.
+        proof: StateProof,
+        /// Master-signed state digest the proof anchors in.
+        digest_stamp: StateDigestStamp,
     },
 
     // ----- Client ↔ master: reads (sensitive + double-check) -----
@@ -317,15 +410,21 @@ impl Payload for Msg {
                 }
                 _ => 32,
             },
+            // Version stamp (96) plus the digest stamp (32-byte digest +
+            // signature, ~128).
             Msg::StateUpdate { ops, .. } => {
-                96 + ops.iter().map(UpdateOp::size).sum::<usize>()
+                224 + ops.iter().map(UpdateOp::size).sum::<usize>()
             }
-            Msg::KeepAlive { .. } => 96,
+            Msg::KeepAlive { .. } => 224,
             Msg::SlaveSyncRequest { .. } => 16,
             Msg::ExcludeNotice => 8,
             Msg::ReadRequest { query, .. } => 16 + query.encode().len(),
             Msg::ReadResponse { result, pledge, .. } => 16 + result.size() + pledge.wire_len(),
             Msg::ReadRefused { .. } => 16,
+            Msg::ProofRead { query, .. } => 16 + query.encode().len(),
+            Msg::ProofReadReply { result, proof, .. } => {
+                16 + result.size() + proof.wire_len() + 128
+            }
             Msg::TrustedRead { query, .. } => 16 + query.encode().len(),
             Msg::TrustedReadResponse { result, .. } => 16 + result.size(),
             Msg::DoubleCheck { pledge, .. } => 16 + pledge.wire_len(),
@@ -351,7 +450,7 @@ fn master_event_len(e: &MasterEvent) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdr_crypto::HmacSigner;
+    use sdr_crypto::{Digest as _, HmacSigner};
 
     #[test]
     fn stamp_sign_verify() {
@@ -361,6 +460,36 @@ mod tests {
 
         let other = HmacSigner::from_seed_label(2, b"m");
         assert!(stamp.verify(&other.public_key()).is_err());
+    }
+
+    #[test]
+    fn digest_stamp_sign_verify_and_tamper() {
+        let mut m = HmacSigner::from_seed_label(1, b"m");
+        let digest = sdr_crypto::Sha256::digest(b"state");
+        let stamp = StateDigestStamp::build(
+            3,
+            digest,
+            SimTime::from_millis(50),
+            NodeId(0),
+            &mut m,
+        )
+        .unwrap();
+        stamp.verify(&m.public_key()).unwrap();
+        assert!(stamp.is_fresh(
+            SimTime::from_millis(100),
+            sdr_sim::SimDuration::from_millis(100)
+        ));
+        assert!(!stamp.is_fresh(
+            SimTime::from_millis(200),
+            sdr_sim::SimDuration::from_millis(100)
+        ));
+
+        let mut bad = stamp.clone();
+        bad.digest = sdr_crypto::Sha256::digest(b"forged");
+        assert!(bad.verify(&m.public_key()).is_err());
+        let mut bad = stamp;
+        bad.version += 1;
+        assert!(bad.verify(&m.public_key()).is_err());
     }
 
     #[test]

@@ -49,6 +49,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("cdn_catalog", cdn_catalog),
     ("medical_db", medical_db),
     ("large_catalog", large_catalog),
+    ("proof_vs_pledge", proof_vs_pledge),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -597,6 +598,44 @@ fn large_catalog() -> ScenarioSpec {
     };
     spec.duration = SimDuration::from_secs(120);
     spec.checkpoints = vec![SimDuration::from_secs(60)];
+    spec
+}
+
+fn proof_vs_pledge() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "proof_vs_pledge",
+        "The two read paths head to head: static reads verified by Merkle \
+         proofs (no auditor) vs pledge+audit, swept over the static share \
+         of the mix and with the proof path toggled off as the control",
+        SystemConfig {
+            n_masters: 3,
+            n_slaves: 6,
+            n_clients: 12,
+            double_check_prob: 0.02,
+            audit_fraction: 1.0,
+            seed: 1_259,
+            ..SystemConfig::default()
+        },
+    );
+    // One compromised replica lying on a fifth of its answers: on the
+    // proof path its lies die at the client (proof_reads_rejected), on
+    // the pledged path they linger until a double-check or the audit.
+    spec.behaviors = BehaviorSpec::with_overrides(vec![(0, liar_template(0.2, false))]);
+    spec.workload = Workload {
+        reads_per_sec: 8.0,
+        writes_per_sec: 0.3,
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(120);
+    spec.seeds = vec![1_259, 2_259];
+    spec.grid = Grid::cartesian(vec![
+        SweepAxis::new(
+            "static read fraction",
+            Param::StaticReadFraction,
+            &[0.0, 0.25, 0.5, 0.75, 1.0],
+        ),
+        SweepAxis::new("proof reads", Param::ProofReads, &[1.0, 0.0]),
+    ]);
     spec
 }
 

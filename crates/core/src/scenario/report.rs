@@ -246,7 +246,13 @@ mod tests {
         let text = r#"{
             "reads_issued":3,"reads_accepted":2,"reads_failed":0,
             "rejected_stale":0,"rejected_hash":0,"read_retries":0,
-            "reads_sensitive":0,"lies_told":1,"wrong_accepted":0,
+            "reads_sensitive":0,
+            "proof_reads_issued":1,"proof_reads_accepted":1,
+            "proof_reads_rejected":0,"proof_fallbacks":0,
+            "proof_bytes":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
+            "proof_depth":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
+            "proof_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
+            "lies_told":1,"wrong_accepted":0,
             "dc_sent":0,"dc_mismatch":0,"dc_throttled":0,
             "discovery_immediate":0,"discovery_delayed":0,"exclusions":0,
             "reassignments":0,"audit_submitted":0,"audit_checked":0,
@@ -255,7 +261,9 @@ mod tests {
             "read_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "write_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "audit_lag":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
-            "audit_backlog":0,"master_utilisation":[0.5],"slave_utilisation":[0.25],
+            "audit_backlog":0,
+            "snapshot_nodes_owned":0,"snapshot_nodes_shared":0,
+            "master_utilisation":[0.5],"slave_utilisation":[0.25],
             "per_client":[]
         }"#;
         json::from_str(text).expect("stats literal")

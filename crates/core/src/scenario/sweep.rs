@@ -60,6 +60,13 @@ pub enum Param {
     },
     /// Rank of the master killed by the first [`CrashSpec`](super::spec::CrashSpec).
     CrashRank,
+    /// `config.proof_reads` (0 = every read pledged, anything else =
+    /// static reads take the authenticated proof path).
+    ProofReads,
+    /// Rebuilds `workload.mix` so a fraction `v` of reads are static
+    /// point lookups (`GetRow`/`ReadFile`, proof-eligible) and the rest
+    /// are computed queries (pledge+audit); weights total 100.
+    StaticReadFraction,
 }
 
 impl Param {
@@ -109,6 +116,13 @@ impl Param {
                     .ok_or_else(|| "CrashRank needs a crash entry to retarget".to_string())?;
                 crash.master_rank = v as usize;
             }
+            Param::ProofReads => spec.config.proof_reads = v != 0.0,
+            Param::StaticReadFraction => {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("StaticReadFraction must be in [0,1], got {v}"));
+                }
+                spec.workload.mix = static_fraction_mix(v);
+            }
         }
         Ok(())
     }
@@ -129,6 +143,32 @@ impl Param {
 
 fn ms(v: f64) -> SimDuration {
     SimDuration::from_micros((v * 1_000.0).round().max(0.0) as u64)
+}
+
+/// A query mix whose static share (point `get`s plus file reads, the
+/// proof-eligible shapes) is `fraction` of all reads; the computed
+/// remainder keeps the catalogue mix's internal proportions.  Weights
+/// always total 100, so `fraction` maps exactly onto sampled odds.
+fn static_fraction_mix(fraction: f64) -> crate::workload::QueryMix {
+    let s = (fraction * 100.0).round() as u32;
+    let c = 100 - s;
+    // Static side: 4:1 gets to file reads; computed side: spread in the
+    // catalogue's 10:15:10:5:7 proportions (range:filter:agg:join:grep),
+    // remainder to filters.
+    let range = c * 10 / 47;
+    let aggregate = c * 10 / 47;
+    let join = c * 5 / 47;
+    let grep = c * 7 / 47;
+    let filter = c - range - aggregate - join - grep;
+    crate::workload::QueryMix {
+        get: s * 4 / 5,
+        read_file: s - s * 4 / 5,
+        range,
+        filter,
+        aggregate,
+        join,
+        grep,
+    }
 }
 
 fn upsert(list: &mut Vec<(usize, f64)>, key: usize, v: f64) {
@@ -364,6 +404,31 @@ mod tests {
         assert_eq!(spec.behaviors.overrides[2].0, 2);
         let mut empty = base();
         assert!(Param::LiarCount.apply(&mut empty, 2.0).is_err());
+    }
+
+    #[test]
+    fn static_fraction_mix_totals_100_and_tracks_fraction() {
+        for v in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let mut spec = base();
+            Param::StaticReadFraction.apply(&mut spec, v).unwrap();
+            let m = spec.workload.mix;
+            let total =
+                m.get + m.range + m.filter + m.aggregate + m.join + m.grep + m.read_file;
+            assert_eq!(total, 100, "fraction {v}");
+            let static_weight = m.get + m.read_file;
+            assert_eq!(static_weight, (v * 100.0).round() as u32, "fraction {v}");
+        }
+        let mut spec = base();
+        assert!(Param::StaticReadFraction.apply(&mut spec, 1.5).is_err());
+    }
+
+    #[test]
+    fn proof_reads_toggle() {
+        let mut spec = base();
+        Param::ProofReads.apply(&mut spec, 0.0).unwrap();
+        assert!(!spec.config.proof_reads);
+        Param::ProofReads.apply(&mut spec, 1.0).unwrap();
+        assert!(spec.config.proof_reads);
     }
 
     #[test]

@@ -16,13 +16,36 @@
 //!   sync with some probability.
 
 use crate::config::SystemConfig;
-use crate::messages::{Msg, RefuseReason, VersionStamp};
+use crate::messages::{Msg, RefuseReason, StateDigestStamp, VersionStamp};
 use crate::pledge::{Pledge, ResultHash};
 use sdr_crypto::{PublicKey, Signer};
 use sdr_sim::{Ctx, NodeId, Process, SimTime};
 use sdr_store::fsview::GrepMatch;
 use sdr_store::{execute, Database, Document, Query, QueryResult, UpdateOp, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Wrong-answer machinery shared by the pledge and proof read paths: a
+/// liar corrupts the shipped result (and on the pledge path may also
+/// pledge the corrupted hash); the proof path always ships the *honest*
+/// proof because forging one against the signed digest would need a
+/// hash collision — which is exactly why proof-read lies die at the
+/// client instead of waiting for the auditor.
+fn apply_lie_behavior(
+    behavior: SlaveBehavior,
+    ctx: &mut Ctx<'_, Msg>,
+    result: &QueryResult,
+) -> Option<QueryResult> {
+    match behavior {
+        SlaveBehavior::ConsistentLiar { prob, collude } if ctx.coin() < prob => {
+            let salt = if collude { 0 } else { u64::from(ctx.id().0) };
+            Some(corrupt(result, salt))
+        }
+        SlaveBehavior::InconsistentLiar { prob } if ctx.coin() < prob => {
+            Some(corrupt(result, 1))
+        }
+        _ => None,
+    }
+}
 
 /// Behaviour model of a slave.
 #[derive(Clone, Copy, Debug, PartialEq, serde::ToJson, serde::FromJson)]
@@ -140,8 +163,13 @@ pub struct SlaveProcess {
     signer: Box<dyn Signer>,
     master_keys: HashMap<NodeId, PublicKey>,
     latest_stamp: Option<VersionStamp>,
+    /// Freshest master-signed digest stamp that matches this replica's
+    /// *applied* state — the anchor served with proof reads.  Deliberately
+    /// absent while the replica lags: a correct slave refuses proof reads
+    /// it cannot anchor, and a stale server's anchor ages out.
+    latest_digest_stamp: Option<StateDigestStamp>,
     last_keepalive_at: SimTime,
-    pending_updates: BTreeMap<u64, (Vec<UpdateOp>, VersionStamp)>,
+    pending_updates: BTreeMap<u64, (Vec<UpdateOp>, VersionStamp, StateDigestStamp)>,
     excluded: bool,
     /// Earliest time the next sync request may be sent (rate limit: the
     /// simulated network reorders packets, so most gaps heal by
@@ -173,6 +201,7 @@ impl SlaveProcess {
             signer,
             master_keys,
             latest_stamp: None,
+            latest_digest_stamp: None,
             last_keepalive_at: SimTime::ZERO,
             pending_updates: BTreeMap::new(),
             excluded: false,
@@ -233,6 +262,31 @@ impl SlaveProcess {
         }
     }
 
+    /// Adopts a digest stamp as the proof-read anchor — only when it
+    /// certifies exactly the state this replica has applied.  A stamp for
+    /// a version we have not reached (or whose digest contradicts our
+    /// own state) is useless for proving and is dropped; an honest slave
+    /// that diverged would otherwise serve proofs doomed to fail.
+    fn accept_digest_stamp(&mut self, ctx: &mut Ctx<'_, Msg>, stamp: StateDigestStamp) {
+        if stamp.version != self.db.version() {
+            return;
+        }
+        if stamp.digest != self.db.state_digest() {
+            ctx.metrics().inc("slave.digest_mismatch");
+            return;
+        }
+        let newer = match &self.latest_digest_stamp {
+            Some(cur) => {
+                stamp.version > cur.version
+                    || (stamp.version == cur.version && stamp.timestamp > cur.timestamp)
+            }
+            None => true,
+        };
+        if newer {
+            self.latest_digest_stamp = Some(stamp);
+        }
+    }
+
     /// The version this slave *appears* to be at: applied updates plus any
     /// it silently dropped (StaleServer keeps consuming the stream so it
     /// never looks like it has a gap).
@@ -245,11 +299,15 @@ impl SlaveProcess {
             if version != self.effective_version() + 1 {
                 break;
             }
-            let (ops, stamp) = self.pending_updates.remove(&version).expect("present");
+            let (ops, stamp, digest_stamp) =
+                self.pending_updates.remove(&version).expect("present");
             let frozen = matches!(self.behavior, SlaveBehavior::StaleServer { freeze_at }
                 if self.effective_version() >= freeze_at);
             if frozen {
-                // StaleServer: keep the fresh stamp, drop the data.
+                // StaleServer: keep the fresh stamp, drop the data.  The
+                // digest stamp is useless to it — its frozen state can
+                // never match the certified digest, so its proof-read
+                // anchor ages out and that path self-gates.
                 self.dropped_up_to = version;
                 self.accept_stamp(stamp);
                 ctx.metrics().inc("slave.updates_dropped");
@@ -262,6 +320,7 @@ impl SlaveProcess {
                 ctx.metrics().inc("slave.updates_applied");
             }
             self.accept_stamp(stamp);
+            self.accept_digest_stamp(ctx, digest_stamp);
         }
     }
 
@@ -320,17 +379,13 @@ impl SlaveProcess {
         ctx.metrics().inc("slave.reads");
 
         // Behaviour: decide what to ship and what to pledge.
-        let (shipped, pledged_hash_src, lie) = match self.behavior {
-            SlaveBehavior::ConsistentLiar { prob, collude } if ctx.coin() < prob => {
-                let salt = if collude { 0 } else { u64::from(ctx.id().0) };
-                let bad = corrupt(&result, salt);
-                (bad.clone(), bad, true)
-            }
-            SlaveBehavior::InconsistentLiar { prob } if ctx.coin() < prob => {
-                // Pledge the correct hash but ship garbage.
-                (corrupt(&result, 1), result.clone(), true)
-            }
-            _ => (result.clone(), result, false),
+        let lie = apply_lie_behavior(self.behavior, ctx, &result);
+        let (shipped, pledged_hash_src, lie) = match (self.behavior, lie) {
+            // A consistent liar pledges the corrupted hash too.
+            (SlaveBehavior::ConsistentLiar { .. }, Some(bad)) => (bad.clone(), bad, true),
+            // An inconsistent liar pledges the correct hash, ships garbage.
+            (SlaveBehavior::InconsistentLiar { .. }, Some(bad)) => (bad, result, true),
+            (_, _) => (result.clone(), result, false),
         };
 
         let result_hash = ResultHash::of(&pledged_hash_src, self.cfg.pledge_hash);
@@ -369,22 +424,108 @@ impl SlaveProcess {
             },
         );
     }
+
+    /// Serves a static point read with a Merkle path proof against the
+    /// freshest master-signed digest stamp — no pledge involved.
+    ///
+    /// Refuses (like a pledged read) when excluded, when no sufficiently
+    /// fresh digest anchor exists, or when the query is not provable
+    /// (not a point read, or its table is missing).
+    fn serve_proof_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: NodeId,
+        req_id: u64,
+        query: Query,
+    ) {
+        let refuse = |ctx: &mut Ctx<'_, Msg>, reason: RefuseReason| {
+            ctx.send(client, Msg::ReadRefused { req_id, reason });
+        };
+        if self.excluded {
+            refuse(ctx, RefuseReason::Excluded);
+            return;
+        }
+        // The proof-read self-gate: serve only with an anchor the client
+        // will still consider fresh.
+        let anchor_fresh = self
+            .latest_digest_stamp
+            .as_ref()
+            .is_some_and(|s| s.is_fresh(ctx.now(), self.cfg.max_latency));
+        if !anchor_fresh {
+            ctx.metrics().inc("slave.refused_stale");
+            refuse(ctx, RefuseReason::OutOfSync);
+            return;
+        }
+        if let SlaveBehavior::Refuser { prob } = self.behavior {
+            if ctx.coin() < prob {
+                ctx.metrics().inc("slave.refused_malicious");
+                refuse(ctx, RefuseReason::OutOfSync);
+                return;
+            }
+        }
+        let Ok((result, qcost)) = execute(&self.db, &query) else {
+            ctx.metrics().inc("slave.query_errors");
+            refuse(ctx, RefuseReason::OutOfSync);
+            return;
+        };
+        ctx.charge(crate::cost::query_charge(&qcost, result.size(), ctx.costs()));
+        let Some(Ok(proof)) = self.db.prove_query(&query) else {
+            // Not a point read, or the table itself is gone.
+            ctx.metrics().inc("slave.proof_unsupported");
+            refuse(ctx, RefuseReason::OutOfSync);
+            return;
+        };
+        // Proof assembly re-hashes only the O(log n) path.
+        ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
+        self.reads_served += 1;
+        ctx.metrics().inc("slave.reads");
+        ctx.metrics().inc("slave.proof_reads");
+
+        // Liars can corrupt the *result*, but the proof stays honest —
+        // forging one against the signed digest would need a hash
+        // collision.  The lie is therefore caught by the client's own
+        // verification, not by an auditor hours later.
+        let shipped = match apply_lie_behavior(self.behavior, ctx, &result) {
+            Some(bad) => {
+                ctx.metrics().inc("slave.lies");
+                self.lies_told
+                    .insert(ResultHash::of(&bad, self.cfg.pledge_hash).bytes().to_vec());
+                bad
+            }
+            None => result,
+        };
+        let digest_stamp = self.latest_digest_stamp.clone().expect("checked fresh");
+        ctx.send(
+            client,
+            Msg::ProofReadReply {
+                req_id,
+                result: shipped,
+                proof,
+                digest_stamp,
+            },
+        );
+    }
 }
 
 impl Process<Msg> for SlaveProcess {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::ReadRequest { req_id, query } => self.serve_read(ctx, from, req_id, query),
-            Msg::KeepAlive { stamp } => {
+            Msg::ProofRead { req_id, query } => self.serve_proof_read(ctx, from, req_id, query),
+            Msg::KeepAlive {
+                stamp,
+                digest_stamp,
+            } => {
                 // Only stamps genuinely signed by a known master count.
-                ctx.charge(ctx.costs().verify);
+                ctx.charge(ctx.costs().verify * 2);
                 let valid = self
                     .master_keys
                     .get(&stamp.master)
-                    .is_some_and(|k| stamp.verify(k).is_ok());
+                    .is_some_and(|k| stamp.verify(k).is_ok() && digest_stamp.verify(k).is_ok());
                 if valid {
                     self.last_keepalive_at = ctx.now();
                     self.accept_stamp(stamp);
+                    self.accept_digest_stamp(ctx, digest_stamp);
                 } else {
                     ctx.metrics().inc("slave.bad_keepalives");
                 }
@@ -393,18 +534,20 @@ impl Process<Msg> for SlaveProcess {
                 version,
                 ops,
                 stamp,
+                digest_stamp,
             } => {
-                ctx.charge(ctx.costs().verify);
+                ctx.charge(ctx.costs().verify * 2);
                 let valid = self
                     .master_keys
                     .get(&stamp.master)
-                    .is_some_and(|k| stamp.verify(k).is_ok());
+                    .is_some_and(|k| stamp.verify(k).is_ok() && digest_stamp.verify(k).is_ok());
                 if !valid {
                     ctx.metrics().inc("slave.bad_updates");
                     return;
                 }
                 if version > self.effective_version() {
-                    self.pending_updates.insert(version, (ops, stamp));
+                    self.pending_updates
+                        .insert(version, (ops, stamp, digest_stamp));
                 }
                 self.apply_ready_updates(ctx);
                 // Gap detection: ask the master for anything still missing,

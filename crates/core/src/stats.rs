@@ -22,6 +22,22 @@ pub struct SystemStats {
     pub read_retries: u64,
     /// Reads served by the trusted masters (sensitive variant).
     pub reads_sensitive: u64,
+    /// Static reads issued on the authenticated proof path.
+    pub proof_reads_issued: u64,
+    /// Proof-verified reads accepted (deterministically, no auditor).
+    pub proof_reads_accepted: u64,
+    /// Proof-read replies rejected by client-side verification for any
+    /// reason — bad proof, stale or forged digest stamp, unknown sender
+    /// (lying or stale slaves caught immediately).
+    pub proof_reads_rejected: u64,
+    /// Proof reads that fell back to the pledged pipeline.
+    pub proof_fallbacks: u64,
+    /// Proof size on the wire, bytes (per accepted proof read).
+    pub proof_bytes: Summary,
+    /// Proof path depth (hash work per verification).
+    pub proof_depth: Summary,
+    /// Latency of proof-verified reads (µs).
+    pub proof_latency: Summary,
     /// Lies slaves told (ground truth).
     pub lies_told: u64,
     /// Accepted reads whose result was a lie (oracle join).
@@ -62,6 +78,12 @@ pub struct SystemStats {
     pub audit_lag: Summary,
     /// Final auditor backlog.
     pub audit_backlog: u64,
+    /// Snapshot-ring nodes owned exclusively by one retained snapshot,
+    /// summed over all masters (the ring's true retention cost).
+    pub snapshot_nodes_owned: u64,
+    /// Snapshot-ring nodes shared with other handles, summed over all
+    /// masters (structural reuse across versions).
+    pub snapshot_nodes_shared: u64,
     /// Per-master CPU utilisation (0..=1), by rank.
     pub master_utilisation: Vec<f64>,
     /// Per-slave CPU utilisation (0..=1), by index.
@@ -104,6 +126,12 @@ impl SystemStats {
             per_client.push(counters);
         }
 
+        // Snapshot-ring memory telemetry: retention cost vs churn.
+        let mut snapshot_nodes = sdr_store::NodeStats::default();
+        for rank in 0..sys.masters.len() {
+            snapshot_nodes.merge(sys.with_master(rank, |m| m.snapshot_node_stats()));
+        }
+
         let master_utilisation: Vec<f64> = sys
             .masters
             .clone()
@@ -126,6 +154,13 @@ impl SystemStats {
             rejected_hash: m.counter("read.rejected.hash"),
             read_retries: m.counter("read.retry"),
             reads_sensitive: m.counter("read.sensitive"),
+            proof_reads_issued: m.counter("read.proof_issued"),
+            proof_reads_accepted: m.counter("read.proof_accepted"),
+            proof_reads_rejected: m.counter("read.proof_rejected"),
+            proof_fallbacks: m.counter("read.proof_fallback"),
+            proof_bytes: m.summary("proof.bytes"),
+            proof_depth: m.summary("proof.depth"),
+            proof_latency: m.summary("read.proof_latency_us"),
             lies_told,
             wrong_accepted,
             dc_sent: m.counter("dc.sent"),
@@ -149,6 +184,8 @@ impl SystemStats {
                 // Final backlog from the elected auditor.
                 0 // Filled below after the metrics borrow ends.
             },
+            snapshot_nodes_owned: snapshot_nodes.owned as u64,
+            snapshot_nodes_shared: snapshot_nodes.shared as u64,
             master_utilisation,
             slave_utilisation,
             per_client,
@@ -203,6 +240,12 @@ impl SystemStats {
             ("rejected_hash", self.rejected_hash as f64),
             ("read_retries", self.read_retries as f64),
             ("reads_sensitive", self.reads_sensitive as f64),
+            ("proof_reads_issued", self.proof_reads_issued as f64),
+            ("proof_reads_accepted", self.proof_reads_accepted as f64),
+            ("proof_reads_rejected", self.proof_reads_rejected as f64),
+            ("proof_fallbacks", self.proof_fallbacks as f64),
+            ("snapshot_nodes_owned", self.snapshot_nodes_owned as f64),
+            ("snapshot_nodes_shared", self.snapshot_nodes_shared as f64),
             ("lies_told", self.lies_told as f64),
             ("wrong_accepted", self.wrong_accepted as f64),
             ("wrong_accept_rate", self.wrong_accept_rate()),
@@ -245,6 +288,14 @@ impl SystemStats {
             ("audit_lag_p90", s.p90 as f64),
             ("audit_lag_p99", s.p99 as f64),
         ]);
+        let s = &self.proof_latency;
+        out.extend([
+            ("proof_latency_mean", s.mean),
+            ("proof_latency_p50", s.p50 as f64),
+            ("proof_latency_p99", s.p99 as f64),
+            ("proof_bytes_mean", self.proof_bytes.mean),
+            ("proof_depth_mean", self.proof_depth.mean),
+        ]);
         out
     }
 
@@ -252,6 +303,8 @@ impl SystemStats {
     pub fn render(&self) -> String {
         format!(
             "reads: issued={} accepted={} failed={} stale_rejects={} sensitive={}\n\
+             proofs: issued={} accepted={} rejected={} fallbacks={} \
+             bytes_p50={} depth_p50={}\n\
              writes: committed={} denied={}\n\
              lies: told={} wrong_accepted={} ({:.4}%)\n\
              double-check: sent={} mismatch={} throttled={}\n\
@@ -263,6 +316,12 @@ impl SystemStats {
             self.reads_failed,
             self.rejected_stale,
             self.reads_sensitive,
+            self.proof_reads_issued,
+            self.proof_reads_accepted,
+            self.proof_reads_rejected,
+            self.proof_fallbacks,
+            self.proof_bytes.p50,
+            self.proof_depth.p50,
             self.writes_committed,
             self.writes_denied,
             self.lies_told,

@@ -1,0 +1,358 @@
+//! Client-side response verification: the two read-acceptance strategies.
+//!
+//! Every read a client accepts went through exactly one of two pipelines:
+//!
+//! * **Pledged** ([`verify_pledged_read`]) — Section 3.2's checks for
+//!   computed queries: result hash matches the pledge, slave signature
+//!   over the pledge, master signature over the version stamp, and stamp
+//!   freshness under the client's own `max_latency`.  Acceptance is
+//!   provisional: the pledge still goes to the auditor (or a sampled
+//!   double-check) because a consistent liar passes all four checks.
+//! * **Proof-verified** ([`verify_proof_read`]) — static point reads
+//!   (`GetRow`, `ReadFile`): master signature over the *state digest*
+//!   stamp, stamp freshness, and an O(log n) Merkle path fold from the
+//!   delivered result to the signed digest.  Acceptance is final: a
+//!   wrong answer cannot carry a valid proof, so the auditor and the
+//!   double-check machinery are skipped entirely.
+//!
+//! Both pipelines are built from the same helpers and report a
+//! structured [`RejectReason`] instead of a bare bool, so metrics,
+//! retries, and fallbacks can react to *why* a response died.
+
+use crate::messages::{StateDigestStamp, VersionStamp};
+use crate::pledge::Pledge;
+use sdr_crypto::PublicKey;
+use sdr_sim::{NodeId, SimDuration, SimTime};
+use sdr_store::{ProofError, Query, QueryResult, StateProof};
+
+/// Why a read response was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Delivered result does not hash to the pledged value
+    /// (inconsistent liar — caught instantly).
+    HashMismatch,
+    /// Response came from a node the client never set up with.
+    UnknownSlave,
+    /// The slave's signature over the pledge does not verify.
+    BadSlaveSignature,
+    /// The master's signature over the (version or digest) stamp does
+    /// not verify, or the stamping master is unknown.
+    BadStampSignature,
+    /// The stamp is older than the client's freshness bound.
+    Stale,
+    /// The Merkle path proof failed (wrong content, spliced path, or
+    /// stale digest) — deterministic lie detection on the proof path.
+    BadProof(ProofError),
+}
+
+impl RejectReason {
+    /// Metric counter this rejection increments.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            RejectReason::HashMismatch => "read.rejected.hash",
+            RejectReason::UnknownSlave => "read.rejected.unknown_slave",
+            RejectReason::BadSlaveSignature => "read.rejected.sig",
+            RejectReason::BadStampSignature => "read.rejected.stamp_sig",
+            RejectReason::Stale => "read.rejected.stale",
+            RejectReason::BadProof(_) => "read.rejected.proof",
+        }
+    }
+}
+
+/// Which pipeline serves a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadStrategy {
+    /// Pledge + double-check/audit (computed queries).
+    Pledged,
+    /// Merkle-path proof against the signed state digest (static point
+    /// reads).
+    Proof,
+}
+
+/// Picks the read strategy for a query: static point lookups take the
+/// proof path when it is enabled; everything computed stays pledged.
+pub fn strategy_for(query: &Query, proof_reads_enabled: bool) -> ReadStrategy {
+    match query {
+        Query::GetRow { .. } | Query::ReadFile { .. } if proof_reads_enabled => {
+            ReadStrategy::Proof
+        }
+        _ => ReadStrategy::Pledged,
+    }
+}
+
+/// The keys and bounds a verification runs against.
+pub struct VerifyEnv<'a> {
+    /// Known masters and their verification keys.
+    pub masters: &'a [(NodeId, PublicKey)],
+    /// The client's assigned slaves and their verification keys.
+    pub slaves: &'a [(NodeId, PublicKey)],
+    /// Current simulation time.
+    pub now: SimTime,
+    /// This client's freshness bound (possibly relaxed; Section 3.2).
+    pub max_latency: SimDuration,
+}
+
+impl VerifyEnv<'_> {
+    fn master_key(&self, master: NodeId) -> Option<&PublicKey> {
+        self.masters
+            .iter()
+            .find(|(n, _)| *n == master)
+            .map(|(_, k)| k)
+    }
+
+    fn slave_key(&self, slave: NodeId) -> Option<&PublicKey> {
+        self.slaves
+            .iter()
+            .find(|(n, _)| *n == slave)
+            .map(|(_, k)| k)
+    }
+}
+
+/// Step: the delivered result hashes to the pledged value.
+pub fn check_result_hash(pledge: &Pledge, result: &QueryResult) -> Result<(), RejectReason> {
+    if pledge.matches_result(result) {
+        Ok(())
+    } else {
+        Err(RejectReason::HashMismatch)
+    }
+}
+
+/// Step: the responding slave is known and its pledge signature holds.
+pub fn check_slave_signature(
+    env: &VerifyEnv<'_>,
+    from: NodeId,
+    pledge: &Pledge,
+) -> Result<(), RejectReason> {
+    let key = env.slave_key(from).ok_or(RejectReason::UnknownSlave)?;
+    pledge
+        .verify_signature(key)
+        .map_err(|_| RejectReason::BadSlaveSignature)
+}
+
+/// Step: the version stamp is signed by a known master.
+pub fn check_version_stamp(
+    env: &VerifyEnv<'_>,
+    stamp: &VersionStamp,
+) -> Result<(), RejectReason> {
+    env.master_key(stamp.master)
+        .and_then(|k| stamp.verify(k).ok())
+        .ok_or(RejectReason::BadStampSignature)
+}
+
+/// Step: the digest stamp is signed by a known master.
+pub fn check_digest_stamp(
+    env: &VerifyEnv<'_>,
+    stamp: &StateDigestStamp,
+) -> Result<(), RejectReason> {
+    env.master_key(stamp.master)
+        .and_then(|k| stamp.verify(k).ok())
+        .ok_or(RejectReason::BadStampSignature)
+}
+
+/// Step: a stamp timestamp is within the client's freshness bound.
+pub fn check_freshness(env: &VerifyEnv<'_>, stamped_at: SimTime) -> Result<(), RejectReason> {
+    if env.now.since(stamped_at) <= env.max_latency {
+        Ok(())
+    } else {
+        Err(RejectReason::Stale)
+    }
+}
+
+/// Full pledged-read verification (Section 3.2's client checks, in
+/// order: hash, slave signature, stamp signature, freshness).
+pub fn verify_pledged_read(
+    env: &VerifyEnv<'_>,
+    from: NodeId,
+    result: &QueryResult,
+    pledge: &Pledge,
+) -> Result<(), RejectReason> {
+    check_result_hash(pledge, result)?;
+    check_slave_signature(env, from, pledge)?;
+    check_version_stamp(env, &pledge.stamp)?;
+    check_freshness(env, pledge.stamp.timestamp)
+}
+
+/// Full proof-read verification: known responder, digest-stamp
+/// signature, freshness, then the Merkle path fold from the delivered
+/// result to the signed digest.
+pub fn verify_proof_read(
+    env: &VerifyEnv<'_>,
+    from: NodeId,
+    query: &Query,
+    result: &QueryResult,
+    proof: &StateProof,
+    stamp: &StateDigestStamp,
+) -> Result<(), RejectReason> {
+    if env.slave_key(from).is_none() {
+        return Err(RejectReason::UnknownSlave);
+    }
+    check_digest_stamp(env, stamp)?;
+    check_freshness(env, stamp.timestamp)?;
+    proof
+        .verify_result(&stamp.digest, stamp.version, query, result)
+        .map_err(RejectReason::BadProof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HashAlgo;
+    use crate::pledge::ResultHash;
+    use sdr_crypto::{HmacSigner, Signer as _};
+    use sdr_store::{Database, Document, UpdateOp, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.apply_write(&[
+            UpdateOp::CreateTable {
+                table: "t".into(),
+                indexes: vec![],
+            },
+            UpdateOp::Insert {
+                table: "t".into(),
+                key: 7,
+                doc: Document::new().with("v", 7i64),
+            },
+        ])
+        .unwrap();
+        db
+    }
+
+    struct Fixture {
+        master: HmacSigner,
+        slave: HmacSigner,
+        masters: Vec<(NodeId, PublicKey)>,
+        slaves: Vec<(NodeId, PublicKey)>,
+    }
+
+    fn fixture() -> Fixture {
+        let master = HmacSigner::from_seed_label(1, b"m");
+        let slave = HmacSigner::from_seed_label(2, b"s");
+        Fixture {
+            masters: vec![(NodeId(0), master.public_key())],
+            slaves: vec![(NodeId(5), slave.public_key())],
+            master,
+            slave,
+        }
+    }
+
+    fn env<'a>(f: &'a Fixture, now_ms: u64) -> VerifyEnv<'a> {
+        VerifyEnv {
+            masters: &f.masters,
+            slaves: &f.slaves,
+            now: SimTime::from_millis(now_ms),
+            max_latency: SimDuration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn strategy_picks_proof_only_for_static_reads() {
+        let get = Query::GetRow {
+            table: "t".into(),
+            key: 1,
+        };
+        let grep = Query::Grep {
+            pattern: "x".into(),
+            prefix: "/".into(),
+        };
+        assert_eq!(strategy_for(&get, true), ReadStrategy::Proof);
+        assert_eq!(strategy_for(&get, false), ReadStrategy::Pledged);
+        assert_eq!(strategy_for(&grep, true), ReadStrategy::Pledged);
+        assert_eq!(
+            strategy_for(&Query::ReadFile { path: "/a".into() }, true),
+            ReadStrategy::Proof
+        );
+    }
+
+    #[test]
+    fn pledged_pipeline_reports_each_failure() {
+        let mut f = fixture();
+        let query = Query::GetRow {
+            table: "t".into(),
+            key: 7,
+        };
+        let result = QueryResult::Scalar(Value::Int(9));
+        let stamp =
+            VersionStamp::build(1, SimTime::from_millis(100), NodeId(0), &mut f.master).unwrap();
+        let pledge = Pledge::build(
+            query,
+            ResultHash::of(&result, HashAlgo::Sha1),
+            stamp,
+            NodeId(5),
+            &mut f.slave,
+        )
+        .unwrap();
+
+        verify_pledged_read(&env(&f, 200), NodeId(5), &result, &pledge).unwrap();
+
+        // Wrong result → hash mismatch.
+        let wrong = QueryResult::Scalar(Value::Int(10));
+        assert_eq!(
+            verify_pledged_read(&env(&f, 200), NodeId(5), &wrong, &pledge),
+            Err(RejectReason::HashMismatch)
+        );
+        // Unknown responder.
+        assert_eq!(
+            verify_pledged_read(&env(&f, 200), NodeId(99), &result, &pledge),
+            Err(RejectReason::UnknownSlave)
+        );
+        // Tampered stamp → master signature dies.
+        let mut forged = pledge.clone();
+        forged.stamp.version += 1;
+        assert_eq!(
+            verify_pledged_read(&env(&f, 200), NodeId(5), &result, &forged),
+            Err(RejectReason::BadSlaveSignature)
+        );
+        // Staleness under the client bound.
+        assert_eq!(
+            verify_pledged_read(&env(&f, 2_000), NodeId(5), &result, &pledge),
+            Err(RejectReason::Stale)
+        );
+    }
+
+    #[test]
+    fn proof_pipeline_accepts_true_answers_and_kills_lies() {
+        let mut f = fixture();
+        let db = db();
+        let query = Query::GetRow {
+            table: "t".into(),
+            key: 7,
+        };
+        let (result, _) = sdr_store::execute(&db, &query).unwrap();
+        let proof = db.prove_row("t", 7).unwrap();
+        let stamp = StateDigestStamp::build(
+            db.version(),
+            db.state_digest(),
+            SimTime::from_millis(100),
+            NodeId(0),
+            &mut f.master,
+        )
+        .unwrap();
+
+        verify_proof_read(&env(&f, 200), NodeId(5), &query, &result, &proof, &stamp).unwrap();
+
+        // A corrupted result cannot carry a valid proof.
+        let lie = QueryResult::Rows(vec![(7, Document::new().with("v", 666i64))]);
+        assert!(matches!(
+            verify_proof_read(&env(&f, 200), NodeId(5), &query, &lie, &proof, &stamp),
+            Err(RejectReason::BadProof(_))
+        ));
+        // A forged digest stamp dies on the master signature.
+        let mut bad_stamp = stamp.clone();
+        bad_stamp.version += 1;
+        assert_eq!(
+            verify_proof_read(&env(&f, 200), NodeId(5), &query, &result, &proof, &bad_stamp),
+            Err(RejectReason::BadStampSignature)
+        );
+        // Stale digest stamps are rejected like stale pledges.
+        assert_eq!(
+            verify_proof_read(&env(&f, 2_000), NodeId(5), &query, &result, &proof, &stamp),
+            Err(RejectReason::Stale)
+        );
+        // Unknown responder.
+        assert_eq!(
+            verify_proof_read(&env(&f, 200), NodeId(99), &query, &result, &proof, &stamp),
+            Err(RejectReason::UnknownSlave)
+        );
+    }
+}

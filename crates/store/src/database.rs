@@ -133,20 +133,78 @@ impl Database {
     /// amortized after a point write (and O(1) when nothing changed); the
     /// underlying trees are history-independent, so equal content always
     /// produces equal digests regardless of the op sequence that built it.
+    ///
+    /// Because the folded roots are *search-tree* digests, the same value
+    /// also anchors authenticated point reads: see [`crate::proof`].
     pub fn state_digest(&self) -> Hash256 {
-        let mut buf = Vec::with_capacity(96);
-        buf.extend_from_slice(b"sdr/state/v2");
-        buf.extend_from_slice(&self.version.to_be_bytes());
-        buf.extend_from_slice(&(self.tables.len() as u32).to_be_bytes());
-        buf.extend_from_slice(self.tables.root_hash().as_ref());
-        buf.extend_from_slice(self.fs.files_digest().as_ref());
-        Sha256::digest(&buf)
+        digest_from_parts(
+            self.version,
+            self.tables.len() as u32,
+            &self.tables.root_hash(),
+            &self.fs.files_digest(),
+        )
+    }
+
+    /// Root digest of the table map (proof plumbing).
+    pub fn tables_root(&self) -> Hash256 {
+        self.tables.root_hash()
+    }
+
+    /// Number of tables (part of the state-digest preimage).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Inclusion proof for a table's entry in the table map (proof
+    /// plumbing; see [`crate::proof::RowProof`]).
+    pub fn prove_table_entry(&self, table: &str) -> crate::pmap::InclusionProof<String> {
+        self.tables.prove(&table.to_string())
+    }
+
+    /// Shared-vs-owned node counts across every persistent structure in
+    /// this handle (tables, their rows and indexes, and the file tree) —
+    /// O(n) memory telemetry, not a hot path.  Sharing is transitive: a
+    /// table whose *container node* is shared counts its rows shared
+    /// too, since the other handle reaches them through that node.
+    pub fn node_stats(&self) -> crate::pmap::NodeStats {
+        let mut out = crate::pmap::NodeStats::default();
+        self.tables.visit_nodes(false, &mut |table: &Table, shared| {
+            if shared {
+                out.shared += 1;
+            } else {
+                out.owned += 1;
+            }
+            out.merge(table.node_stats_inherited(shared));
+        });
+        out.merge(self.fs.node_stats());
+        out
     }
 
     /// Approximate total content size in bytes.
     pub fn size(&self) -> usize {
         self.tables.iter().map(|(_, t)| t.size()).sum::<usize>() + self.fs.total_bytes()
     }
+}
+
+/// Rebuilds the state digest from its authenticated parts.
+///
+/// Shared by [`Database::state_digest`] and proof verification
+/// ([`crate::proof`]): a verifier that has folded a proof into a
+/// `tables_root`/`files_root` pair recomputes the digest with exactly the
+/// preimage layout the producer used.
+pub fn digest_from_parts(
+    version: u64,
+    table_count: u32,
+    tables_root: &Hash256,
+    files_root: &Hash256,
+) -> Hash256 {
+    let mut buf = Vec::with_capacity(96);
+    buf.extend_from_slice(b"sdr/state/v3");
+    buf.extend_from_slice(&version.to_be_bytes());
+    buf.extend_from_slice(&table_count.to_be_bytes());
+    buf.extend_from_slice(tables_root.as_ref());
+    buf.extend_from_slice(files_root.as_ref());
+    Sha256::digest(&buf)
 }
 
 #[cfg(test)]

@@ -116,6 +116,17 @@ impl FsView {
         self.files.root_hash()
     }
 
+    /// O(log n) inclusion (or absence) proof for a path against
+    /// [`FsView::files_digest`] (see [`PMap::prove`]).
+    pub fn prove_file(&self, path: &str) -> crate::pmap::InclusionProof<String> {
+        self.files.prove(&path.to_string())
+    }
+
+    /// Shared-vs-owned node counts of the file tree (memory telemetry).
+    pub fn node_stats(&self) -> crate::pmap::NodeStats {
+        self.files.node_stats()
+    }
+
     /// Appends a canonical encoding of the whole tree (a linear scan —
     /// digests should prefer [`FsView::files_digest`]).
     pub fn encode_into(&self, out: &mut Vec<u8>) {

@@ -29,12 +29,34 @@
 //!   optimisation in Section 3.4);
 //! * [`snapshot`] — versioned snapshots enabling the delayed-discovery
 //!   rollback of Section 3.5 (O(1) per version thanks to structural
-//!   sharing).
+//!   sharing);
+//! * [`proof`] — authenticated point reads: O(log n) Merkle path proofs
+//!   from a row or file up to [`Database::state_digest`], presence and
+//!   absence alike.
 //!
 //! Everything is deterministic: canonical byte encodings make result hashes
 //! reproducible across masters, slaves, and the auditor, and the
 //! persistent trees are history-independent so equal content always
 //! yields equal digests.
+//!
+//! # The two read paths
+//!
+//! The protocol layer (`sdr-core`) serves reads in one of two ways, and
+//! this crate supplies the substrate for both:
+//!
+//! * **Pledge + audit** (computed queries — filters, aggregates, joins,
+//!   grep): the slave executes and signs a pledge over the result hash;
+//!   correctness is *probabilistic and after the fact* — a lie survives
+//!   until a double-check or the auditor's re-execution catches it.
+//!   Per-read cost: one result hash for the client, one re-execution for
+//!   the auditor.
+//! * **Proof-verified** (static point reads — `GetRow`, `ReadFile`): the
+//!   slave attaches a [`proof::StateProof`] anchored in a master-signed
+//!   state digest.  Correctness is *deterministic and immediate*: the
+//!   client verifies O(log n) hashes and needs no auditor, no
+//!   double-check, and no trust in the slave at all.  Per-read cost:
+//!   ~`depth × 65` proof bytes on the wire and O(log n) hashes at both
+//!   ends — no trusted-party work whatsoever.
 //!
 //! # Cost model
 //!
@@ -47,6 +69,8 @@
 //! | failed-batch rollback            | O(1) (restore pre-write handle) |
 //! | `state_digest` after a write     | O(log n) re-hashed nodes        |
 //! | `state_digest`, nothing changed  | O(1)                            |
+//! | `prove_row` / `prove_file`       | O(log n) (cached subtree hashes)|
+//! | proof verification (client side) | O(log n) hashes                 |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +84,7 @@ pub mod fsview;
 pub mod pattern;
 pub mod pmap;
 pub mod predicate;
+pub mod proof;
 pub mod query;
 pub mod snapshot;
 pub mod table;
@@ -67,14 +92,15 @@ pub mod update;
 pub mod value;
 
 pub use cache::QueryCache;
-pub use database::Database;
+pub use database::{digest_from_parts, Database};
 pub use document::Document;
 pub use error::StoreError;
 pub use exec::{execute, QueryCost};
 pub use fsview::FsView;
 pub use pattern::Pattern;
-pub use pmap::PMap;
+pub use pmap::{InclusionProof, NodeStats, PMap, ProofError};
 pub use predicate::{CmpOp, Predicate};
+pub use proof::{FileProof, RowProof, StateProof};
 pub use query::{Aggregate, Query, QueryResult};
 pub use snapshot::SnapshotStore;
 pub use table::Table;

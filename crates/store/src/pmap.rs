@@ -16,6 +16,16 @@
 //! so re-computing the root digest after a point update re-hashes only
 //! O(log n) nodes.
 //!
+//! Because the digest *is* a search tree, the map can also emit
+//! **authenticated point reads**: [`PMap::prove`] produces an
+//! [`InclusionProof`] — a hash path from an entry (or from the empty slot
+//! where a missing key would live) up to [`PMap::root_hash`] — reusing
+//! the cached subtree hashes so proof generation re-hashes only the
+//! O(log n) entry commitments along the search path.  Verification
+//! ([`InclusionProof::verify`]) checks both the hash fold and the
+//! BST search-order consistency of the path, so absence proofs are as
+//! binding as presence proofs.
+//!
 //! Cost model (n = entries, shared = a clone of this map is alive):
 //!
 //! | operation        | unshared        | shared                     |
@@ -25,8 +35,11 @@
 //! | `insert`/`remove`| O(log n)        | O(log n) node copies       |
 //! | `get_mut`        | O(log n)        | O(log n) node copies       |
 //! | `root_hash`      | O(1) amortized  | O(log n) after a mutation  |
+//! | `prove`/`verify` | O(log n)        | O(log n)                   |
 
-use sdr_crypto::merkle::{leaf_hash, node_hash};
+use sdr_crypto::merkle::{
+    entry_commitment, fold_treap_path, leaf_hash, node_hash, treap_node_hash, TreapStep,
+};
 use sdr_crypto::Hash256;
 use std::borrow::Borrow;
 use std::cmp::Ordering;
@@ -297,6 +310,280 @@ impl<K: PKey, V: Clone + MerkleContent> PMap<K, V> {
     pub fn root_hash_uncached(&self) -> Hash256 {
         link_hash_uncached(&self.root)
     }
+
+    /// Produces an O(log n) inclusion (or absence) proof for `key`
+    /// against [`PMap::root_hash`].
+    ///
+    /// Walks the search path, recording each ancestor's key, value
+    /// commitment, and opposite-subtree hash; subtree hashes come from
+    /// the per-node caches, so only the O(log n) entry commitments on
+    /// the path are re-hashed.  A missing key yields an absence proof:
+    /// the same path shape, anchored at the empty slot where the key
+    /// would live.
+    pub fn prove(&self, key: &K) -> InclusionProof<K> {
+        let mut steps = Vec::new();
+        let mut cur = &self.root;
+        loop {
+            let Some(n) = cur.as_deref() else {
+                steps.reverse();
+                return InclusionProof {
+                    anchor: ProofAnchor::Absent,
+                    steps,
+                };
+            };
+            match key.cmp(&n.key) {
+                Ordering::Equal => {
+                    steps.reverse();
+                    return InclusionProof {
+                        anchor: ProofAnchor::Present {
+                            left: link_hash(&n.left),
+                            right: link_hash(&n.right),
+                        },
+                        steps,
+                    };
+                }
+                Ordering::Less => {
+                    steps.push(ProofStep {
+                        key: n.key.clone(),
+                        value_commitment: value_commitment(&n.value),
+                        sibling: link_hash(&n.right),
+                        from_left: true,
+                    });
+                    cur = &n.left;
+                }
+                Ordering::Greater => {
+                    steps.push(ProofStep {
+                        key: n.key.clone(),
+                        value_commitment: value_commitment(&n.value),
+                        sibling: link_hash(&n.left),
+                        from_left: false,
+                    });
+                    cur = &n.right;
+                }
+            }
+        }
+    }
+}
+
+/// Why a proof failed verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// A presence proof came without a value (or an absence proof with
+    /// one) — the proof's shape contradicts the claimed result.
+    ShapeMismatch,
+    /// The path's keys are inconsistent with a binary search for the
+    /// target key (a malicious prover spliced paths together).
+    OrderViolation,
+    /// The folded hash does not match the trusted root digest.
+    RootMismatch,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::ShapeMismatch => write!(f, "proof shape contradicts claimed result"),
+            ProofError::OrderViolation => write!(f, "proof path violates search order"),
+            ProofError::RootMismatch => write!(f, "proof does not fold to the trusted root"),
+        }
+    }
+}
+
+/// What the proof is anchored at: the proven entry's node, or the empty
+/// slot where a missing key would live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofAnchor {
+    /// The key is present; these are its node's child subtree hashes.
+    Present {
+        /// Subtree hash of the entry node's left child.
+        left: Hash256,
+        /// Subtree hash of the entry node's right child.
+        right: Hash256,
+    },
+    /// The key is absent; the anchor is the empty link its search
+    /// terminates at.
+    Absent,
+}
+
+/// One ancestor on an authentication path, keyed so verifiers can check
+/// search-order consistency (the value travels only as a commitment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofStep<K> {
+    /// The ancestor's key.
+    pub key: K,
+    /// Commitment to the ancestor's value.
+    pub value_commitment: Hash256,
+    /// Subtree hash of the ancestor's child on the opposite side.
+    pub sibling: Hash256,
+    /// `true` when the proven subtree is the ancestor's left child.
+    pub from_left: bool,
+}
+
+/// An O(log n) proof that a key is present with a given value — or
+/// absent — in a [`PMap`] with a known [`PMap::root_hash`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InclusionProof<K> {
+    /// Presence anchor (child hashes) or absence marker.
+    pub anchor: ProofAnchor,
+    /// Path steps, leaf-to-root order.
+    pub steps: Vec<ProofStep<K>>,
+}
+
+impl<K: PKey> InclusionProof<K> {
+    /// Folds the proof into the root digest it implies, checking shape
+    /// and search-order consistency on the way.
+    ///
+    /// `value_encoding` is the canonical encoding of the claimed value:
+    /// `Some` claims presence, `None` claims absence.  The search-order
+    /// check makes absence binding: the hash fold pins the path to real
+    /// tree nodes, and the per-step ordering check proves the path is
+    /// *the* BST search path for `key`, so an empty anchor means the key
+    /// is nowhere in the tree.
+    pub fn computed_root(
+        &self,
+        key: &K,
+        value_encoding: Option<&[u8]>,
+    ) -> Result<Hash256, ProofError> {
+        let start = match (&self.anchor, value_encoding) {
+            (ProofAnchor::Present { left, right }, Some(enc)) => {
+                let entry = entry_commitment(&key_commitment(key), &leaf_hash(enc));
+                treap_node_hash(left, &entry, right)
+            }
+            (ProofAnchor::Absent, None) => empty_hash(),
+            _ => return Err(ProofError::ShapeMismatch),
+        };
+        let mut crypto_steps = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let consistent = match key.cmp(&step.key) {
+                Ordering::Less => step.from_left,
+                Ordering::Greater => !step.from_left,
+                Ordering::Equal => false, // The target cannot be its own ancestor.
+            };
+            if !consistent {
+                return Err(ProofError::OrderViolation);
+            }
+            crypto_steps.push(TreapStep {
+                entry: entry_commitment(&key_commitment(&step.key), &step.value_commitment),
+                sibling: step.sibling,
+                from_left: step.from_left,
+            });
+        }
+        Ok(fold_treap_path(&start, &crypto_steps))
+    }
+
+    /// Verifies the proof against a trusted root digest.
+    pub fn verify(
+        &self,
+        root: &Hash256,
+        key: &K,
+        value_encoding: Option<&[u8]>,
+    ) -> Result<(), ProofError> {
+        if self.computed_root(key, value_encoding)? == *root {
+            Ok(())
+        } else {
+            Err(ProofError::RootMismatch)
+        }
+    }
+
+    /// Whether this proof claims presence.
+    pub fn claims_present(&self) -> bool {
+        matches!(self.anchor, ProofAnchor::Present { .. })
+    }
+
+    /// Path length (tree depth of the proven slot).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Approximate wire size in bytes (anchor + per-step key, value
+    /// commitment, sibling hash, and direction bit).
+    pub fn wire_len(&self) -> usize {
+        let anchor = match self.anchor {
+            ProofAnchor::Present { .. } => 64,
+            ProofAnchor::Absent => 1,
+        };
+        let mut buf = Vec::new();
+        let steps: usize = self
+            .steps
+            .iter()
+            .map(|s| {
+                buf.clear();
+                s.key.encode_key(&mut buf);
+                buf.len() + 65
+            })
+            .sum();
+        anchor + steps
+    }
+}
+
+/// Shared-vs-owned node counts for one map (memory telemetry).
+///
+/// A node is *shared* when it (or any ancestor) has more than one strong
+/// reference — i.e. some other clone/snapshot also reaches it; *owned*
+/// nodes would be freed if this map were dropped.  Summed over a
+/// snapshot ring, `shared` measures structural reuse and `owned` the
+/// real retention cost of keeping history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Nodes reachable only through this handle.
+    pub owned: usize,
+    /// Nodes also reachable from other clones/snapshots.
+    pub shared: usize,
+}
+
+impl NodeStats {
+    /// Total reachable nodes.
+    pub fn total(&self) -> usize {
+        self.owned + self.shared
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: NodeStats) {
+        self.owned += other.owned;
+        self.shared += other.shared;
+    }
+}
+
+fn visit_nodes_rec<K, V>(
+    link: &Link<K, V>,
+    ancestor_shared: bool,
+    f: &mut impl FnMut(&V, bool),
+) {
+    let Some(n) = link else { return };
+    let shared = ancestor_shared || Arc::strong_count(n) > 1;
+    f(&n.value, shared);
+    visit_nodes_rec(&n.left, shared, f);
+    visit_nodes_rec(&n.right, shared, f);
+}
+
+impl<K, V> PMap<K, V> {
+    /// Visits every node's value with whether the node is shared (its
+    /// `Arc`, or any ancestor's, has more than one strong reference) —
+    /// the primitive containers build nested telemetry on.
+    pub fn visit_nodes(&self, ancestor_shared: bool, f: &mut impl FnMut(&V, bool)) {
+        visit_nodes_rec(&self.root, ancestor_shared, f);
+    }
+
+    /// Walks the whole tree counting shared vs owned nodes (O(n) — this
+    /// is telemetry, not a hot path).
+    pub fn node_stats(&self) -> NodeStats {
+        self.node_stats_inherited(false)
+    }
+
+    /// Like [`PMap::node_stats`], but with every node forced `shared`
+    /// when the map handle itself lives inside a shared container (a
+    /// table embedded in a shared database node is reachable from the
+    /// other handle too, even though its own `Arc` counts are 1).
+    pub fn node_stats_inherited(&self, ancestor_shared: bool) -> NodeStats {
+        let mut out = NodeStats::default();
+        self.visit_nodes(ancestor_shared, &mut |_, shared| {
+            if shared {
+                out.shared += 1;
+            } else {
+                out.owned += 1;
+            }
+        });
+        out
+    }
 }
 
 /// Digest of an empty subtree (distinct domain from any entry).
@@ -305,11 +592,26 @@ fn empty_hash() -> Hash256 {
     *EMPTY.get_or_init(|| leaf_hash(b"sdr/pmap/empty"))
 }
 
-fn entry_hash<K: PKey, V: MerkleContent>(node: &Node<K, V>) -> Hash256 {
-    let mut buf = Vec::with_capacity(64);
-    node.key.encode_key(&mut buf);
-    node.value.content_encode(&mut buf);
+/// Commitment to a key: the leaf hash of its canonical encoding.
+fn key_commitment<K: PKey>(key: &K) -> Hash256 {
+    let mut buf = Vec::with_capacity(16);
+    key.encode_key(&mut buf);
     leaf_hash(&buf)
+}
+
+/// Commitment to a value: the leaf hash of its canonical encoding.
+fn value_commitment<V: MerkleContent>(value: &V) -> Hash256 {
+    let mut buf = Vec::with_capacity(64);
+    value.content_encode(&mut buf);
+    leaf_hash(&buf)
+}
+
+/// An entry's commitment binds key and value commitments *separately*
+/// (rather than hashing their concatenation) so authentication paths can
+/// ship a path node's key in the clear — absence proofs need it to check
+/// search-order consistency — while the value travels as 32 bytes.
+fn entry_hash<K: PKey, V: MerkleContent>(node: &Node<K, V>) -> Hash256 {
+    entry_commitment(&key_commitment(&node.key), &value_commitment(&node.value))
 }
 
 fn link_hash<K: PKey, V: Clone + MerkleContent>(link: &Link<K, V>) -> Hash256 {
@@ -648,5 +950,131 @@ mod tests {
         let b: PMap<u64, String> = PMap::new();
         assert_eq!(a.root_hash(), b.root_hash());
         assert_ne!(a.root_hash(), map_of(&[1]).root_hash());
+    }
+
+    fn enc(v: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        v.to_string().content_encode(&mut out);
+        out
+    }
+
+    #[test]
+    fn proofs_verify_for_every_key_and_gap() {
+        let m = map_of(&[2, 4, 6, 8, 10, 12, 14]);
+        let root = m.root_hash();
+        for k in 0..16u64 {
+            let proof = m.prove(&k);
+            if m.contains_key(&k) {
+                assert!(proof.claims_present());
+                proof.verify(&root, &k, Some(&enc(&format!("v{k}")))).unwrap();
+                // The right value is bound: a different value fails.
+                assert_eq!(
+                    proof.verify(&root, &k, Some(&enc("wrong"))),
+                    Err(ProofError::RootMismatch)
+                );
+                // Claiming absence of a present key fails on shape.
+                assert_eq!(proof.verify(&root, &k, None), Err(ProofError::ShapeMismatch));
+            } else {
+                assert!(!proof.claims_present());
+                proof.verify(&root, &k, None).unwrap();
+                assert_eq!(
+                    proof.verify(&root, &k, Some(&enc("ghost"))),
+                    Err(ProofError::ShapeMismatch)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_map_absence_proof() {
+        let m: PMap<u64, String> = PMap::new();
+        let proof = m.prove(&7);
+        assert_eq!(proof.depth(), 0);
+        proof.verify(&m.root_hash(), &7, None).unwrap();
+    }
+
+    #[test]
+    fn single_key_proofs() {
+        let m = map_of(&[5]);
+        let root = m.root_hash();
+        m.prove(&5).verify(&root, &5, Some(&enc("v5"))).unwrap();
+        // Absence on both sides of the only key.
+        m.prove(&0).verify(&root, &0, None).unwrap();
+        m.prove(&u64::MAX).verify(&root, &u64::MAX, None).unwrap();
+    }
+
+    #[test]
+    fn absence_proofs_at_both_ends_of_key_range() {
+        let m = map_of(&(10..50).collect::<Vec<_>>());
+        let root = m.root_hash();
+        m.prove(&0).verify(&root, &0, None).unwrap();
+        m.prove(&9).verify(&root, &9, None).unwrap();
+        m.prove(&50).verify(&root, &50, None).unwrap();
+        m.prove(&u64::MAX).verify(&root, &u64::MAX, None).unwrap();
+    }
+
+    #[test]
+    fn proof_fails_against_digest_after_write() {
+        let mut m = map_of(&[1, 2, 3]);
+        let proof = m.prove(&2);
+        let old_root = m.root_hash();
+        m.insert(4, "v4".to_string());
+        let new_root = m.root_hash();
+        // Still good against the root it was made for...
+        proof.verify(&old_root, &2, Some(&enc("v2"))).unwrap();
+        // ...but stale against the post-write digest.
+        assert_eq!(
+            proof.verify(&new_root, &2, Some(&enc("v2"))),
+            Err(ProofError::RootMismatch)
+        );
+        // A fresh proof tracks the new digest.
+        m.prove(&2).verify(&new_root, &2, Some(&enc("v2"))).unwrap();
+    }
+
+    #[test]
+    fn spliced_path_rejected_by_order_check() {
+        let m = map_of(&(0..32).collect::<Vec<_>>());
+        let root = m.root_hash();
+        let mut proof = m.prove(&3);
+        assert!(!proof.steps.is_empty());
+        // Flip a step's direction: the fold changes AND the ordering
+        // check must fire before any hashing can be confused.
+        let i = proof.steps.len() - 1;
+        proof.steps[i].from_left = !proof.steps[i].from_left;
+        assert!(matches!(
+            proof.verify(&root, &3, Some(&enc("v3"))),
+            Err(ProofError::OrderViolation)
+        ));
+    }
+
+    #[test]
+    fn proof_depth_is_logarithmic() {
+        let m = map_of(&(0..1024).collect::<Vec<_>>());
+        let worst = (0..1024u64).map(|k| m.prove(&k).depth()).max().unwrap();
+        // A deterministic treap over 1024 keys stays well under the
+        // linear worst case; generous bound to avoid flakiness.
+        assert!(worst <= 40, "worst proof depth {worst}");
+        assert!(m.prove(&0).wire_len() > 0);
+    }
+
+    #[test]
+    fn node_stats_track_sharing() {
+        let mut m = map_of(&(0..100).collect::<Vec<_>>());
+        let before = m.node_stats();
+        assert_eq!(before.total(), 100);
+        assert_eq!(before.shared, 0);
+
+        let snap = m.clone();
+        // Everything reachable from both handles is now shared.
+        assert_eq!(m.node_stats().shared, 100);
+        assert_eq!(snap.node_stats().owned, 0);
+
+        // A point write re-owns only the copied path.
+        *m.get_mut(&50).expect("present") = "new".into();
+        let after = m.node_stats();
+        assert_eq!(after.total(), 100);
+        assert!(after.owned >= 1 && after.owned <= 40, "owned {}", after.owned);
+        drop(snap);
+        assert_eq!(m.node_stats().shared, 0);
     }
 }

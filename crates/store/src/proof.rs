@@ -1,0 +1,381 @@
+//! Whole-state authentication: chaining a point read to the state digest.
+//!
+//! [`crate::pmap::InclusionProof`] authenticates one entry against one
+//! map's root.  The state digest, however, commits to a *two-level*
+//! structure: rows live in a table's row map, the table lives (as its
+//! row-map root) in the database's table map, and the digest binds the
+//! table map root, the file tree root, the table count, and the content
+//! version.  The types here splice the levels together so a slave can
+//! hand a client one self-contained object that verifies a `GetRow` or
+//! `ReadFile` answer — presence *or* absence — directly against a
+//! master-signed [`Database::state_digest`], with no pledge, audit, or
+//! trusted re-execution involved.
+//!
+//! Everything stays O(log n): proof generation walks one search path per
+//! level reusing cached subtree hashes, and verification re-hashes only
+//! the path.
+
+use crate::database::{digest_from_parts, Database};
+use crate::document::Document;
+use crate::error::StoreError;
+use crate::pmap::{InclusionProof, MerkleContent, ProofError};
+use crate::query::{Query, QueryResult};
+use sdr_crypto::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// Proof that a row is present (with given content) or absent in a table,
+/// chained up to the database's state digest.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RowProof {
+    /// The table the row was looked up in.
+    pub table: String,
+    /// The primary key looked up.
+    pub key: u64,
+    /// Proof of the row (or its absence) within the table's row map.
+    pub row: InclusionProof<u64>,
+    /// The table's row count (part of the table's digest preimage).
+    pub table_len: u64,
+    /// Proof of the table's entry within the database's table map.
+    pub table_entry: InclusionProof<String>,
+    /// Number of tables (part of the state-digest preimage).
+    pub table_count: u32,
+    /// Digest of the file tree (the other half of the state digest).
+    pub files_digest: Hash256,
+}
+
+impl RowProof {
+    /// Verifies the proof against a trusted state digest for `version`.
+    ///
+    /// `row` is the claimed content: `Some(doc)` claims presence with
+    /// exactly that document, `None` claims absence.
+    pub fn verify(
+        &self,
+        expected_digest: &Hash256,
+        version: u64,
+        row: Option<&Document>,
+    ) -> Result<(), ProofError> {
+        let row_encoding = row.map(|doc| {
+            let mut out = Vec::with_capacity(64);
+            doc.content_encode(&mut out);
+            out
+        });
+        let rows_root = self.row.computed_root(&self.key, row_encoding.as_deref())?;
+
+        // The table's value in the outer map is (row count, rows root) —
+        // recompute its encoding from the inner fold, so a forged
+        // `table_len` or spliced row proof breaks the outer fold.
+        let mut table_value = Vec::with_capacity(40);
+        table_value.extend_from_slice(&self.table_len.to_be_bytes());
+        table_value.extend_from_slice(rows_root.as_ref());
+        let tables_root = self
+            .table_entry
+            .computed_root(&self.table, Some(&table_value))?;
+
+        let digest = digest_from_parts(version, self.table_count, &tables_root, &self.files_digest);
+        if digest == *expected_digest {
+            Ok(())
+        } else {
+            Err(ProofError::RootMismatch)
+        }
+    }
+}
+
+/// Proof that a file exists (with given contents) or is absent, chained
+/// up to the database's state digest.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FileProof {
+    /// The path looked up.
+    pub path: String,
+    /// Proof of the file (or its absence) within the file tree.
+    pub file: InclusionProof<String>,
+    /// Root of the table map (the other half of the state digest).
+    pub tables_root: Hash256,
+    /// Number of tables (part of the state-digest preimage).
+    pub table_count: u32,
+}
+
+impl FileProof {
+    /// Verifies the proof against a trusted state digest for `version`.
+    pub fn verify(
+        &self,
+        expected_digest: &Hash256,
+        version: u64,
+        contents: Option<&str>,
+    ) -> Result<(), ProofError> {
+        let encoding = contents.map(|c| {
+            let mut out = Vec::with_capacity(c.len() + 8);
+            c.to_string().content_encode(&mut out);
+            out
+        });
+        let files_root = self.file.computed_root(&self.path, encoding.as_deref())?;
+        let digest = digest_from_parts(version, self.table_count, &self.tables_root, &files_root);
+        if digest == *expected_digest {
+            Ok(())
+        } else {
+            Err(ProofError::RootMismatch)
+        }
+    }
+}
+
+/// A self-contained proof for one static point read.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StateProof {
+    /// Proof for a `GetRow` answer.
+    Row(RowProof),
+    /// Proof for a `ReadFile` answer.
+    File(FileProof),
+}
+
+impl StateProof {
+    /// Verifies that `result` is the authentic answer to `query` at the
+    /// state committed to by `expected_digest`/`version`.
+    ///
+    /// Checks three things: the proof is *about* the query (same table,
+    /// key, or path), the result has the shape the query produces, and
+    /// the hash path folds to the trusted digest.
+    pub fn verify_result(
+        &self,
+        expected_digest: &Hash256,
+        version: u64,
+        query: &Query,
+        result: &QueryResult,
+    ) -> Result<(), ProofError> {
+        match (self, query, result) {
+            (
+                StateProof::Row(proof),
+                Query::GetRow { table, key },
+                QueryResult::Rows(rows),
+            ) => {
+                if proof.table != *table || proof.key != *key || rows.len() > 1 {
+                    return Err(ProofError::ShapeMismatch);
+                }
+                let row = match rows.first() {
+                    Some((k, doc)) if *k == *key => Some(doc),
+                    Some(_) => return Err(ProofError::ShapeMismatch),
+                    None => None,
+                };
+                proof.verify(expected_digest, version, row)
+            }
+            (StateProof::File(proof), Query::ReadFile { path }, QueryResult::Text(text)) => {
+                if proof.path != *path {
+                    return Err(ProofError::ShapeMismatch);
+                }
+                proof.verify(expected_digest, version, text.as_deref())
+            }
+            _ => Err(ProofError::ShapeMismatch),
+        }
+    }
+
+    /// Total path length across both levels (hash work the verifier does).
+    pub fn depth(&self) -> usize {
+        match self {
+            StateProof::Row(p) => p.row.depth() + p.table_entry.depth(),
+            StateProof::File(p) => p.file.depth(),
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            StateProof::Row(p) => p.row.wire_len() + p.table_entry.wire_len() + 44 + 32,
+            StateProof::File(p) => p.file.wire_len() + p.path.len() + 36,
+        }
+    }
+}
+
+impl Database {
+    /// Produces a [`RowProof`] for `(table, key)` against the current
+    /// [`Database::state_digest`].  Errors when the table itself does
+    /// not exist (a missing *row* yields an absence proof instead).
+    pub fn prove_row(&self, table: &str, key: u64) -> Result<StateProof, StoreError> {
+        let t = self.table(table)?;
+        Ok(StateProof::Row(RowProof {
+            table: table.to_string(),
+            key,
+            row: t.prove_row(key),
+            table_len: t.len() as u64,
+            table_entry: self.prove_table_entry(table),
+            table_count: self.table_count() as u32,
+            files_digest: self.fs().files_digest(),
+        }))
+    }
+
+    /// Produces a [`FileProof`] for `path` (presence or absence) against
+    /// the current [`Database::state_digest`].
+    pub fn prove_file(&self, path: &str) -> StateProof {
+        StateProof::File(FileProof {
+            path: path.to_string(),
+            file: self.fs().prove_file(path),
+            tables_root: self.tables_root(),
+            table_count: self.table_count() as u32,
+        })
+    }
+
+    /// Proof machinery for an arbitrary static point read; `None` for
+    /// query shapes that need pledge+audit (computed queries).
+    pub fn prove_query(&self, query: &Query) -> Option<Result<StateProof, StoreError>> {
+        match query {
+            Query::GetRow { table, key } => Some(self.prove_row(table, *key)),
+            Query::ReadFile { path } => Some(Ok(self.prove_file(path))),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateOp;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.apply_write(&[
+            UpdateOp::CreateTable {
+                table: "t".into(),
+                indexes: vec![],
+            },
+            UpdateOp::Insert {
+                table: "t".into(),
+                key: 1,
+                doc: Document::new().with("v", 10i64),
+            },
+            UpdateOp::Insert {
+                table: "t".into(),
+                key: 2,
+                doc: Document::new().with("v", 20i64),
+            },
+            UpdateOp::WriteFile {
+                path: "/readme".into(),
+                contents: "hello world\n".into(),
+            },
+        ])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn row_presence_and_absence_verify() {
+        let db = db();
+        let digest = db.state_digest();
+        let v = db.version();
+
+        let q = Query::GetRow {
+            table: "t".into(),
+            key: 1,
+        };
+        let (result, _) = crate::exec::execute(&db, &q).unwrap();
+        db.prove_row("t", 1)
+            .unwrap()
+            .verify_result(&digest, v, &q, &result)
+            .unwrap();
+
+        // Absent row: empty result + absence proof.
+        let q99 = Query::GetRow {
+            table: "t".into(),
+            key: 99,
+        };
+        db.prove_row("t", 99)
+            .unwrap()
+            .verify_result(&digest, v, &q99, &QueryResult::Rows(vec![]))
+            .unwrap();
+    }
+
+    #[test]
+    fn file_presence_and_absence_verify() {
+        let db = db();
+        let digest = db.state_digest();
+        let v = db.version();
+        let q = Query::ReadFile {
+            path: "/readme".into(),
+        };
+        db.prove_file("/readme")
+            .verify_result(
+                &digest,
+                v,
+                &q,
+                &QueryResult::Text(Some("hello world\n".into())),
+            )
+            .unwrap();
+        let qm = Query::ReadFile {
+            path: "/missing".into(),
+        };
+        db.prove_file("/missing")
+            .verify_result(&digest, v, &qm, &QueryResult::Text(None))
+            .unwrap();
+    }
+
+    #[test]
+    fn forged_answers_rejected() {
+        let db = db();
+        let digest = db.state_digest();
+        let v = db.version();
+        let q = Query::GetRow {
+            table: "t".into(),
+            key: 1,
+        };
+        let proof = db.prove_row("t", 1).unwrap();
+
+        // Wrong document content.
+        let forged = QueryResult::Rows(vec![(1, Document::new().with("v", 666i64))]);
+        assert_eq!(
+            proof.verify_result(&digest, v, &q, &forged),
+            Err(ProofError::RootMismatch)
+        );
+        // Claiming the row is absent.
+        assert_eq!(
+            proof.verify_result(&digest, v, &q, &QueryResult::Rows(vec![])),
+            Err(ProofError::ShapeMismatch)
+        );
+        // A proof for a different key cannot answer this query.
+        let other = db.prove_row("t", 2).unwrap();
+        let (result, _) = crate::exec::execute(&db, &q).unwrap();
+        assert_eq!(
+            other.verify_result(&digest, v, &q, &result),
+            Err(ProofError::ShapeMismatch)
+        );
+        // Wrong version (digest binds it).
+        assert_eq!(
+            proof.verify_result(&digest, v + 1, &q, &result),
+            Err(ProofError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn proof_goes_stale_after_write() {
+        let mut db = db();
+        let q = Query::ReadFile {
+            path: "/readme".into(),
+        };
+        let proof = db.prove_file("/readme");
+        let old_digest = db.state_digest();
+        let old_v = db.version();
+        db.apply_write(&[UpdateOp::AppendFile {
+            path: "/readme".into(),
+            contents: "more\n".into(),
+        }])
+        .unwrap();
+        let result = QueryResult::Text(Some("hello world\n".into()));
+        proof
+            .verify_result(&old_digest, old_v, &q, &result)
+            .unwrap();
+        assert!(proof
+            .verify_result(&db.state_digest(), db.version(), &q, &result)
+            .is_err());
+    }
+
+    #[test]
+    fn missing_table_is_an_error_not_a_proof() {
+        let db = db();
+        assert!(db.prove_row("nope", 1).is_err());
+        assert!(db
+            .prove_query(&Query::GetRow {
+                table: "nope".into(),
+                key: 1
+            })
+            .unwrap()
+            .is_err());
+        assert!(db
+            .prove_query(&Query::ListFiles { prefix: "/".into() })
+            .is_none());
+    }
+}

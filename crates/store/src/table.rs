@@ -201,6 +201,29 @@ impl Table {
         self.rows.root_hash()
     }
 
+    /// O(log n) inclusion (or absence) proof for a row against
+    /// [`Table::rows_digest`] (see [`PMap::prove`]).
+    pub fn prove_row(&self, key: u64) -> crate::pmap::InclusionProof<u64> {
+        self.rows.prove(&key)
+    }
+
+    /// Shared-vs-owned node counts over rows and index buckets
+    /// (memory telemetry).  `ancestor_shared` marks a table reached
+    /// through an already-shared container node.
+    pub fn node_stats_inherited(&self, ancestor_shared: bool) -> crate::pmap::NodeStats {
+        let mut out = self.rows.node_stats_inherited(ancestor_shared);
+        for index in self.indexes.values() {
+            out.merge(index.node_stats_inherited(ancestor_shared));
+        }
+        out
+    }
+
+    /// Shared-vs-owned node counts over rows and index buckets
+    /// (memory telemetry).
+    pub fn node_stats(&self) -> crate::pmap::NodeStats {
+        self.node_stats_inherited(false)
+    }
+
     /// Appends a canonical encoding of the full table state (a linear
     /// scan — digests should prefer [`Table::rows_digest`]).
     pub fn encode_into(&self, out: &mut Vec<u8>) {

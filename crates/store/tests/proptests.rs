@@ -231,6 +231,62 @@ proptest! {
         }
     }
 
+    /// Proof oracle: after an arbitrary edit sequence, `prove`/`verify`
+    /// agree with `root_hash` for every probed key — present keys verify
+    /// with exactly their current value (and nothing else), absent keys
+    /// verify as absent (and not as present), and no proof survives a
+    /// subsequent mutation of the map.
+    #[test]
+    fn pmap_proofs_agree_with_root_hash_on_random_edits(
+        ops in proptest::collection::vec((0u64..48, "[a-z]{0,6}", any::<bool>()), 1..80),
+        probes in proptest::collection::vec(0u64..64, 1..12),
+    ) {
+        let enc = |v: &str| {
+            let mut out = Vec::new();
+            use sdr_store::pmap::MerkleContent;
+            v.to_string().content_encode(&mut out);
+            out
+        };
+        let mut map: PMap<u64, String> = PMap::new();
+        let mut model: BTreeMap<u64, String> = BTreeMap::new();
+        for (key, val, is_remove) in &ops {
+            if *is_remove {
+                map.remove(key);
+                model.remove(key);
+            } else {
+                map.insert(*key, val.clone());
+                model.insert(*key, val.clone());
+            }
+        }
+        let root = map.root_hash();
+        for key in &probes {
+            let proof = map.prove(key);
+            match model.get(key) {
+                Some(val) => {
+                    prop_assert!(proof.claims_present());
+                    proof.verify(&root, key, Some(&enc(val)))
+                        .unwrap_or_else(|e| panic!("key {key}: {e}"));
+                    // Only the true value verifies.
+                    prop_assert!(proof.verify(&root, key, Some(&enc("forged-x"))).is_err());
+                    prop_assert!(proof.verify(&root, key, None).is_err());
+                }
+                None => {
+                    prop_assert!(!proof.claims_present());
+                    proof.verify(&root, key, None)
+                        .unwrap_or_else(|e| panic!("absent {key}: {e}"));
+                    prop_assert!(proof.verify(&root, key, Some(&enc("ghost"))).is_err());
+                }
+            }
+        }
+        // A mutation invalidates proofs against the new root.
+        let probe = probes[0];
+        let proof = map.prove(&probe);
+        map.insert(63, "post-proof".into());
+        let claimed = model.get(&probe).map(|v| enc(v));
+        prop_assert!(proof.verify(&map.root_hash(), &probe, claimed.as_deref()).is_err()
+            || probe == 63);
+    }
+
     /// Database digests are a pure function of content across interleaved
     /// snapshots, rolled-back batches, and shared structure.
     #[test]
