@@ -15,21 +15,32 @@
 //!   answers with an O(log n) Merkle path against a master-signed state
 //!   digest; the client verifies it locally and accepts *finally*: no
 //!   pledge, no double-check, no auditor traffic.  A failed proof (a
-//!   lying or corrupt slave) falls the read back to the pledged path.
+//!   lying or corrupt slave) first retries one *other* replica of the
+//!   same shard on the proof path; only a second failure falls the read
+//!   back to the pledged pipeline.
+//!
+//! With the content space sharded, the client is the router: every
+//! query and write batch is mapped to its owning shard by the
+//! [`ShardMap`], and the whole pipeline for that request — slaves,
+//! master, auditor, verification keys — is the owning shard's.  Each
+//! shard independently carries the paper's trust argument; a Byzantine
+//! replica in one shard never appears on another shard's read path.
 //!
 //! The Section 4 variants live here too: security-sensitive reads go
-//! straight to the trusted master, and `read_quorum > 1` sends the same
-//! query to several slaves, auto-double-checking on any disagreement.
+//! straight to the owning shard's trusted master, and `read_quorum > 1`
+//! sends the same query to several of that shard's slaves,
+//! auto-double-checking on any disagreement.
 
 use crate::config::SystemConfig;
 use crate::messages::{CheckVerdict, Msg, RefuseReason, StateDigestStamp, WriteOutcome};
 use crate::pledge::Pledge;
+use crate::shard::ShardMap;
 use crate::verify::{self, ReadStrategy, RejectReason, VerifyEnv};
 use crate::workload::Workload;
 use rand::Rng;
 use sdr_crypto::{CertRole, PublicKey};
 use sdr_sim::{Ctx, NodeId, Process, SimDuration, SimTime};
-use sdr_store::{Query, QueryResult, StateProof, UpdateOp};
+use sdr_store::{Query, QueryResult, StateProof};
 use std::collections::{HashMap, HashSet};
 
 const K_BOOT: u64 = 1;
@@ -58,12 +69,30 @@ enum Phase {
     Ready,
 }
 
+/// The client's view of one shard: its masters, the chosen setup master,
+/// the assigned slaves, and the shard's auditor.
+#[derive(Clone, Debug, Default)]
+struct ShardView {
+    masters: Vec<(NodeId, PublicKey)>,
+    master: Option<(NodeId, PublicKey)>,
+    slaves: Vec<(NodeId, PublicKey)>,
+    /// Spare replicas of the shard: outside the read quorum, targeted
+    /// only by proof-path retries.
+    spares: Vec<(NodeId, PublicKey)>,
+    auditor: NodeId,
+}
+
 struct PendingRead {
     query: Query,
+    /// Owning shard (routing key of the whole pipeline).
+    shard: usize,
     sensitive: bool,
     /// Which verification pipeline this read runs; flips from `Proof` to
-    /// `Pledged` when a proof attempt is rejected (fallback).
+    /// `Pledged` when the proof attempts are exhausted (fallback).
     strategy: ReadStrategy,
+    /// Whether the one extra same-shard proof-path replica retry has
+    /// been spent (proof-path hardening).
+    proof_retried: bool,
     attempts: u32,
     issued_at: SimTime,
     awaiting: HashSet<NodeId>,
@@ -92,6 +121,9 @@ pub struct ClientCounters {
     pub proof_reads_issued: u64,
     /// Proof-verified reads accepted (these never touch the auditor).
     pub proof_reads_accepted: u64,
+    /// Rejected proof replies retried on another replica of the same
+    /// shard, still on the proof path (before any pledged fallback).
+    pub proof_retries: u64,
 }
 
 /// A client process.
@@ -104,17 +136,18 @@ pub struct ClientProcess {
     is_writer: bool,
     dc_prob: f64,
     my_max_latency: SimDuration,
+    map: ShardMap,
 
     phase: Phase,
-    masters: Vec<(NodeId, PublicKey)>,
-    master: Option<(NodeId, PublicKey)>,
+    shards: Vec<ShardView>,
+    /// Shards with an outstanding `SetupRequest`: exactly these have an
+    /// unresponsive master to blame when the setup timeout fires.
+    awaiting_setup: HashSet<usize>,
     blacklist: HashSet<NodeId>,
-    slaves: Vec<(NodeId, PublicKey)>,
-    auditor: NodeId,
 
     next_req: u64,
     pending: HashMap<u64, PendingRead>,
-    pending_writes: HashMap<u64, (SimTime, Vec<UpdateOp>)>,
+    pending_writes: HashMap<u64, (SimTime, usize)>,
 
     /// `(slave, accepted result-hash bytes)` — joined post-run against
     /// slave lie logs to count wrong answers that slipped through.
@@ -145,6 +178,8 @@ impl ClientProcess {
             .find(|(i, _)| *i == index)
             .map(|(_, d)| *d)
             .unwrap_or(cfg.max_latency);
+        let map = ShardMap::new(cfg.n_shards, &workload.dataset);
+        let shards = vec![ShardView::default(); cfg.n_shards.max(1)];
         ClientProcess {
             cfg,
             workload,
@@ -154,12 +189,11 @@ impl ClientProcess {
             is_writer,
             dc_prob,
             my_max_latency,
+            map,
             phase: Phase::Boot,
-            masters: Vec::new(),
-            master: None,
+            shards,
+            awaiting_setup: HashSet::new(),
             blacklist: HashSet::new(),
-            slaves: Vec::new(),
-            auditor: NodeId(0),
             next_req: 1,
             pending: HashMap::new(),
             pending_writes: HashMap::new(),
@@ -178,26 +212,41 @@ impl ClientProcess {
         self.counters
     }
 
-    /// The client's assigned slaves (test inspection).
+    /// The client's assigned slaves across all shards (test inspection).
     pub fn assigned_slaves(&self) -> Vec<NodeId> {
-        self.slaves.iter().map(|(n, _)| *n).collect()
+        self.shards
+            .iter()
+            .flat_map(|sv| sv.slaves.iter().map(|(n, _)| *n))
+            .collect()
     }
 
-    /// Whether setup completed.
+    /// The client's assigned slaves of one shard (test inspection).
+    pub fn assigned_slaves_of_shard(&self, shard: usize) -> Vec<NodeId> {
+        self.shards[shard].slaves.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Whether setup completed (every shard has at least one slave).
     pub fn is_ready(&self) -> bool {
         self.phase == Phase::Ready
     }
 
     fn boot(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.phase = Phase::AwaitDir;
-        self.master = None;
-        self.slaves.clear();
-        ctx.send(self.directory, Msg::DirLookup);
+        for sv in &mut self.shards {
+            sv.master = None;
+            sv.slaves.clear();
+            sv.spares.clear();
+            sv.masters.clear();
+        }
+        self.awaiting_setup.clear();
+        for shard in 0..self.shards.len() {
+            ctx.send(self.directory, Msg::DirLookup { shard: shard as u32 });
+        }
         ctx.set_timer(self.cfg.read_timeout * 4, tag(K_SETUP_TIMEOUT, 0));
     }
 
-    fn choose_master(&mut self, auditor: NodeId) -> Option<(NodeId, PublicKey)> {
-        let eligible: Vec<&(NodeId, PublicKey)> = self
+    fn choose_master(&self, shard: usize, auditor: NodeId) -> Option<(NodeId, PublicKey)> {
+        let eligible: Vec<&(NodeId, PublicKey)> = self.shards[shard]
             .masters
             .iter()
             .filter(|(n, _)| *n != auditor && !self.blacklist.contains(n))
@@ -221,23 +270,53 @@ impl ClientProcess {
         ctx.set_timer(gap, tag(K_NEXT_WRITE, 0));
     }
 
-    /// Picks the slave a proof read targets: rotated by request id and
-    /// attempt so retries (after timeouts) try a different replica.
-    /// `None` when the client currently has no slaves (mid-reassignment;
-    /// the read then waits for its timeout like the pledged path does).
-    fn proof_target(&self, req: u64, attempts: u32) -> Option<NodeId> {
-        if self.slaves.is_empty() {
+    /// Rotation cursor shared by every proof-path target pick: request
+    /// id plus attempt count, wrapped over the replica list.
+    fn proof_rotation(req: u64, attempts: u32, n: usize) -> usize {
+        (req as usize + attempts as usize) % n.max(1)
+    }
+
+    /// Picks the slave a proof read targets within the owning shard:
+    /// rotated by request id and attempt so retries (after timeouts) try
+    /// a different replica.  `None` when the shard currently has no
+    /// slaves (mid-reassignment; the read then waits for its timeout
+    /// like the pledged path does).
+    fn proof_target(&self, shard: usize, req: u64, attempts: u32) -> Option<NodeId> {
+        let slaves = &self.shards[shard].slaves;
+        if slaves.is_empty() {
             return None;
         }
-        let i = (req as usize + attempts as usize) % self.slaves.len();
-        Some(self.slaves[i].0)
+        Some(slaves[Self::proof_rotation(req, attempts, slaves.len())].0)
+    }
+
+    /// Picks the replica a *rejected* proof retries: the next assigned
+    /// replica in the same rotation that is not the one that failed, or
+    /// — with a quorum of one — the setup-issued spare of the shard.
+    fn proof_retry_target(
+        &self,
+        shard: usize,
+        req: u64,
+        attempts: u32,
+        failed: NodeId,
+    ) -> Option<NodeId> {
+        let sv = &self.shards[shard];
+        let n = sv.slaves.len();
+        let start = Self::proof_rotation(req, attempts, n);
+        (1..=n)
+            .map(|i| sv.slaves[(start + i) % n].0)
+            .find(|s| *s != failed)
+            .or_else(|| sv.spares.iter().map(|(s, _)| *s).find(|s| *s != failed))
     }
 
     fn issue_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if self.phase != Phase::Ready || self.slaves.is_empty() {
+        if self.phase != Phase::Ready {
             return;
         }
         let query = self.workload.mix.sample(ctx.rng(), &self.workload.dataset);
+        let shard = self.map.shard_of_query(&query);
+        if self.shards[shard].slaves.is_empty() {
+            return;
+        }
         let req = self.next_req;
         self.next_req += 1;
         self.counters.reads_issued += 1;
@@ -253,9 +332,9 @@ impl ClientProcess {
         };
         let mut awaiting = HashSet::new();
         if sensitive {
-            // Section 4 variant: run on trusted hardware only.
+            // Section 4 variant: run on the owning shard's trusted master.
             ctx.metrics().inc("read.sensitive");
-            let (m, _) = self.master.expect("ready implies master");
+            let (m, _) = self.shards[shard].master.expect("ready implies master");
             ctx.send(
                 m,
                 Msg::TrustedRead {
@@ -269,7 +348,9 @@ impl ClientProcess {
             // is nothing a quorum would vote on.
             self.counters.proof_reads_issued += 1;
             ctx.metrics().inc("read.proof_issued");
-            let s = self.proof_target(req, 0).expect("checked non-empty above");
+            let s = self
+                .proof_target(shard, req, 0)
+                .expect("checked non-empty above");
             ctx.send(
                 s,
                 Msg::ProofRead {
@@ -279,7 +360,7 @@ impl ClientProcess {
             );
             awaiting.insert(s);
         } else {
-            for (s, _) in &self.slaves {
+            for (s, _) in &self.shards[shard].slaves {
                 ctx.send(
                     *s,
                     Msg::ReadRequest {
@@ -294,8 +375,10 @@ impl ClientProcess {
             req,
             PendingRead {
                 query,
+                shard,
                 sensitive,
                 strategy,
+                proof_retried: false,
                 attempts: 0,
                 issued_at: ctx.now(),
                 awaiting,
@@ -319,8 +402,9 @@ impl ClientProcess {
         p.responses.clear();
         p.mismatch_check_sent = false;
         p.awaiting.clear();
+        let shard = p.shard;
         if p.sensitive {
-            let (m, _) = self.master.expect("ready implies master");
+            let (m, _) = self.shards[shard].master.expect("ready implies master");
             ctx.send(
                 m,
                 Msg::TrustedRead {
@@ -331,7 +415,7 @@ impl ClientProcess {
             p.awaiting.insert(m);
         } else if p.strategy == ReadStrategy::Proof {
             let (query, attempts) = (p.query.clone(), p.attempts);
-            if let Some(s) = self.proof_target(req, attempts) {
+            if let Some(s) = self.proof_target(shard, req, attempts) {
                 ctx.send(s, Msg::ProofRead { req_id: req, query });
                 self.pending
                     .get_mut(&req)
@@ -342,7 +426,8 @@ impl ClientProcess {
             // No slaves right now (mid-reassignment): the read idles on
             // its timeout, exactly like the pledged branch below.
         } else {
-            let targets: Vec<NodeId> = self.slaves.iter().map(|(n, _)| *n).collect();
+            let targets: Vec<NodeId> =
+                self.shards[shard].slaves.iter().map(|(n, _)| *n).collect();
             for s in targets {
                 let q = self.pending.get(&req).expect("present").query.clone();
                 ctx.send(s, Msg::ReadRequest { req_id: req, query: q });
@@ -356,11 +441,15 @@ impl ClientProcess {
         ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
     }
 
-    /// The verification environment for this client at `now`.
-    fn verify_env(&self, now: SimTime) -> VerifyEnv<'_> {
+    /// The verification environment for one shard's pipeline at `now`:
+    /// only the owning shard's masters and slaves are trusted
+    /// verification keys, so stamps and pledges from another shard's
+    /// subgroup never verify here.
+    fn verify_env(&self, shard: usize, now: SimTime) -> VerifyEnv<'_> {
         VerifyEnv {
-            masters: &self.masters,
-            slaves: &self.slaves,
+            masters: &self.shards[shard].masters,
+            slaves: &self.shards[shard].slaves,
+            spares: &self.shards[shard].spares,
             now,
             max_latency: self.my_max_latency,
         }
@@ -382,6 +471,7 @@ impl ClientProcess {
     fn verify_response(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
+        shard: usize,
         slave: NodeId,
         result: &QueryResult,
         pledge: &Pledge,
@@ -389,7 +479,7 @@ impl ClientProcess {
         // One result hash plus two signature verifications.
         ctx.charge(ctx.costs().hash_cost(result.size()));
         ctx.charge(ctx.costs().verify * 2u64);
-        let env = self.verify_env(ctx.now());
+        let env = self.verify_env(shard, ctx.now());
         match verify::verify_pledged_read(&env, slave, result, pledge) {
             Ok(()) => true,
             Err(reason) => {
@@ -401,8 +491,13 @@ impl ClientProcess {
 
     /// Handles one proof-read reply: verify the digest stamp and the
     /// Merkle path, then accept *finally* — proof-verified reads never
-    /// touch the double-check or audit machinery.  A rejected proof
-    /// falls the read back to the pledged path.
+    /// touch the double-check or audit machinery.
+    ///
+    /// Rejection runs the hardened path: the first rejected reply
+    /// retries one *other* replica of the same shard, still on the proof
+    /// path (a single bad replica should not cost the read its
+    /// deterministic verification); only when that is spent does the
+    /// read fall back to pledge+audit.
     fn handle_proof_reply(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -420,7 +515,8 @@ impl ClientProcess {
         ctx.charge(ctx.costs().verify);
         ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
         ctx.charge(ctx.costs().hash_cost(result.size()));
-        let env = self.verify_env(ctx.now());
+        let shard = p.shard;
+        let env = self.verify_env(shard, ctx.now());
         let verdict = verify::verify_proof_read(&env, from, &p.query, &result, &proof, &stamp);
         match verdict {
             Ok(()) => {
@@ -446,16 +542,37 @@ impl ClientProcess {
             Err(reason) => {
                 // Deterministic lie detection: the slave shipped a result
                 // its proof cannot cover (or a stale/forged anchor).
-                // Fall back to the pledged pipeline for the retries.
                 self.note_rejection(ctx, reason);
                 // Umbrella counter: *any* rejected proof reply, whatever
                 // the reason (the reason-specific metric has the detail).
                 ctx.metrics().inc("read.proof_rejected");
-                ctx.metrics().inc("read.proof_fallback");
                 let p = self.pending.get_mut(&req).expect("present");
-                p.strategy = ReadStrategy::Pledged;
                 p.awaiting.remove(&from);
-                self.retry_read(ctx, req);
+                let attempts = p.attempts;
+                let retry_target = (!p.proof_retried)
+                    .then(|| self.proof_retry_target(shard, req, attempts, from))
+                    .flatten();
+                let p = self.pending.get_mut(&req).expect("present");
+                match retry_target {
+                    Some(s) => {
+                        // Proof-path hardening: one same-shard replica
+                        // retry before any pledged fallback.
+                        p.proof_retried = true;
+                        p.awaiting.insert(s);
+                        let query = p.query.clone();
+                        self.counters.proof_retries += 1;
+                        ctx.metrics().inc("read.proof_retry");
+                        ctx.send(s, Msg::ProofRead { req_id: req, query });
+                        ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
+                    }
+                    None => {
+                        // Fall back to the pledged pipeline for the
+                        // remaining retries.
+                        ctx.metrics().inc("read.proof_fallback");
+                        p.strategy = ReadStrategy::Pledged;
+                        self.retry_read(ctx, req);
+                    }
+                }
             }
         }
     }
@@ -476,7 +593,9 @@ impl ClientProcess {
             // slaves has to be malicious."
             if !p.mismatch_check_sent {
                 ctx.metrics().inc("read.quorum_mismatch");
-                let (m, _) = self.master.expect("ready implies master");
+                let (m, _) = self.shards[p.shard]
+                    .master
+                    .expect("ready implies master");
                 let pledges: Vec<Pledge> =
                     p.responses.iter().map(|(_, _, pl)| pl.clone()).collect();
                 self.pending.get_mut(&req).expect("present").mismatch_check_sent = true;
@@ -490,11 +609,12 @@ impl ClientProcess {
         }
 
         let p = self.pending.remove(&req).expect("present");
-        // Forward pledges to the auditor *before* accepting (Section 3.4),
-        // unless this read is the sampled double-check.
+        // Forward pledges to the owning shard's auditor *before*
+        // accepting (Section 3.4), unless this read is the sampled
+        // double-check.
         let double_check = ctx.coin() < self.dc_prob;
         if double_check {
-            let (m, _) = self.master.expect("ready implies master");
+            let (m, _) = self.shards[p.shard].master.expect("ready implies master");
             self.counters.dc_sent += 1;
             ctx.metrics().inc("dc.sent");
             ctx.send(
@@ -505,8 +625,9 @@ impl ClientProcess {
                 },
             );
         } else {
+            let auditor = self.shards[p.shard].auditor;
             for (_, _, pl) in &p.responses {
-                ctx.send(self.auditor, Msg::AuditSubmit { pledge: pl.clone() });
+                ctx.send(auditor, Msg::AuditSubmit { pledge: pl.clone() });
             }
         }
         for (slave, _, pl) in &p.responses {
@@ -518,9 +639,18 @@ impl ClientProcess {
         ctx.metrics().observe("read.latency_us", latency.as_micros());
     }
 
+    /// Shard whose subgroup contains master node `m` (by directory
+    /// listing, falling back to the chosen setup master).
+    fn shard_of_master(&self, m: NodeId) -> Option<usize> {
+        self.shards.iter().position(|sv| {
+            sv.master.map(|(n, _)| n) == Some(m) || sv.masters.iter().any(|(n, _)| *n == m)
+        })
+    }
+
     fn handle_reassign(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
         excluded: NodeId,
         replacement: Option<(NodeId, sdr_crypto::Certificate)>,
     ) {
@@ -531,17 +661,21 @@ impl ClientProcess {
             self.boot(ctx);
             return;
         }
+        let Some(shard) = self.shard_of_master(from) else { return };
         ctx.metrics().inc("client.reassigned");
-        self.slaves.retain(|(n, _)| *n != excluded);
+        self.shards[shard].slaves.retain(|(n, _)| *n != excluded);
+        self.shards[shard].spares.retain(|(n, _)| *n != excluded);
         if let Some((node, cert)) = replacement {
             ctx.charge(ctx.costs().verify);
-            let master_key = self.master.map(|(_, k)| k);
-            let valid = master_key.is_some_and(|k| cert.verify_role(&k, CertRole::Slave).is_ok());
+            let master_key = self.shards[shard].master.map(|(_, k)| k);
+            let valid = master_key.is_some_and(|k| {
+                cert.verify_scoped(&k, CertRole::Slave, shard as u32).is_ok()
+            });
             if valid {
-                self.slaves.push((node, cert.body.subject_key));
+                self.shards[shard].slaves.push((node, cert.body.subject_key));
             }
         }
-        if self.slaves.is_empty() {
+        if self.shards[shard].slaves.is_empty() {
             // No replacement capacity here: redo setup.
             self.counters.re_setups += 1;
             self.boot(ctx);
@@ -581,12 +715,13 @@ impl Process<Msg> for ClientProcess {
             }
             (K_NEXT_WRITE, _) => {
                 if self.phase == Phase::Ready {
-                    if let Some((m, _)) = self.master {
-                        let req = self.next_req;
-                        self.next_req += 1;
-                        let ops = self.workload.sample_write(ctx.rng());
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    let ops = self.workload.sample_write(ctx.rng());
+                    let shard = self.map.shard_of_ops(&ops);
+                    if let Some((m, _)) = self.shards[shard].master {
                         ctx.metrics().inc("write.issued");
-                        self.pending_writes.insert(req, (ctx.now(), ops.clone()));
+                        self.pending_writes.insert(req, (ctx.now(), shard));
                         ctx.send(m, Msg::WriteRequest { req_id: req, ops });
                         ctx.set_timer(
                             self.cfg.max_latency * 4 + self.cfg.read_timeout,
@@ -598,7 +733,11 @@ impl Process<Msg> for ClientProcess {
             }
             (K_READ_TIMEOUT, req)
                 if self.pending.contains_key(&req) => {
-                    let sensitive = self.pending.get(&req).map(|p| p.sensitive).unwrap_or(false);
+                    let (sensitive, shard) = self
+                        .pending
+                        .get(&req)
+                        .map(|p| (p.sensitive, p.shard))
+                        .unwrap_or((false, 0));
                     let got_nothing = self
                         .pending
                         .get(&req)
@@ -607,7 +746,7 @@ impl Process<Msg> for ClientProcess {
                     ctx.metrics().inc("read.timeout");
                     if sensitive && got_nothing {
                         // Master unresponsive: fail over.
-                        if let Some((m, _)) = self.master {
+                        if let Some((m, _)) = self.shards[shard].master {
                             self.blacklist.insert(m);
                         }
                         self.pending.remove(&req);
@@ -617,23 +756,31 @@ impl Process<Msg> for ClientProcess {
                         self.retry_read(ctx, req);
                     }
                 }
-            (K_WRITE_TIMEOUT, req)
-                if self.pending_writes.remove(&req).is_some() => {
+            (K_WRITE_TIMEOUT, req) => {
+                if let Some((_, shard)) = self.pending_writes.remove(&req) {
                     ctx.metrics().inc("write.timeout");
                     // Master presumed crashed: redo the setup phase
                     // (Section 3: "all the clients connected to the crashed
                     // server will have to go through the setup process
                     // again").
-                    if let Some((m, _)) = self.master {
+                    if let Some((m, _)) = self.shards[shard].master {
                         self.blacklist.insert(m);
                     }
                     self.counters.re_setups += 1;
                     self.boot(ctx);
                 }
+            }
             (K_SETUP_TIMEOUT, _)
                 if self.phase != Phase::Ready => {
-                    if let Some((m, _)) = self.master.take() {
-                        self.blacklist.insert(m);
+                    // Blame exactly the masters that owe a SetupResponse
+                    // (shards that answered are innocent; shards still
+                    // waiting on the directory have no master to blame).
+                    for shard in 0..self.shards.len() {
+                        if self.awaiting_setup.contains(&shard) {
+                            if let Some((m, _)) = self.shards[shard].master.take() {
+                                self.blacklist.insert(m);
+                            }
+                        }
                     }
                     self.boot(ctx);
                 }
@@ -644,66 +791,110 @@ impl Process<Msg> for ClientProcess {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::DirResponse {
+                shard,
                 certs,
                 nodes,
                 auditor,
             } => {
-                if self.phase != Phase::AwaitDir {
+                let shard = shard as usize;
+                if self.phase != Phase::AwaitDir && self.phase != Phase::AwaitSetup {
                     return;
                 }
-                self.masters.clear();
+                if shard >= self.shards.len() || self.shards[shard].master.is_some() {
+                    return; // Unknown shard or duplicate response.
+                }
+                self.shards[shard].masters.clear();
                 for (cert, node) in certs.iter().zip(nodes.iter()) {
                     ctx.charge(ctx.costs().verify);
-                    if cert.verify_role(&self.content_key, CertRole::Master).is_ok() {
-                        self.masters.push((*node, cert.body.subject_key));
+                    // The certificate must grant the master role *for
+                    // this shard* — a master certificate of another
+                    // subgroup must not authenticate here.
+                    if cert
+                        .verify_scoped(&self.content_key, CertRole::Master, shard as u32)
+                        .is_ok()
+                    {
+                        self.shards[shard].masters.push((*node, cert.body.subject_key));
                     } else {
                         ctx.metrics().inc("client.bad_master_cert");
                     }
                 }
-                self.auditor = auditor;
-                match self.choose_master(auditor) {
+                self.shards[shard].auditor = auditor;
+                match self.choose_master(shard, auditor) {
                     Some(m) => {
-                        self.master = Some(m);
-                        self.phase = Phase::AwaitSetup;
+                        self.shards[shard].master = Some(m);
+                        self.awaiting_setup.insert(shard);
                         ctx.send(m.0, Msg::SetupRequest);
+                        if self.shards.iter().all(|sv| sv.master.is_some()) {
+                            self.phase = Phase::AwaitSetup;
+                        }
                     }
                     None => {
-                        // All masters blacklisted: clear and retry later.
+                        // All of this shard's masters blacklisted: clear
+                        // and retry later.
                         self.blacklist.clear();
                         ctx.set_timer(self.cfg.read_timeout, tag(K_BOOT, 0));
                     }
                 }
             }
-            Msg::SetupResponse { slaves, auditor } => {
-                if self.phase != Phase::AwaitSetup {
+            Msg::SetupResponse {
+                shard,
+                slaves,
+                spares,
+                auditor,
+            } => {
+                let shard = shard as usize;
+                // Accept during AwaitDir too: with several shards, a
+                // fast shard's SetupResponse can overtake a slow shard's
+                // DirResponse (the phase flips to AwaitSetup only once
+                // every shard has chosen a master).  Staleness is still
+                // caught below — boot() clears every chosen master, so a
+                // pre-reboot response fails the sender check.
+                if !matches!(self.phase, Phase::AwaitDir | Phase::AwaitSetup)
+                    || shard >= self.shards.len()
+                {
                     return;
                 }
-                let Some((_, mkey)) = self.master else { return };
+                let Some((master_node, mkey)) = self.shards[shard].master else { return };
+                if from != master_node {
+                    return; // Not the master this shard set up with.
+                }
+                self.awaiting_setup.remove(&shard);
                 if slaves.is_empty() {
                     // This master has no capacity (e.g. it is the auditor).
                     self.blacklist.insert(from);
                     self.boot(ctx);
                     return;
                 }
-                self.slaves.clear();
+                self.shards[shard].slaves.clear();
                 for (node, cert) in slaves {
                     ctx.charge(ctx.costs().verify);
-                    if cert.verify_role(&mkey, CertRole::Slave).is_ok() {
-                        self.slaves.push((node, cert.body.subject_key));
+                    if cert.verify_scoped(&mkey, CertRole::Slave, shard as u32).is_ok() {
+                        self.shards[shard].slaves.push((node, cert.body.subject_key));
                     } else {
                         ctx.metrics().inc("client.bad_slave_cert");
                     }
                 }
-                if self.slaves.is_empty() {
+                if self.shards[shard].slaves.is_empty() {
                     self.blacklist.insert(from);
                     self.boot(ctx);
                     return;
                 }
-                self.auditor = auditor;
-                let first_ready = self.phase != Phase::Ready;
-                self.phase = Phase::Ready;
-                ctx.metrics().inc("client.ready");
-                if first_ready {
+                // Spares are optional: verify what the master offered,
+                // keep whatever passes (an empty list just means the
+                // proof path has no same-shard retry target).
+                self.shards[shard].spares.clear();
+                for (node, cert) in spares {
+                    ctx.charge(ctx.costs().verify);
+                    if cert.verify_scoped(&mkey, CertRole::Slave, shard as u32).is_ok() {
+                        self.shards[shard].spares.push((node, cert.body.subject_key));
+                    } else {
+                        ctx.metrics().inc("client.bad_slave_cert");
+                    }
+                }
+                self.shards[shard].auditor = auditor;
+                if self.shards.iter().all(|sv| !sv.slaves.is_empty()) {
+                    self.phase = Phase::Ready;
+                    ctx.metrics().inc("client.ready");
                     self.schedule_next_read(ctx);
                     if self.is_writer {
                         self.schedule_next_write(ctx);
@@ -715,10 +906,10 @@ impl Process<Msg> for ClientProcess {
                 result,
                 pledge,
             } => {
-                if !self.pending.contains_key(&req_id) {
+                let Some(shard) = self.pending.get(&req_id).map(|p| p.shard) else {
                     return;
-                }
-                let valid = self.verify_response(ctx, from, &result, &pledge);
+                };
+                let valid = self.verify_response(ctx, shard, from, &result, &pledge);
                 let Some(p) = self.pending.get_mut(&req_id) else { return };
                 if !p.awaiting.remove(&from) {
                     return; // Duplicate or unsolicited.
@@ -747,10 +938,14 @@ impl Process<Msg> for ClientProcess {
                 ctx.metrics().inc("read.refused");
                 match reason {
                     RefuseReason::Excluded => {
-                        // Learn of exclusions we missed; ask for a new slave.
-                        self.slaves.retain(|(n, _)| *n != from);
-                        if let Some((m, _)) = self.master {
+                        // Learn of exclusions we missed; ask the owning
+                        // shard's master for a new slave.
+                        let shard = self.pending.get(&req_id).map(|p| p.shard).unwrap_or(0);
+                        self.shards[shard].slaves.retain(|(n, _)| *n != from);
+                        self.shards[shard].spares.retain(|(n, _)| *n != from);
+                        if let Some((m, _)) = self.shards[shard].master {
                             self.phase = Phase::AwaitSetup;
+                            self.awaiting_setup.insert(shard);
                             ctx.send(m, Msg::SetupRequest);
                             ctx.set_timer(self.cfg.read_timeout * 4, tag(K_SETUP_TIMEOUT, 0));
                         }
@@ -817,7 +1012,7 @@ impl Process<Msg> for ClientProcess {
                 }
             },
             Msg::WriteResponse { req_id, outcome } => {
-                if let Some((sent_at, _)) = self.pending_writes.remove(&req_id) {
+                if let Some((sent_at, _shard)) = self.pending_writes.remove(&req_id) {
                     match outcome {
                         WriteOutcome::Committed { .. } => {
                             ctx.metrics().inc("write.committed");
@@ -836,9 +1031,11 @@ impl Process<Msg> for ClientProcess {
             Msg::Reassign {
                 excluded,
                 replacement,
-            } => self.handle_reassign(ctx, excluded, replacement),
-            Msg::AuditorChanged { auditor } => {
-                self.auditor = auditor;
+            } => self.handle_reassign(ctx, from, excluded, replacement),
+            Msg::AuditorChanged { shard, auditor } => {
+                if let Some(sv) = self.shards.get_mut(shard as usize) {
+                    sv.auditor = auditor;
+                }
             }
             _ => {}
         }

@@ -58,12 +58,19 @@ impl Default for GreedyConfig {
 /// Full system configuration.
 #[derive(Clone, Debug, ToJson, FromJson)]
 pub struct SystemConfig {
-    /// Number of master servers (the trusted core).  The highest-ranked
-    /// master in the current view is the elected auditor and holds no
-    /// slaves.
+    /// Number of master subgroups, each owning one contiguous shard of
+    /// the key/path space with its own write queue, sequencer, digest
+    /// stamps, slave set, and elected auditor.  `1` reproduces the
+    /// paper's single-group deployment exactly; higher values scale
+    /// commit throughput, since the `max_latency` write-spacing rule is
+    /// per-queue.
+    pub n_shards: usize,
+    /// Number of master servers *per shard* (the trusted core).  The
+    /// highest-ranked master in each shard's current view is that
+    /// shard's elected auditor and holds no slaves.
     pub n_masters: usize,
-    /// Number of slave servers (assigned round-robin to non-auditor
-    /// masters).
+    /// Number of slave servers *per shard* (assigned round-robin to the
+    /// shard's non-auditor masters).
     pub n_slaves: usize,
     /// Number of clients.
     pub n_clients: usize,
@@ -124,6 +131,7 @@ pub struct SystemConfig {
 impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig {
+            n_shards: 1,
             n_masters: 3,
             n_slaves: 6,
             n_clients: 12,
@@ -155,8 +163,11 @@ impl SystemConfig {
     /// Sanity-checks the configuration, returning a description of the
     /// first problem found.
     pub fn validate(&self) -> Result<(), String> {
+        if self.n_shards == 0 {
+            return Err("need at least 1 shard".into());
+        }
         if self.n_masters < 2 {
-            return Err("need at least 2 masters (one is the auditor)".into());
+            return Err("need at least 2 masters per shard (one is the auditor)".into());
         }
         if self.n_slaves == 0 || self.n_clients == 0 {
             return Err("need at least one slave and one client".into());
@@ -211,6 +222,12 @@ mod tests {
 
         let c = SystemConfig {
             read_quorum: 99,
+            ..SystemConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SystemConfig {
+            n_shards: 0,
             ..SystemConfig::default()
         };
         assert!(c.validate().is_err());

@@ -5,6 +5,7 @@
 //! Section 6), a reviews table (join workloads), and a tree of text files
 //! (the `grep Expression Path` workloads of Section 2).
 
+use crate::shard::ShardMap;
 use sdr_crypto::HmacDrbg;
 use sdr_store::{Database, Document, UpdateOp};
 use serde::{FromJson, ToJson};
@@ -55,77 +56,107 @@ impl DatasetSpec {
     /// Builds the initial database (applied as committed writes, so the
     /// resulting `content_version` is deterministic).
     pub fn build(&self) -> Database {
-        let mut db = Database::new();
+        self.build_shards(&ShardMap::single()).pop().expect("one shard")
+    }
+
+    /// Builds one shard's slice of the initial database (convenience
+    /// over [`DatasetSpec::build_shards`]; note it still generates and
+    /// applies *every* shard's slice — callers that need several slices
+    /// should call `build_shards` once instead of looping).
+    pub fn build_shard(&self, map: &ShardMap, shard: usize) -> Database {
+        self.build_shards(map).swap_remove(shard)
+    }
+
+    /// Builds every shard's slice of the initial database in one pass:
+    /// the generator stream runs exactly once and its operations are
+    /// partitioned through the [`ShardMap`] — products by key range,
+    /// reviews by the product they reference (so joins stay
+    /// shard-local), files by ordinal range.
+    ///
+    /// Every shard applies the same four commits (schema, its products,
+    /// its reviews, its files), so all shards start at the same
+    /// `content_version`, and the single-shard build is byte-identical
+    /// to the classic unsharded one.
+    pub fn build_shards(&self, map: &ShardMap) -> Vec<Database> {
+        let n = map.n_shards();
         let mut drbg = HmacDrbg::from_seed_label(self.seed, b"dataset");
 
-        // Schema.
-        db.apply_write(&[
-            UpdateOp::CreateTable {
-                table: "products".into(),
-                indexes: vec!["category".into()],
-            },
-            UpdateOp::CreateTable {
-                table: "reviews".into(),
-                indexes: vec!["product_id".into()],
-            },
-        ])
-        .expect("schema applies");
+        // Schema (identical in every shard).
+        let mut dbs: Vec<Database> = (0..n)
+            .map(|_| {
+                let mut db = Database::new();
+                db.apply_write(&[
+                    UpdateOp::CreateTable {
+                        table: "products".into(),
+                        indexes: vec!["category".into()],
+                    },
+                    UpdateOp::CreateTable {
+                        table: "reviews".into(),
+                        indexes: vec!["product_id".into()],
+                    },
+                ])
+                .expect("schema applies");
+                db
+            })
+            .collect();
+
+        let apply_partitioned = |dbs: &mut Vec<Database>, parts: Vec<Vec<UpdateOp>>| {
+            for (db, ops) in dbs.iter_mut().zip(parts) {
+                db.apply_write(&ops).expect("shard slice applies");
+            }
+        };
 
         // Products.
-        let ops: Vec<UpdateOp> = (0..self.n_products)
-            .map(|i| {
-                let cat = CATEGORIES[(drbg.next_u64() % CATEGORIES.len() as u64) as usize];
-                let price = 5 + (drbg.next_u64() % 995) as i64;
-                let stock = (drbg.next_u64() % 200) as i64;
-                UpdateOp::Insert {
-                    table: "products".into(),
-                    key: i as u64 + 1,
-                    doc: Document::new()
-                        .with("id", i as i64 + 1)
-                        .with("name", format!("product-{i:04}"))
-                        .with("category", cat)
-                        .with("price", price)
-                        .with("stock", stock),
-                }
-            })
-            .collect();
-        db.apply_write(&ops).expect("products apply");
+        let mut parts: Vec<Vec<UpdateOp>> = vec![Vec::new(); n];
+        for i in 0..self.n_products {
+            let cat = CATEGORIES[(drbg.next_u64() % CATEGORIES.len() as u64) as usize];
+            let price = 5 + (drbg.next_u64() % 995) as i64;
+            let stock = (drbg.next_u64() % 200) as i64;
+            let key = i as u64 + 1;
+            parts[map.shard_of_row(key)].push(UpdateOp::Insert {
+                table: "products".into(),
+                key,
+                doc: Document::new()
+                    .with("id", i as i64 + 1)
+                    .with("name", format!("product-{i:04}"))
+                    .with("category", cat)
+                    .with("price", price)
+                    .with("stock", stock),
+            });
+        }
+        apply_partitioned(&mut dbs, parts);
 
-        // Reviews.
-        let ops: Vec<UpdateOp> = (0..self.n_reviews)
-            .map(|i| {
-                let product = 1 + (drbg.next_u64() % self.n_products.max(1) as u64) as i64;
-                let stars = 1 + (drbg.next_u64() % 5) as i64;
-                UpdateOp::Insert {
-                    table: "reviews".into(),
-                    key: i as u64 + 1,
-                    doc: Document::new()
-                        .with("product_id", product)
-                        .with("stars", stars)
-                        .with("text", format!("review {i}: {} stars", stars)),
-                }
-            })
-            .collect();
-        db.apply_write(&ops).expect("reviews apply");
+        // Reviews — placed with the product they reference.
+        let mut parts: Vec<Vec<UpdateOp>> = vec![Vec::new(); n];
+        for i in 0..self.n_reviews {
+            let product = 1 + (drbg.next_u64() % self.n_products.max(1) as u64) as i64;
+            let stars = 1 + (drbg.next_u64() % 5) as i64;
+            parts[map.shard_of_row(product as u64)].push(UpdateOp::Insert {
+                table: "reviews".into(),
+                key: i as u64 + 1,
+                doc: Document::new()
+                    .with("product_id", product)
+                    .with("stars", stars)
+                    .with("text", format!("review {i}: {} stars", stars)),
+            });
+        }
+        apply_partitioned(&mut dbs, parts);
 
         // Files.
-        let ops: Vec<UpdateOp> = (0..self.n_files)
-            .map(|f| {
-                let mut contents = String::new();
-                for l in 0..self.lines_per_file {
-                    let word = LOG_WORDS[(drbg.next_u64() % LOG_WORDS.len() as u64) as usize];
-                    let code = drbg.next_u64() % 10_000;
-                    contents.push_str(&format!("entry {l:03} {word} code={code:04}\n"));
-                }
-                UpdateOp::WriteFile {
-                    path: format!("/docs/file-{f:03}.log"),
-                    contents,
-                }
-            })
-            .collect();
-        db.apply_write(&ops).expect("files apply");
+        let mut parts: Vec<Vec<UpdateOp>> = vec![Vec::new(); n];
+        for f in 0..self.n_files {
+            let mut contents = String::new();
+            for l in 0..self.lines_per_file {
+                let word = LOG_WORDS[(drbg.next_u64() % LOG_WORDS.len() as u64) as usize];
+                let code = drbg.next_u64() % 10_000;
+                contents.push_str(&format!("entry {l:03} {word} code={code:04}\n"));
+            }
+            let path = format!("/docs/file-{f:03}.log");
+            parts[map.shard_of_path(&path)].push(UpdateOp::WriteFile { path, contents });
+        }
+        apply_partitioned(&mut dbs, parts);
 
-        db
+        dbs
     }
 }
 
@@ -167,6 +198,42 @@ mod tests {
         assert_eq!(db.fs().file_count(), 3);
         // Version: schema + products + reviews + files = 4 committed writes.
         assert_eq!(db.version(), 4);
+    }
+
+    #[test]
+    fn shards_partition_the_dataset_exactly() {
+        let spec = DatasetSpec::default();
+        let map = ShardMap::new(4, &spec);
+        let full = spec.build();
+        let shards = spec.build_shards(&map);
+
+        // Single-shard build is byte-identical to the unsharded one,
+        // and the single-slice convenience matches the one-pass build.
+        assert_eq!(
+            spec.build_shard(&ShardMap::new(1, &spec), 0).state_digest(),
+            full.state_digest()
+        );
+        assert_eq!(
+            spec.build_shard(&map, 2).state_digest(),
+            shards[2].state_digest()
+        );
+
+        // Rows, reviews, and files partition without loss or overlap.
+        for table in ["products", "reviews"] {
+            let total: usize = shards.iter().map(|d| d.table(table).unwrap().len()).sum();
+            assert_eq!(total, full.table(table).unwrap().len(), "{table}");
+        }
+        let files: usize = shards.iter().map(|d| d.fs().file_count()).sum();
+        assert_eq!(files, full.fs().file_count());
+
+        // Every shard starts at the same deterministic version, and each
+        // product row lives exactly where the map says.
+        for (s, db) in shards.iter().enumerate() {
+            assert_eq!(db.version(), full.version());
+            for (key, _) in db.table("products").unwrap().iter() {
+                assert_eq!(map.shard_of_row(key), s);
+            }
+        }
     }
 
     #[test]

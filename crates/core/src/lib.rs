@@ -26,6 +26,12 @@
 //!   version the pledge names (with a result cache), and produces
 //!   irrefutable [`evidence`] against lying slaves.
 //!
+//! The content space can be **sharded** across master subgroups
+//! ([`shard`]): each shard owns a contiguous slice of the key/path
+//! space with its own write queue, sequencer, digest stamps, slave set,
+//! and elected auditor, so commit throughput scales with shard count
+//! while every shard independently carries the paper's trust argument.
+//!
 //! [`system`] wires everything into an `sdr-sim` world; [`workload`]
 //! generates read/write mixes (including diurnal patterns and greedy
 //! clients); [`stats`] extracts the numbers the experiment harness prints.
@@ -46,6 +52,7 @@ pub mod master;
 pub mod messages;
 pub mod pledge;
 pub mod scenario;
+pub mod shard;
 pub mod slave;
 pub mod stats;
 pub mod system;
@@ -59,6 +66,7 @@ pub use messages::{Msg, StateDigestStamp, VersionStamp};
 pub use pledge::Pledge;
 pub use verify::{ReadStrategy, RejectReason};
 pub use scenario::{RunReport, Runner, ScenarioSpec};
+pub use shard::ShardMap;
 pub use slave::SlaveBehavior;
 pub use stats::SystemStats;
 pub use system::{System, SystemBuilder};

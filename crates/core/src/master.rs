@@ -36,6 +36,10 @@ const T_GOSSIP: u64 = 5;
 /// A master server process.
 pub struct MasterProcess {
     cfg: SystemConfig,
+    /// The shard of the content space this master's subgroup owns.  All
+    /// state below (replica, write queue, snapshots, digest stamps,
+    /// slave set, auditor duties) is scoped to it.
+    shard: u32,
     rank: MemberId,
     member_nodes: Vec<NodeId>,
     master_keys: HashMap<NodeId, PublicKey>,
@@ -75,14 +79,16 @@ pub struct MasterProcess {
 }
 
 impl MasterProcess {
-    /// Creates a master.
+    /// Creates a master of subgroup `shard`.
     ///
-    /// `member_nodes[i]` is the world node of master rank `i`; `my_slaves`
-    /// is this master's initial slave set (empty for the initial auditor);
-    /// `slave_keys`/`slave_owner` cover the whole slave population.
+    /// `member_nodes[i]` is the world node of the *shard's* master rank
+    /// `i`; `my_slaves` is this master's initial slave set (empty for
+    /// the shard's initial auditor); `slave_keys`/`slave_owner` cover
+    /// the shard's whole slave population.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         cfg: SystemConfig,
+        shard: u32,
         rank: MemberId,
         member_nodes: Vec<NodeId>,
         master_keys: HashMap<NodeId, PublicKey>,
@@ -106,6 +112,7 @@ impl MasterProcess {
             prev_view: View::initial(n),
             auditor_state,
             cfg,
+            shard,
             rank,
             member_nodes,
             master_keys,
@@ -133,7 +140,12 @@ impl MasterProcess {
         }
     }
 
-    /// World node of the currently elected auditor.
+    /// The shard this master's subgroup owns.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// World node of the shard's currently elected auditor.
     pub fn auditor_node(&self) -> NodeId {
         self.member_nodes[self.tob.view().auditor().index()]
     }
@@ -258,6 +270,7 @@ impl MasterProcess {
             subject_key: *key,
             issued_at_us: ctx.now().as_micros(),
             content_id: self.content_id,
+            shard: self.shard,
         };
         self.next_cert_serial += 1;
         ctx.charge(ctx.costs().sign);
@@ -327,6 +340,18 @@ impl MasterProcess {
             Ok(version) => {
                 let now = ctx.now();
                 ctx.metrics().inc("master.writes_applied");
+                if origin_master == self.rank {
+                    // Exactly one member per commit (the admitting
+                    // sequencer) records the per-shard commit stream:
+                    // the series the cross-shard ordering tests and the
+                    // throughput sweeps read.
+                    ctx.metrics().inc(&format!("write.committed.shard{}", self.shard));
+                    ctx.metrics().series_push(
+                        &format!("write.commit_us.shard{}", self.shard),
+                        now,
+                        version as f64,
+                    );
+                }
                 self.snapshots.record(&self.db);
                 self.write_log.insert(version, ops.clone());
                 self.digest_log.insert(version, self.db.state_digest());
@@ -494,7 +519,8 @@ impl MasterProcess {
             }
         }
 
-        // Auditor duties moved?
+        // Auditor duties moved?  Updates are scoped to this shard: the
+        // directory entry and client state of other shards never move.
         if old.auditor() != auditor {
             let auditor_node = self.node_of(auditor);
             // The lowest survivor informs the directory.
@@ -502,6 +528,7 @@ impl MasterProcess {
                 ctx.send(
                     self.directory,
                     Msg::AuditorChanged {
+                        shard: self.shard,
                         auditor: auditor_node,
                     },
                 );
@@ -511,6 +538,7 @@ impl MasterProcess {
                 ctx.send(
                     c,
                     Msg::AuditorChanged {
+                        shard: self.shard,
                         auditor: auditor_node,
                     },
                 );
@@ -704,6 +732,22 @@ impl MasterProcess {
     fn handle_setup(&mut self, ctx: &mut Ctx<'_, Msg>, client: NodeId) {
         self.my_clients.insert(client);
         let picks = self.pick_slaves(self.cfg.read_quorum, None);
+        // One extra replica of the shard — any live one, not necessarily
+        // ours; masters hold the whole shard's slave keys — handed out
+        // as a *spare*: the client retries a rejected proof there before
+        // falling back to pledge+audit (proof-path hardening).  Spares
+        // are best-effort and unregistered: a stale spare heals through
+        // the ordinary `ReadRefused`/re-setup path.
+        let spare_pick = {
+            let mut all: Vec<NodeId> = self
+                .slave_keys
+                .keys()
+                .copied()
+                .filter(|s| !self.excluded.contains(s) && !picks.contains(s))
+                .collect();
+            all.sort_unstable();
+            all.first().copied()
+        };
         let mut slaves = Vec::with_capacity(picks.len());
         for s in picks {
             if let Some(cert) = self.issue_slave_cert(ctx, s) {
@@ -711,9 +755,20 @@ impl MasterProcess {
                 slaves.push((s, cert));
             }
         }
+        let spares = spare_pick
+            .and_then(|s| self.issue_slave_cert(ctx, s).map(|c| vec![(s, c)]))
+            .unwrap_or_default();
         ctx.metrics().inc("master.setups");
         let auditor = self.auditor_node();
-        ctx.send(client, Msg::SetupResponse { slaves, auditor });
+        ctx.send(
+            client,
+            Msg::SetupResponse {
+                shard: self.shard,
+                slaves,
+                spares,
+                auditor,
+            },
+        );
     }
 
     fn handle_accusation(&mut self, ctx: &mut Ctx<'_, Msg>, evidence: Evidence) {
@@ -935,6 +990,11 @@ impl Process<Msg> for MasterProcess {
     }
 
     fn name(&self) -> String {
-        format!("master-{}", self.rank.0)
+        // Global label (shard-major), identical to the unsharded layout
+        // when `n_shards == 1`.
+        format!(
+            "master-{}",
+            self.shard as usize * self.cfg.n_masters + self.rank.index()
+        )
     }
 }

@@ -203,19 +203,30 @@ pub enum MasterEvent {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Msg {
     // ----- Directory -----
-    /// Client → directory: who replicates this content?
-    DirLookup,
-    /// Directory → client: master certificates plus the current auditor.
+    /// Client → directory: who replicates this shard of the content?
+    /// (Single-shard deployments always ask for shard 0.)
+    DirLookup {
+        /// The shard being looked up.
+        shard: u32,
+    },
+    /// Directory → client: the shard's master certificates plus its
+    /// current auditor.
     DirResponse {
-        /// Certificates of all masters (issued by the content owner).
+        /// The shard this answer covers (echoed from the lookup).
+        shard: u32,
+        /// Certificates of the shard's masters (issued by the content
+        /// owner, carrying the shard-scope claim).
         certs: Vec<Certificate>,
         /// Node ids corresponding to `certs` (same order).
         nodes: Vec<NodeId>,
-        /// The currently elected auditor (excluded from client setup).
+        /// The shard's currently elected auditor (excluded from client
+        /// setup).
         auditor: NodeId,
     },
-    /// Master → directory: the elected auditor changed.
+    /// Master → directory/client: one shard's elected auditor changed.
     AuditorChanged {
+        /// The shard whose auditor moved.
+        shard: u32,
         /// New auditor node.
         auditor: NodeId,
     },
@@ -225,10 +236,17 @@ pub enum Msg {
     SetupRequest,
     /// Master → client: your slave assignment (Section 2's setup phase).
     SetupResponse {
+        /// The shard the responding master (and its slaves) serve.
+        shard: u32,
         /// Assigned slaves (one for the basic protocol, `k` for the
         /// quorum-read variant) with their certificates.
         slaves: Vec<(NodeId, Certificate)>,
-        /// The current auditor, so pledges can be forwarded.
+        /// Spare replicas of the same shard (at most one today): not
+        /// part of the read quorum, used by the proof path to retry a
+        /// rejected proof on another replica before falling back to
+        /// pledge+audit.
+        spares: Vec<(NodeId, Certificate)>,
+        /// The shard's current auditor, so pledges can be forwarded.
         auditor: NodeId,
     },
 
@@ -393,10 +411,12 @@ pub enum Msg {
 impl Payload for Msg {
     fn wire_len(&self) -> usize {
         match self {
-            Msg::DirLookup | Msg::SetupRequest => 16,
+            Msg::DirLookup { .. } | Msg::SetupRequest => 16,
             Msg::DirResponse { certs, .. } => 64 + certs.len() * 128,
             Msg::AuditorChanged { .. } => 24,
-            Msg::SetupResponse { slaves, .. } => 32 + slaves.len() * 128,
+            Msg::SetupResponse { slaves, spares, .. } => {
+                32 + (slaves.len() + spares.len()) * 128
+            }
             Msg::WriteRequest { ops, .. } | Msg::WriteForward { ops, .. } => {
                 16 + ops.iter().map(UpdateOp::size).sum::<usize>()
             }
@@ -503,7 +523,7 @@ mod tests {
 
     #[test]
     fn wire_lengths_are_plausible() {
-        assert!(Msg::DirLookup.wire_len() < Msg::ExcludeNotice.wire_len() + 100);
+        assert!(Msg::DirLookup { shard: 0 }.wire_len() < Msg::ExcludeNotice.wire_len() + 100);
         let big = Msg::WriteRequest {
             req_id: 1,
             ops: vec![UpdateOp::WriteFile {

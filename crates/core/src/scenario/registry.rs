@@ -50,6 +50,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("medical_db", medical_db),
     ("large_catalog", large_catalog),
     ("proof_vs_pledge", proof_vs_pledge),
+    ("sharded_commit", sharded_commit),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -636,6 +637,39 @@ fn proof_vs_pledge() -> ScenarioSpec {
         ),
         SweepAxis::new("proof reads", Param::ProofReads, &[1.0, 0.0]),
     ]);
+    spec
+}
+
+fn sharded_commit() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "sharded_commit",
+        "Commit throughput vs shard count under saturating write demand: \
+         the max_latency spacing rule is per write queue, so splitting the \
+         key/path space across master subgroups is the first axis that \
+         scales writes instead of just replicating reads",
+        SystemConfig {
+            n_masters: 3,
+            n_slaves: 2, // Per shard; the subgroup replicates its slice.
+            n_clients: 16,
+            double_check_prob: 0.01,
+            max_latency: SimDuration::from_millis(1_000),
+            keepalive_period: SimDuration::from_millis(250),
+            seed: 8_008,
+            ..SystemConfig::default()
+        },
+    );
+    // Saturating, uniformly-sharded write demand: far more writes
+    // offered than any single queue can admit (1/max_latency = 1/s), so
+    // committed writes track the number of queues.
+    spec.workload = Workload {
+        reads_per_sec: 2.0,
+        writes_per_sec: 40.0,
+        writer_fraction: 0.5,
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(60);
+    spec.seeds = vec![8_008, 9_009];
+    spec.grid = Grid::sweep("shards", Param::NShards, &[1.0, 2.0, 4.0, 8.0]);
     spec
 }
 

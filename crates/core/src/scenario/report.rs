@@ -248,7 +248,7 @@ mod tests {
             "rejected_stale":0,"rejected_hash":0,"read_retries":0,
             "reads_sensitive":0,
             "proof_reads_issued":1,"proof_reads_accepted":1,
-            "proof_reads_rejected":0,"proof_fallbacks":0,
+            "proof_reads_rejected":0,"proof_fallbacks":0,"proof_retries":0,
             "proof_bytes":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "proof_depth":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "proof_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
@@ -264,7 +264,8 @@ mod tests {
             "audit_backlog":0,
             "snapshot_nodes_owned":0,"snapshot_nodes_shared":0,
             "master_utilisation":[0.5],"slave_utilisation":[0.25],
-            "per_client":[]
+            "per_client":[],
+            "writes_committed_per_shard":[0],"dir_lookups_per_shard":[0]
         }"#;
         json::from_str(text).expect("stats literal")
     }

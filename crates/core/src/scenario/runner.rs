@@ -113,7 +113,7 @@ fn run_one(
     cfg.seed = world_seed;
     let behaviors = spec
         .behaviors
-        .materialize(cfg.n_slaves)
+        .materialize(cfg.n_slaves * cfg.n_shards)
         .expect("validated earlier");
 
     let mut builder = SystemBuilder::new(cfg)

@@ -120,8 +120,12 @@ impl NetworkSpec {
         self == &NetworkSpec::default()
     }
 
-    /// Checks role indexes against a configuration.
+    /// Checks role indexes against a configuration.  Master and slave
+    /// indexes are global (shard-major), so they range over
+    /// `n_shards * n_masters` and `n_shards * n_slaves`.
     pub fn validate(&self, cfg: &SystemConfig) -> Result<(), String> {
+        let total_masters = cfg.n_masters * cfg.n_shards;
+        let total_slaves = cfg.n_slaves * cfg.n_shards;
         for &(i, _) in &self.client_links {
             if i >= cfg.n_clients {
                 return Err(format!(
@@ -131,18 +135,16 @@ impl NetworkSpec {
             }
         }
         for &(i, _) in &self.slave_links {
-            if i >= cfg.n_slaves {
+            if i >= total_slaves {
                 return Err(format!(
-                    "network.slave_links: slave {i} out of range (n_slaves = {})",
-                    cfg.n_slaves
+                    "network.slave_links: slave {i} out of range (total slaves = {total_slaves})"
                 ));
             }
         }
         for &(r, _) in &self.master_links {
-            if r >= cfg.n_masters {
+            if r >= total_masters {
                 return Err(format!(
-                    "network.master_links: master {r} out of range (n_masters = {})",
-                    cfg.n_masters
+                    "network.master_links: master {r} out of range (total masters = {total_masters})"
                 ));
             }
         }
@@ -156,8 +158,8 @@ impl NetworkSpec {
             .map(LinkSpec::to_model)
             .unwrap_or_else(|| LinkModel::wan(SimDuration::from_millis(10)));
         let mut net = NetworkConfig::new(default);
-        let nm = cfg.n_masters as u32;
-        let ns = cfg.n_slaves as u32;
+        let nm = (cfg.n_masters * cfg.n_shards) as u32;
+        let ns = (cfg.n_slaves * cfg.n_shards) as u32;
         for &(r, link) in &self.master_links {
             net.set_node_link(NodeId(r as u32), link.to_model());
         }
@@ -203,8 +205,9 @@ impl BehaviorSpec {
         }
     }
 
-    /// Expands to a per-slave vector, bounds-checking every override
-    /// (the spec-layer mirror of [`crate::system::SystemBuilder::slave_behavior`]'s
+    /// Expands to a per-slave vector over the *total* (shard-major)
+    /// slave population, bounds-checking every override (the spec-layer
+    /// mirror of [`crate::system::SystemBuilder::slave_behavior`]'s
     /// validation).
     pub fn materialize(&self, n_slaves: usize) -> Result<Vec<SlaveBehavior>, String> {
         let mut behaviors = vec![self.default; n_slaves];
@@ -299,7 +302,7 @@ impl ScenarioSpec {
             .validate()
             .map_err(|e| format!("{}: {e}", self.name))?;
         self.behaviors
-            .materialize(self.config.n_slaves)
+            .materialize(self.config.n_slaves * self.config.n_shards)
             .map_err(|e| format!("{}: {e}", self.name))?;
         if let Some(net) = &self.network {
             net.validate(&self.config)
@@ -312,10 +315,11 @@ impl ScenarioSpec {
             return Err(format!("{}: at least one seed required", self.name));
         }
         for c in &self.crashes {
-            if c.master_rank >= self.config.n_masters {
+            let total_masters = self.config.n_masters * self.config.n_shards;
+            if c.master_rank >= total_masters {
                 return Err(format!(
-                    "{}: crash rank {} out of range (n_masters = {})",
-                    self.name, c.master_rank, self.config.n_masters
+                    "{}: crash rank {} out of range (total masters = {total_masters})",
+                    self.name, c.master_rank
                 ));
             }
         }

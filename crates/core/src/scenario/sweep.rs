@@ -67,6 +67,10 @@ pub enum Param {
     /// point lookups (`GetRow`/`ReadFile`, proof-eligible) and the rest
     /// are computed queries (pledge+audit); weights total 100.
     StaticReadFraction,
+    /// `config.n_shards`: the number of master subgroups the content
+    /// space is split across (each with `n_masters` masters and
+    /// `n_slaves` slaves of its own).
+    NShards,
 }
 
 impl Param {
@@ -122,6 +126,12 @@ impl Param {
                     return Err(format!("StaticReadFraction must be in [0,1], got {v}"));
                 }
                 spec.workload.mix = static_fraction_mix(v);
+            }
+            Param::NShards => {
+                if v < 1.0 {
+                    return Err(format!("NShards must be >= 1, got {v}"));
+                }
+                spec.config.n_shards = v as usize;
             }
         }
         Ok(())
@@ -420,6 +430,14 @@ mod tests {
         }
         let mut spec = base();
         assert!(Param::StaticReadFraction.apply(&mut spec, 1.5).is_err());
+    }
+
+    #[test]
+    fn n_shards_applies_and_rejects_zero() {
+        let mut spec = base();
+        Param::NShards.apply(&mut spec, 4.0).unwrap();
+        assert_eq!(spec.config.n_shards, 4);
+        assert!(Param::NShards.apply(&mut spec, 0.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Sharding of the content space across master subgroups.
+//!
+//! One master group with one totally-ordered write queue caps commit
+//! throughput at `1 / max_latency` no matter how many replicas exist —
+//! the spacing rule is per-queue.  Sharding splits the key/path space
+//! into `n_shards` contiguous slices, each owned by its *own* master
+//! subgroup with its own sequencer, write queue, digest stamps, slave
+//! set, and elected auditor.  Every message still flows inside exactly
+//! one shard, so each shard independently carries the paper's full
+//! trust argument, and aggregate commit throughput grows with shard
+//! count.
+//!
+//! [`ShardMap`] is the pure routing function shared by the builder
+//! (data placement), the clients (request routing), and the tests (the
+//! oracle).  It is deterministic, derived only from the deployment
+//! configuration, and collapses to the identity (everything in shard 0)
+//! when `n_shards == 1`.
+
+use crate::dataset::DatasetSpec;
+use sdr_store::{Query, UpdateOp};
+
+/// Deterministic routing of rows, paths, queries, and write batches to
+/// shards.
+///
+/// * Rows are split into contiguous primary-key ranges over the
+///   catalogue span (`1..=row_span`); keys past the span clamp into the
+///   last shard, so routing is total.
+/// * Generated files (`…/file-NNN…`) are split into contiguous ranges
+///   over their ordinal; paths without an ordinal fall back to a stable
+///   FNV-1a hash, keeping routing total without randomness.
+/// * Computed queries with no single routing key (filters, aggregates,
+///   joins, greps) are owned by the shard their *table or prefix* hashes
+///   to: their results are shard-local, and the owning shard's masters
+///   re-execute them against the same shard replica during double-checks
+///   and audits, so verification stays exact.
+///
+/// Two routing caveats are deliberate and documented rather than
+/// papered over (cross-shard reads/transactions are open ROADMAP
+/// items):
+///
+/// * A **range** query is owned by the shard of its *lower* bound; a
+///   range crossing a shard boundary honestly returns (and verifies
+///   against) only the owning shard's slice of it.
+/// * Keyed routing assumes the table is keyed in the catalogue's
+///   primary-key space.  The `reviews` table is *placed* by the product
+///   each row references (keeping joins shard-local), so a keyed
+///   `reviews` operation may land on a shard that does not hold that
+///   row and fail honestly (reads get a verifiable shard-local absence
+///   proof).  The built-in workloads only reach reviews through joins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    n_shards: usize,
+    row_span: u64,
+    file_span: u64,
+}
+
+/// FNV-1a — a stable, seedless hash (std's `DefaultHasher` is randomly
+/// keyed and would break run-to-run determinism).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Trailing-ordinal extraction: the last run of ASCII digits in `path`
+/// (e.g. `/docs/file-017.log` → 17).
+fn path_ordinal(path: &str) -> Option<u64> {
+    let bytes = path.as_bytes();
+    let mut end = bytes.len();
+    while end > 0 && !bytes[end - 1].is_ascii_digit() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && bytes[start - 1].is_ascii_digit() {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    path[start..end].parse().ok()
+}
+
+impl ShardMap {
+    /// Builds the map for a deployment: `n_shards` contiguous slices
+    /// over the dataset's row and file spans.
+    pub fn new(n_shards: usize, dataset: &DatasetSpec) -> Self {
+        ShardMap {
+            n_shards: n_shards.max(1),
+            row_span: dataset.n_products.max(1) as u64,
+            file_span: dataset.n_files.max(1) as u64,
+        }
+    }
+
+    /// The single-shard (identity) map.
+    pub fn single() -> Self {
+        ShardMap {
+            n_shards: 1,
+            row_span: 1,
+            file_span: 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Contiguous split of ordinal `i` over span `span`.
+    fn contiguous(&self, i: u64, span: u64) -> usize {
+        let i = i.min(span - 1);
+        ((i as u128 * self.n_shards as u128) / span as u128) as usize
+    }
+
+    /// Owning shard of a row (primary key; keys start at 1 in the
+    /// generated catalogue, keys past the span clamp to the last shard).
+    pub fn shard_of_row(&self, key: u64) -> usize {
+        self.contiguous(key.saturating_sub(1), self.row_span)
+    }
+
+    /// Owning shard of a file path.
+    pub fn shard_of_path(&self, path: &str) -> usize {
+        match path_ordinal(path) {
+            Some(ord) => self.contiguous(ord, self.file_span),
+            None => (fnv1a(path.as_bytes()) % self.n_shards as u64) as usize,
+        }
+    }
+
+    /// Owning shard of a table-level (non-keyed) operation or query.
+    pub fn shard_of_table(&self, table: &str) -> usize {
+        (fnv1a(table.as_bytes()) % self.n_shards as u64) as usize
+    }
+
+    /// Owning shard of a query: the shard whose replica can answer it
+    /// and whose masters will re-execute it during verification.  See
+    /// the module docs for the range and foreign-key-placed-table
+    /// caveats.
+    pub fn shard_of_query(&self, q: &Query) -> usize {
+        match q {
+            Query::GetRow { key, .. } => self.shard_of_row(*key),
+            Query::Range { low, .. } => self.shard_of_row(*low),
+            Query::ReadFile { path } => self.shard_of_path(path),
+            Query::Filter { table, .. } | Query::Aggregate { table, .. } => {
+                self.shard_of_table(table)
+            }
+            Query::Join { left, .. } => self.shard_of_table(left),
+            Query::Grep { prefix, .. } | Query::ListFiles { prefix } => {
+                self.shard_of_table(prefix)
+            }
+        }
+    }
+
+    /// Owning shard of one update operation.
+    pub fn shard_of_op(&self, op: &UpdateOp) -> usize {
+        match op {
+            UpdateOp::Insert { key, .. }
+            | UpdateOp::Upsert { key, .. }
+            | UpdateOp::Update { key, .. }
+            | UpdateOp::Delete { key, .. } => self.shard_of_row(*key),
+            UpdateOp::WriteFile { path, .. }
+            | UpdateOp::AppendFile { path, .. }
+            | UpdateOp::DeleteFile { path } => self.shard_of_path(path),
+            // Schema changes are deployment-time operations; route them
+            // to shard 0 (cross-shard DDL is future work).
+            UpdateOp::CreateTable { .. } => 0,
+        }
+    }
+
+    /// Owning shard of a write batch: the first operation decides; a
+    /// batch whose remaining operations live elsewhere fails honestly at
+    /// the owning shard's replica (cross-shard transactions are an open
+    /// ROADMAP item).
+    pub fn shard_of_ops(&self, ops: &[UpdateOp]) -> usize {
+        ops.first().map_or(0, |op| self.shard_of_op(op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_store::Document;
+
+    fn map(n: usize) -> ShardMap {
+        ShardMap::new(n, &DatasetSpec::default()) // 500 products, 40 files
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let m = map(1);
+        for key in [1, 250, 500, 10_000] {
+            assert_eq!(m.shard_of_row(key), 0);
+        }
+        assert_eq!(m.shard_of_path("/docs/file-039.log"), 0);
+        assert_eq!(m.shard_of_table("products"), 0);
+    }
+
+    #[test]
+    fn row_ranges_are_contiguous_and_balanced() {
+        let m = map(4);
+        let mut counts = [0usize; 4];
+        let mut last = 0usize;
+        for key in 1..=500u64 {
+            let s = m.shard_of_row(key);
+            assert!(s >= last, "shards must be contiguous in key order");
+            last = s;
+            counts[s] += 1;
+        }
+        assert_eq!(counts, [125, 125, 125, 125]);
+        // Keys past the span clamp to the last shard.
+        assert_eq!(m.shard_of_row(1_000_000), 3);
+        assert_eq!(m.shard_of_row(0), 0);
+    }
+
+    #[test]
+    fn file_ranges_are_contiguous_and_hash_fallback_is_total() {
+        let m = map(4);
+        let mut last = 0usize;
+        for f in 0..40u64 {
+            let s = m.shard_of_path(&format!("/docs/file-{f:03}.log"));
+            assert!(s >= last);
+            last = s;
+        }
+        assert_eq!(last, 3, "last file lands in the last shard");
+        // No ordinal: stable hash, still in range.
+        let s = m.shard_of_path("/readme");
+        assert!(s < 4);
+        assert_eq!(s, m.shard_of_path("/readme"));
+    }
+
+    #[test]
+    fn query_and_op_routing_agree_on_keys() {
+        let m = map(8);
+        for key in [1u64, 77, 301, 499] {
+            let q = Query::GetRow {
+                table: "products".into(),
+                key,
+            };
+            let op = UpdateOp::Update {
+                table: "products".into(),
+                key,
+                changes: Document::new().with("price", 1i64),
+            };
+            assert_eq!(m.shard_of_query(&q), m.shard_of_op(&op));
+        }
+        let q = Query::ReadFile {
+            path: "/docs/file-012.log".into(),
+        };
+        let op = UpdateOp::AppendFile {
+            path: "/docs/file-012.log".into(),
+            contents: "x".into(),
+        };
+        assert_eq!(m.shard_of_query(&q), m.shard_of_op(&op));
+    }
+
+    #[test]
+    fn batch_routing_follows_first_op() {
+        let m = map(2);
+        let ops = vec![
+            UpdateOp::Update {
+                table: "products".into(),
+                key: 499,
+                changes: Document::new().with("stock", 0i64),
+            },
+            UpdateOp::Update {
+                table: "products".into(),
+                key: 1,
+                changes: Document::new().with("stock", 0i64),
+            },
+        ];
+        assert_eq!(m.shard_of_ops(&ops), m.shard_of_row(499));
+        assert_eq!(m.shard_of_ops(&[]), 0);
+    }
+}

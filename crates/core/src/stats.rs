@@ -32,6 +32,10 @@ pub struct SystemStats {
     pub proof_reads_rejected: u64,
     /// Proof reads that fell back to the pledged pipeline.
     pub proof_fallbacks: u64,
+    /// Rejected proof replies retried on another replica of the same
+    /// shard while still on the proof path (proof-path hardening; these
+    /// happen *before* any pledged fallback).
+    pub proof_retries: u64,
     /// Proof size on the wire, bytes (per accepted proof read).
     pub proof_bytes: Summary,
     /// Proof path depth (hash work per verification).
@@ -84,12 +88,17 @@ pub struct SystemStats {
     /// Snapshot-ring nodes shared with other handles, summed over all
     /// masters (structural reuse across versions).
     pub snapshot_nodes_shared: u64,
-    /// Per-master CPU utilisation (0..=1), by rank.
+    /// Per-master CPU utilisation (0..=1), by global shard-major index.
     pub master_utilisation: Vec<f64>,
-    /// Per-slave CPU utilisation (0..=1), by index.
+    /// Per-slave CPU utilisation (0..=1), by global shard-major index.
     pub slave_utilisation: Vec<f64>,
     /// Per-client counters, by index.
     pub per_client: Vec<ClientCounters>,
+    /// Writes committed per shard (counted once per commit, at the
+    /// admitting sequencer of the owning subgroup).
+    pub writes_committed_per_shard: Vec<u64>,
+    /// Directory lookups per shard (the routing-table load split).
+    pub dir_lookups_per_shard: Vec<u64>,
 }
 
 impl SystemStats {
@@ -145,7 +154,14 @@ impl SystemStats {
             .map(|n| sys.world.utilisation(n))
             .collect();
 
+        let n_shards = sys.config.n_shards;
         let m = sys.world.metrics_mut();
+        let writes_committed_per_shard: Vec<u64> = (0..n_shards)
+            .map(|k| m.counter(&format!("write.committed.shard{k}")))
+            .collect();
+        let dir_lookups_per_shard: Vec<u64> = (0..n_shards)
+            .map(|k| m.counter(&format!("directory.lookups.shard{k}")))
+            .collect();
         SystemStats {
             reads_issued: m.counter("read.issued"),
             reads_accepted: m.counter("read.accepted"),
@@ -158,6 +174,7 @@ impl SystemStats {
             proof_reads_accepted: m.counter("read.proof_accepted"),
             proof_reads_rejected: m.counter("read.proof_rejected"),
             proof_fallbacks: m.counter("read.proof_fallback"),
+            proof_retries: m.counter("read.proof_retry"),
             proof_bytes: m.summary("proof.bytes"),
             proof_depth: m.summary("proof.depth"),
             proof_latency: m.summary("read.proof_latency_us"),
@@ -189,17 +206,19 @@ impl SystemStats {
             master_utilisation,
             slave_utilisation,
             per_client,
+            writes_committed_per_shard,
+            dir_lookups_per_shard,
         }
         .fill_auditor(sys)
     }
 
     fn fill_auditor(mut self, sys: &mut System) -> Self {
+        // One elected auditor per shard: the backlog is their sum.
         for rank in 0..sys.masters.len() {
             let (is_auditor, backlog) =
                 sys.with_master(rank, |m| (m.is_auditor(), m.auditor_state().backlog()));
             if is_auditor {
-                self.audit_backlog = backlog;
-                break;
+                self.audit_backlog += backlog;
             }
         }
         self
@@ -244,6 +263,7 @@ impl SystemStats {
             ("proof_reads_accepted", self.proof_reads_accepted as f64),
             ("proof_reads_rejected", self.proof_reads_rejected as f64),
             ("proof_fallbacks", self.proof_fallbacks as f64),
+            ("proof_retries", self.proof_retries as f64),
             ("snapshot_nodes_owned", self.snapshot_nodes_owned as f64),
             ("snapshot_nodes_shared", self.snapshot_nodes_shared as f64),
             ("lies_told", self.lies_told as f64),
@@ -303,7 +323,7 @@ impl SystemStats {
     pub fn render(&self) -> String {
         format!(
             "reads: issued={} accepted={} failed={} stale_rejects={} sensitive={}\n\
-             proofs: issued={} accepted={} rejected={} fallbacks={} \
+             proofs: issued={} accepted={} rejected={} retries={} fallbacks={} \
              bytes_p50={} depth_p50={}\n\
              writes: committed={} denied={}\n\
              lies: told={} wrong_accepted={} ({:.4}%)\n\
@@ -319,6 +339,7 @@ impl SystemStats {
             self.proof_reads_issued,
             self.proof_reads_accepted,
             self.proof_reads_rejected,
+            self.proof_retries,
             self.proof_fallbacks,
             self.proof_bytes.p50,
             self.proof_depth.p50,

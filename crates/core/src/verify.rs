@@ -80,12 +80,17 @@ pub fn strategy_for(query: &Query, proof_reads_enabled: bool) -> ReadStrategy {
     }
 }
 
-/// The keys and bounds a verification runs against.
+/// The keys and bounds a verification runs against.  In a sharded
+/// deployment this is the *owning shard's* environment: only that
+/// subgroup's masters and replicas are acceptable signers here.
 pub struct VerifyEnv<'a> {
     /// Known masters and their verification keys.
     pub masters: &'a [(NodeId, PublicKey)],
     /// The client's assigned slaves and their verification keys.
     pub slaves: &'a [(NodeId, PublicKey)],
+    /// Spare replicas of the same shard (proof-retry targets); their
+    /// certificates were verified at setup like the assigned slaves'.
+    pub spares: &'a [(NodeId, PublicKey)],
     /// Current simulation time.
     pub now: SimTime,
     /// This client's freshness bound (possibly relaxed; Section 3.2).
@@ -103,6 +108,7 @@ impl VerifyEnv<'_> {
     fn slave_key(&self, slave: NodeId) -> Option<&PublicKey> {
         self.slaves
             .iter()
+            .chain(self.spares.iter())
             .find(|(n, _)| *n == slave)
             .map(|(_, k)| k)
     }
@@ -240,6 +246,7 @@ mod tests {
         VerifyEnv {
             masters: &f.masters,
             slaves: &f.slaves,
+            spares: &[],
             now: SimTime::from_millis(now_ms),
             max_latency: SimDuration::from_millis(500),
         }

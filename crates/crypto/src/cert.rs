@@ -53,13 +53,18 @@ pub struct CertificateBody {
     /// Identifier of the content this certificate belongs to (hash of the
     /// content public key, as in self-certifying names [5]).
     pub content_id: Hash256,
+    /// Shard of the content space this certificate is scoped to: the
+    /// subject may only act (sequence writes, stamp digests, serve
+    /// replicas) for this shard.  Unsharded deployments use shard 0, so
+    /// the claim is always present and always checked.
+    pub shard: u32,
 }
 
 impl CertificateBody {
     /// Canonical byte encoding of the body (what gets signed).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.subject_addr.len());
-        out.extend_from_slice(b"sdr/cert/v1");
+        out.extend_from_slice(b"sdr/cert/v2");
         out.extend_from_slice(&self.serial.to_be_bytes());
         out.push(self.role.tag());
         out.extend_from_slice(&(self.subject_addr.len() as u32).to_be_bytes());
@@ -69,6 +74,7 @@ impl CertificateBody {
         out.extend_from_slice(&key);
         out.extend_from_slice(&self.issued_at_us.to_be_bytes());
         out.extend_from_slice(self.content_id.as_ref());
+        out.extend_from_slice(&self.shard.to_be_bytes());
         out
     }
 }
@@ -104,6 +110,21 @@ impl Certificate {
         }
         Ok(())
     }
+
+    /// Verifies role *and* shard scope: a certificate issued for one
+    /// shard must not authenticate a server for another shard's data.
+    pub fn verify_scoped(
+        &self,
+        issuer_key: &PublicKey,
+        role: CertRole,
+        shard: u32,
+    ) -> Result<(), CryptoError> {
+        self.verify_role(issuer_key, role)?;
+        if self.body.shard != shard {
+            return Err(CryptoError::InvalidCertificate("wrong shard scope"));
+        }
+        Ok(())
+    }
 }
 
 /// Derives a content identifier from the content public key, following the
@@ -125,6 +146,7 @@ mod tests {
             subject_key: HmacSigner::from_seed_label(serial, b"subject").public_key(),
             issued_at_us: 1_000,
             content_id: content_id_for_key(owner_key),
+            shard: 0,
         }
     }
 
@@ -173,6 +195,25 @@ mod tests {
             cert.verify_role(&owner_pk, CertRole::Slave),
             Err(CryptoError::InvalidCertificate("unexpected role"))
         );
+    }
+
+    #[test]
+    fn shard_scope_is_signed_and_enforced() {
+        let mut owner = HmacSigner::from_seed_label(1, b"owner");
+        let owner_pk = owner.public_key();
+        let mut b = body(1, &owner_pk);
+        b.shard = 3;
+        let cert = Certificate::issue(b, &mut owner).unwrap();
+        cert.verify_scoped(&owner_pk, CertRole::Master, 3).unwrap();
+        // Scope mismatch is rejected even though the signature holds.
+        assert_eq!(
+            cert.verify_scoped(&owner_pk, CertRole::Master, 0),
+            Err(CryptoError::InvalidCertificate("wrong shard scope"))
+        );
+        // Rewriting the claim breaks the signature.
+        let mut forged = cert;
+        forged.body.shard = 0;
+        assert!(forged.verify(&owner_pk).is_err());
     }
 
     #[test]

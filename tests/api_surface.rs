@@ -54,6 +54,7 @@ type MemberId = broadcast::MemberId;
 // core — the paper's system.
 type System = core::System;
 type SystemBuilder = core::SystemBuilder;
+type ShardMap = core::ShardMap;
 type SystemConfig = core::SystemConfig;
 type SlaveBehavior = core::SlaveBehavior;
 type Workload = core::Workload;

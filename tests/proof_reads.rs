@@ -76,7 +76,9 @@ fn proof_vs_pledge_report_shows_auditor_skipped() {
 
 /// A slave that lies on every answer cannot survive the proof path: its
 /// forgeries are rejected deterministically at the client (no audit
-/// delay), and the read falls back to the pledged pipeline.
+/// delay), and the read is retried — still on the proof path — at
+/// another replica of the same shard (here the honest spare), so the
+/// pledged fallback never needs to fire.
 #[test]
 fn proof_path_rejects_lies_immediately() {
     let cfg = SystemConfig {
@@ -113,8 +115,13 @@ fn proof_path_rejects_lies_immediately() {
         stats.render()
     );
     assert!(
-        stats.proof_fallbacks > 0,
-        "rejected proof reads must fall back: {}",
+        stats.proof_retries > 0,
+        "rejected proof reads must retry another replica first: {}",
+        stats.render()
+    );
+    assert_eq!(
+        stats.proof_fallbacks, 0,
+        "the honest spare absorbs every rejection: {}",
         stats.render()
     );
     // The deterministic check accepts only honest proofs, so none of the

@@ -1,0 +1,269 @@
+//! Cross-shard behaviour of the sharded deployment: per-shard total
+//! order with cross-shard concurrency, Byzantine isolation between
+//! shards, proof-path hardening, and single-shard determinism.
+
+use secure_replication::core::scenario::{registry, Param, Runner};
+use secure_replication::core::{
+    SlaveBehavior, SystemBuilder, SystemConfig, QueryMix, Workload,
+};
+use secure_replication::sim::SimDuration;
+
+fn write_heavy(n_shards: usize, seed: u64) -> SystemConfig {
+    SystemConfig {
+        n_shards,
+        n_masters: 3,
+        n_slaves: 2,
+        n_clients: 8,
+        max_latency: SimDuration::from_millis(1_000),
+        keepalive_period: SimDuration::from_millis(250),
+        double_check_prob: 0.0,
+        seed,
+        ..SystemConfig::default()
+    }
+}
+
+/// (a) Writes to different shards commit concurrently, yet each shard's
+/// commit stream respects its own total order and the per-queue
+/// `max_latency` spacing rule.
+#[test]
+fn shards_commit_concurrently_without_violating_per_shard_order() {
+    let cfg = write_heavy(2, 101);
+    let max_latency = cfg.max_latency;
+    let mut sys = SystemBuilder::new(cfg)
+        .workload(Workload {
+            reads_per_sec: 1.0,
+            writes_per_sec: 30.0, // Saturates both queues.
+            writer_fraction: 1.0,
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(30));
+
+    let mut streams = Vec::new();
+    for shard in 0..2 {
+        let series: Vec<(u64, u64)> = sys
+            .world
+            .metrics()
+            .series(&format!("write.commit_us.shard{shard}"))
+            .iter()
+            .map(|(t, v)| (t.as_micros(), *v as u64))
+            .collect();
+        assert!(
+            series.len() >= 5,
+            "shard {shard} committed too little: {} commits",
+            series.len()
+        );
+        // Per-shard total order: versions advance by exactly one.
+        for pair in series.windows(2) {
+            assert_eq!(
+                pair[1].1,
+                pair[0].1 + 1,
+                "shard {shard} version stream must be gapless and ordered"
+            );
+            // Per-shard spacing rule: consecutive commits at least
+            // max_latency apart.
+            assert!(
+                pair[1].0 - pair[0].0 >= max_latency.as_micros(),
+                "shard {shard} violated the spacing rule: {} then {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        streams.push(series);
+    }
+
+    // Cross-shard concurrency: some commit of shard 1 lands well inside
+    // a shard-0 spacing window (closer than max_latency/2 to a shard-0
+    // commit) — impossible under a single global queue.
+    let concurrent = streams[0].iter().any(|&(t0, _)| {
+        streams[1]
+            .iter()
+            .any(|&(t1, _)| t0.abs_diff(t1) < max_latency.as_micros() / 2)
+    });
+    assert!(
+        concurrent,
+        "expected commits of different shards inside one spacing window"
+    );
+
+    // Both shards beat a single queue's ceiling together.
+    let total = streams[0].len() + streams[1].len();
+    assert!(
+        total as f64 > 1.25 * 30.0 / max_latency.as_secs_f64(),
+        "two shards should out-commit one queue's 1/max_latency bound, got {total}"
+    );
+}
+
+/// (b) A Byzantine slave in shard 0 cannot affect proof reads served by
+/// shard 1 — and the proof path survives it via the same-shard replica
+/// retry, never falling back to pledge+audit.
+#[test]
+fn byzantine_shard_cannot_affect_other_shards_proof_reads() {
+    let cfg = SystemConfig {
+        n_shards: 2,
+        n_masters: 3,
+        n_slaves: 2,
+        n_clients: 8,
+        double_check_prob: 0.0,
+        seed: 202,
+        ..SystemConfig::default()
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        // Global slave indexes are shard-major: 0 and 1 serve shard 0.
+        .slave_behavior(0, SlaveBehavior::ConsistentLiar { prob: 1.0, collude: false })
+        .workload(Workload {
+            reads_per_sec: 6.0,
+            writes_per_sec: 0.0,
+            // Static-only mix: every read takes the proof path.
+            mix: QueryMix {
+                get: 80,
+                read_file: 20,
+                range: 0,
+                filter: 0,
+                aggregate: 0,
+                join: 0,
+                grep: 0,
+            },
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(30));
+    let stats = sys.stats();
+
+    // The liar was exercised and caught deterministically at clients.
+    assert!(stats.lies_told > 0, "liar never triggered");
+    assert!(stats.proof_reads_rejected > 0, "no proof rejections seen");
+    assert_eq!(stats.wrong_accepted, 0, "a lie was accepted: {}", stats.render());
+
+    // Proof-path hardening: every rejection retried shard 0's *other*
+    // (honest) replica on the proof path; with one liar and one honest
+    // replica per shard, no read needed the pledged fallback.
+    assert!(stats.proof_retries > 0, "expected same-shard proof retries");
+    assert_eq!(
+        stats.proof_fallbacks, 0,
+        "healthy replica present: fallback must not fire"
+    );
+
+    // Shard 1's replicas served reads and told no lies: the Byzantine
+    // replica's blast radius ends at its shard boundary.
+    let mut shard1_served = 0u64;
+    for i in 2..4 {
+        shard1_served += sys.with_slave(i, |s| s.reads_served());
+        let lies = sys.with_slave(i, |s| s.lies_told().clone());
+        assert!(lies.is_empty(), "shard 1 slave {i} lied");
+    }
+    assert!(shard1_served > 0, "shard 1 served nothing");
+
+    // And every lie in the run came from the shard-0 liar.
+    let liar_lies = sys.with_slave(0, |s| s.lies_told().clone());
+    assert!(!liar_lies.is_empty());
+}
+
+/// When the whole shard lies, the one proof-path retry is spent and the
+/// read falls back to the pledged pipeline (the pre-hardening path).
+#[test]
+fn proof_retry_exhausted_falls_back_to_pledged() {
+    let cfg = SystemConfig {
+        n_shards: 2,
+        n_masters: 3,
+        n_slaves: 2,
+        n_clients: 6,
+        double_check_prob: 0.05,
+        seed: 303,
+        ..SystemConfig::default()
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        .slave_behavior(0, SlaveBehavior::ConsistentLiar { prob: 1.0, collude: true })
+        .slave_behavior(1, SlaveBehavior::ConsistentLiar { prob: 1.0, collude: true })
+        .workload(Workload {
+            reads_per_sec: 6.0,
+            writes_per_sec: 0.0,
+            mix: QueryMix {
+                get: 100,
+                read_file: 0,
+                range: 0,
+                filter: 0,
+                aggregate: 0,
+                join: 0,
+                grep: 0,
+            },
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(20));
+    let stats = sys.stats();
+    assert!(stats.proof_retries > 0, "retry must be attempted first");
+    assert!(
+        stats.proof_fallbacks > 0,
+        "with every shard-0 replica lying, fallback must fire: {}",
+        stats.render()
+    );
+}
+
+/// (c) `n_shards = 1` reproduces the unsharded topology and its reports
+/// byte-identically: the registry spec (which defaults to one shard)
+/// and an explicit `NShards = 1` sweep cell produce the same bytes, run
+/// after run.
+#[test]
+fn single_shard_reproduces_seed_topology_byte_identically() {
+    let mut base = registry::lookup("quickstart").expect("registered");
+    base.duration = SimDuration::from_secs(5);
+    base.seeds = vec![2_003];
+    assert_eq!(base.config.n_shards, 1, "registry default must be one shard");
+
+    let plain_a = Runner::new(base.clone()).run().expect("runs").to_json_string();
+    let plain_b = Runner::new(base.clone()).run().expect("runs").to_json_string();
+    assert_eq!(plain_a, plain_b, "same spec must reproduce identical bytes");
+
+    // Explicitly applying `NShards = 1` must change nothing: the report
+    // bytes match the implicit single-shard run exactly.
+    let mut explicit = base.clone();
+    Param::NShards
+        .apply(&mut explicit, 1.0)
+        .expect("param applies");
+    let explicit_bytes = Runner::new(explicit).run().expect("runs").to_json_string();
+    assert_eq!(
+        explicit_bytes, plain_a,
+        "explicit n_shards=1 must match the default topology byte-identically"
+    );
+
+    // Topology check: one shard spawns the classic roster.
+    let cfg = base.config.clone();
+    let (nm, ns, nc) = (cfg.n_masters, cfg.n_slaves, cfg.n_clients);
+    let sys = SystemBuilder::new(cfg).build();
+    assert_eq!(sys.world.node_count(), nm + ns + 1 + nc);
+    assert_eq!(sys.masters.len(), nm);
+    assert_eq!(sys.slaves.len(), ns);
+}
+
+/// The registry's `sharded_commit` sweep delivers the tentpole claim:
+/// committed writes grow monotonically with shard count on the
+/// write-heavy workload.
+#[test]
+fn sharded_commit_sweep_scales_monotonically() {
+    let mut spec = registry::lookup("sharded_commit").expect("registered");
+    // Shrink for test time; the shape of the claim is unchanged.
+    spec.duration = SimDuration::from_secs(12);
+    spec.seeds = vec![8_008];
+    let report = Runner::new(spec).run().expect("scenario runs");
+    assert_eq!(report.cells.len(), 4);
+
+    let committed: Vec<f64> = report
+        .cells
+        .iter()
+        .map(|c| c.mean("writes_committed"))
+        .collect();
+    for (i, pair) in committed.windows(2).enumerate() {
+        assert!(
+            pair[1] > pair[0],
+            "writes_committed must grow with shards: {committed:?} (step {i})"
+        );
+    }
+    // And the per-shard counters actually cover every shard.
+    let last = &report.cells[3].runs[0].stats;
+    assert_eq!(last.writes_committed_per_shard.len(), 8);
+    assert!(
+        last.writes_committed_per_shard.iter().all(|&w| w > 0),
+        "every shard must commit: {:?}",
+        last.writes_committed_per_shard
+    );
+}
