@@ -77,5 +77,28 @@ fn bench_shard_commit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shard_commit);
+fn bench_batched_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_commit");
+
+    // Full build + 3 s of saturated writes, unbatched vs batch=8 on a
+    // single shard: the host cost of the batched round machinery (one
+    // ordered round + one digest stamp per batch).  The *virtual*-time
+    // throughput gain lives in the `batched_commit` registry scenario.
+    for batch in [1usize, 8] {
+        group.bench_function(format!("run_3s_batch{batch}"), |b| {
+            b.iter(|| {
+                let mut cfg = write_heavy_cfg(1);
+                cfg.max_write_batch = batch;
+                let mut sys = SystemBuilder::new(cfg)
+                    .workload(write_heavy_workload())
+                    .build();
+                sys.run_for(SimDuration::from_secs(3));
+                black_box(sys.world.metrics().counter("write.committed"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_commit, bench_batched_commit);
 criterion_main!(benches);

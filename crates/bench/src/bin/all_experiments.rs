@@ -8,9 +8,10 @@
 //! [`RunReport`]-shaped document (any child emitting unparseable or
 //! unrecognisable output fails the whole run — this is the report-schema
 //! regression gate CI relies on), and the combined output is one JSON
-//! array of the reports.  The `sharded_commit` scenario has no dedicated
-//! binary, so it runs in-process here and its report is validated (and,
-//! with `--json`, emitted) exactly like the children's.
+//! array of the reports.  The `sharded_commit` and `batched_commit`
+//! scenarios have no dedicated binaries, so they run in-process here and
+//! their reports are validated (and, with `--json`, emitted) exactly
+//! like the children's.
 
 use sdr_bench::BenchCli;
 use sdr_core::scenario::{registry, Runner};
@@ -120,45 +121,46 @@ fn main() {
         }
     }
 
-    // The sharded_commit sweep (no dedicated binary): run it in-process
-    // with the same CLI overrides and hold its report to the same
-    // schema gate as every child's.
-    if !json {
-        println!("\n================ sharded_commit ================");
-    }
+    // The commit-throughput sweeps (no dedicated binaries): run them
+    // in-process with the same CLI overrides and hold their reports to
+    // the same schema gate as every child's.
     let cli = BenchCli::from_args(forwarded.iter().cloned());
-    let mut spec = registry::lookup("sharded_commit").expect("registered scenario");
-    cli.apply(&mut spec);
-    match Runner::new(spec).run() {
-        Ok(report) => {
-            let text = report.to_json_string();
-            match Value::parse(&text).map_err(|e| e.to_string()).and_then(|v| {
-                validate_report(&v)?;
-                Ok(v)
-            }) {
-                Ok(v) => {
-                    if json {
-                        reports.push(v);
-                    } else {
-                        for cell in &report.cells {
-                            let shards = cell.coord("shards").unwrap_or(1.0);
-                            println!(
-                                "shards={:<2} committed writes (mean over seeds) = {:.1}",
-                                shards,
-                                cell.mean("writes_committed")
-                            );
+    for (scenario, coord) in [("sharded_commit", "shards"), ("batched_commit", "batch")] {
+        if !json {
+            println!("\n================ {scenario} ================");
+        }
+        let mut spec = registry::lookup(scenario).expect("registered scenario");
+        cli.apply(&mut spec);
+        match Runner::new(spec).run() {
+            Ok(report) => {
+                let text = report.to_json_string();
+                match Value::parse(&text).map_err(|e| e.to_string()).and_then(|v| {
+                    validate_report(&v)?;
+                    Ok(v)
+                }) {
+                    Ok(v) => {
+                        if json {
+                            reports.push(v);
+                        } else {
+                            for cell in &report.cells {
+                                let x = cell.coord(coord).unwrap_or(1.0);
+                                println!(
+                                    "{coord}={x:<2} committed writes (mean over seeds) = {:.1}",
+                                    cell.mean("writes_committed")
+                                );
+                            }
                         }
                     }
-                }
-                Err(e) => {
-                    eprintln!("sharded_commit: schema check failed: {e}");
-                    failures.push("sharded_commit");
+                    Err(e) => {
+                        eprintln!("{scenario}: schema check failed: {e}");
+                        failures.push(scenario);
+                    }
                 }
             }
-        }
-        Err(e) => {
-            eprintln!("sharded_commit failed to run: {e}");
-            failures.push("sharded_commit");
+            Err(e) => {
+                eprintln!("{scenario} failed to run: {e}");
+                failures.push(scenario);
+            }
         }
     }
 

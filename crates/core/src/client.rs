@@ -40,8 +40,8 @@ use crate::workload::Workload;
 use rand::Rng;
 use sdr_crypto::{CertRole, PublicKey};
 use sdr_sim::{Ctx, NodeId, Process, SimDuration, SimTime};
-use sdr_store::{Query, QueryResult, StateProof};
-use std::collections::{HashMap, HashSet};
+use sdr_store::{Query, QueryResult, StateProof, UpdateOp};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 const K_BOOT: u64 = 1;
 const K_NEXT_READ: u64 = 2;
@@ -148,6 +148,12 @@ pub struct ClientProcess {
     next_req: u64,
     pending: HashMap<u64, PendingRead>,
     pending_writes: HashMap<u64, (SimTime, usize)>,
+    /// Per-shard overflow of sampled-but-unsent writes: with
+    /// `max_write_batch > 1` the client keeps up to a batch of writes
+    /// outstanding per shard (pipelining into the sequencer's round) and
+    /// parks the rest here until responses drain the window.  Unused —
+    /// and unallocated per-entry — at `max_write_batch = 1`.
+    deferred_writes: Vec<VecDeque<Vec<UpdateOp>>>,
 
     /// `(slave, accepted result-hash bytes)` — joined post-run against
     /// slave lie logs to count wrong answers that slipped through.
@@ -179,7 +185,8 @@ impl ClientProcess {
             .map(|(_, d)| *d)
             .unwrap_or(cfg.max_latency);
         let map = ShardMap::new(cfg.n_shards, &workload.dataset);
-        let shards = vec![ShardView::default(); cfg.n_shards.max(1)];
+        let cfg_shards = cfg.n_shards.max(1);
+        let shards = vec![ShardView::default(); cfg_shards];
         ClientProcess {
             cfg,
             workload,
@@ -197,6 +204,7 @@ impl ClientProcess {
             next_req: 1,
             pending: HashMap::new(),
             pending_writes: HashMap::new(),
+            deferred_writes: vec![VecDeque::new(); cfg_shards],
             acceptances: Vec::new(),
             counters: ClientCounters::default(),
         }
@@ -230,6 +238,29 @@ impl ClientProcess {
         self.phase == Phase::Ready
     }
 
+    /// Current Byzantine-evidence blacklist (test inspection).
+    pub fn blacklisted(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.blacklist.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Plants Byzantine evidence against a node (test injection).
+    pub fn blacklist_insert(&mut self, node: NodeId) {
+        self.blacklist.insert(node);
+    }
+
+    /// The master this client set up shard `shard` with (test inspection).
+    pub fn chosen_master(&self, shard: usize) -> Option<NodeId> {
+        self.shards[shard].master.map(|(n, _)| n)
+    }
+
+    /// The master roster this client learned for shard `shard` from the
+    /// directory (test inspection).
+    pub fn shard_masters(&self, shard: usize) -> Vec<NodeId> {
+        self.shards[shard].masters.iter().map(|(n, _)| *n).collect()
+    }
+
     fn boot(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.phase = Phase::AwaitDir;
         for sv in &mut self.shards {
@@ -239,6 +270,11 @@ impl ClientProcess {
             sv.masters.clear();
         }
         self.awaiting_setup.clear();
+        // Parked writes reference the pre-reboot pipeline; drop them (the
+        // workload timer keeps producing fresh ones once Ready again).
+        for q in &mut self.deferred_writes {
+            q.clear();
+        }
         for shard in 0..self.shards.len() {
             ctx.send(self.directory, Msg::DirLookup { shard: shard as u32 });
         }
@@ -268,6 +304,41 @@ impl ClientProcess {
     fn schedule_next_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let gap = self.workload.write_gap(ctx.rng(), 1);
         ctx.set_timer(gap, tag(K_NEXT_WRITE, 0));
+    }
+
+    /// Writes in flight to one shard's master (response still pending).
+    fn outstanding_writes(&self, shard: usize) -> usize {
+        self.pending_writes
+            .values()
+            .filter(|(_, s)| *s == shard)
+            .count()
+    }
+
+    /// Sends one write to the owning shard's master with the usual
+    /// timeout; drops it silently when the shard has no chosen master
+    /// (the periodic write timer just moves on, as before batching).
+    fn send_write(&mut self, ctx: &mut Ctx<'_, Msg>, shard: usize, ops: Vec<UpdateOp>) {
+        if let Some((m, _)) = self.shards[shard].master {
+            let req = self.next_req;
+            self.next_req += 1;
+            ctx.metrics().inc("write.issued");
+            self.pending_writes.insert(req, (ctx.now(), shard));
+            ctx.send(m, Msg::WriteRequest { req_id: req, ops });
+            ctx.set_timer(
+                self.cfg.max_latency * 4 + self.cfg.read_timeout,
+                tag(K_WRITE_TIMEOUT, req),
+            );
+        }
+    }
+
+    /// Refills the shard's pipeline window from the deferred queue.
+    fn flush_deferred_writes(&mut self, ctx: &mut Ctx<'_, Msg>, shard: usize) {
+        while !self.deferred_writes[shard].is_empty()
+            && self.outstanding_writes(shard) < self.cfg.max_write_batch
+        {
+            let ops = self.deferred_writes[shard].pop_front().expect("non-empty");
+            self.send_write(ctx, shard, ops);
+        }
     }
 
     /// Rotation cursor shared by every proof-path target pick: request
@@ -715,18 +786,20 @@ impl Process<Msg> for ClientProcess {
             }
             (K_NEXT_WRITE, _) => {
                 if self.phase == Phase::Ready {
-                    let req = self.next_req;
-                    self.next_req += 1;
                     let ops = self.workload.sample_write(ctx.rng());
                     let shard = self.map.shard_of_ops(&ops);
-                    if let Some((m, _)) = self.shards[shard].master {
-                        ctx.metrics().inc("write.issued");
-                        self.pending_writes.insert(req, (ctx.now(), shard));
-                        ctx.send(m, Msg::WriteRequest { req_id: req, ops });
-                        ctx.set_timer(
-                            self.cfg.max_latency * 4 + self.cfg.read_timeout,
-                            tag(K_WRITE_TIMEOUT, req),
-                        );
+                    if self.cfg.max_write_batch > 1
+                        && self.outstanding_writes(shard) >= self.cfg.max_write_batch
+                    {
+                        // Pipeline window full: park the write until a
+                        // response frees a slot.  Keeping a batch-sized
+                        // window outstanding lets the sequencer fill its
+                        // rounds without the client flooding a master
+                        // that can only drain one batch per max_latency.
+                        ctx.metrics().inc("write.deferred");
+                        self.deferred_writes[shard].push_back(ops);
+                    } else {
+                        self.send_write(ctx, shard, ops);
                     }
                 }
                 self.schedule_next_write(ctx);
@@ -829,9 +902,14 @@ impl Process<Msg> for ClientProcess {
                         }
                     }
                     None => {
-                        // All of this shard's masters blacklisted: clear
-                        // and retry later.
-                        self.blacklist.clear();
+                        // All of this shard's masters blacklisted: forgive
+                        // *this shard's* masters and retry later.  Evidence
+                        // against other shards' masters must survive — a
+                        // global clear would let a Byzantine master in
+                        // shard j be re-chosen because shard k ran dry.
+                        for (n, _) in &self.shards[shard].masters {
+                            self.blacklist.remove(n);
+                        }
                         ctx.set_timer(self.cfg.read_timeout, tag(K_BOOT, 0));
                     }
                 }
@@ -1012,7 +1090,7 @@ impl Process<Msg> for ClientProcess {
                 }
             },
             Msg::WriteResponse { req_id, outcome } => {
-                if let Some((sent_at, _shard)) = self.pending_writes.remove(&req_id) {
+                if let Some((sent_at, shard)) = self.pending_writes.remove(&req_id) {
                     match outcome {
                         WriteOutcome::Committed { .. } => {
                             ctx.metrics().inc("write.committed");
@@ -1026,6 +1104,9 @@ impl Process<Msg> for ClientProcess {
                             ctx.metrics().inc("write.failed_seen");
                         }
                     }
+                    // The response freed a slot in the shard's pipeline
+                    // window; refill it from the deferred queue.
+                    self.flush_deferred_writes(ctx, shard);
                 }
             }
             Msg::Reassign {

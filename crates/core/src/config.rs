@@ -120,6 +120,15 @@ pub struct SystemConfig {
     pub signer: SignatureScheme,
     /// MSS tree height when `signer == Mss` (2^height signatures/node).
     pub mss_height: u8,
+    /// Upper bound on client writes the shard's sequencer packs into one
+    /// totally-ordered round.  `1` reproduces the paper's pipeline
+    /// exactly — one write, one ordered round, one signed stamp pair per
+    /// `max_latency` window.  Higher values amortise the ordering round
+    /// and the stamp signatures over the whole batch: the queue still
+    /// opens only once per `max_latency`, but drains up to
+    /// `max_write_batch` writes as one multi-version commit anchored by
+    /// a single [`crate::messages::StateDigestStamp`].
+    pub max_write_batch: usize,
     /// Tick period for the masters' broadcast engine.
     pub tob_tick: SimDuration,
     /// Per-version snapshots retained by masters and auditor.
@@ -152,6 +161,7 @@ impl Default for SystemConfig {
             pledge_hash: HashAlgo::Sha1,
             signer: SignatureScheme::Hmac,
             mss_height: 10,
+            max_write_batch: 1,
             tob_tick: SimDuration::from_millis(50),
             snapshot_capacity: 64,
             seed: 42,
@@ -186,6 +196,9 @@ impl SystemConfig {
         }
         if self.read_quorum == 0 || self.read_quorum > self.n_slaves {
             return Err("read_quorum must be in 1..=n_slaves".into());
+        }
+        if self.max_write_batch == 0 {
+            return Err("max_write_batch must be at least 1".into());
         }
         Ok(())
     }
@@ -228,6 +241,12 @@ mod tests {
 
         let c = SystemConfig {
             n_shards: 0,
+            ..SystemConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SystemConfig {
+            max_write_batch: 0,
             ..SystemConfig::default()
         };
         assert!(c.validate().is_err());

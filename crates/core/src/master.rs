@@ -21,10 +21,12 @@ use sdr_sim::{Ctx, NodeId, Process, SimTime};
 use sdr_store::{execute, Database, SnapshotStore, UpdateOp};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-/// Admission bound on queued writes: keeps worst-case commit latency at
-/// `MAX_PENDING_WRITES x max_latency`, safely inside client write
-/// timeouts, and sheds load beyond the spacing rule's capacity.
-const MAX_PENDING_WRITES: usize = 3;
+/// Admission bound on queued *rounds* of writes: keeps worst-case commit
+/// latency at `MAX_PENDING_ROUNDS x max_latency`, safely inside client
+/// write timeouts, and sheds load beyond the spacing rule's capacity.
+/// The queue bound in writes is `MAX_PENDING_ROUNDS x max_write_batch`,
+/// since one round drains up to a full batch.
+const MAX_PENDING_ROUNDS: usize = 3;
 
 /// Timer tags.
 const T_TOB_TICK: u64 = 1;
@@ -190,6 +192,12 @@ impl MasterProcess {
         self.write_log.keys().copied().collect()
     }
 
+    /// Versions retained in the bounded digest log (test inspection;
+    /// pruned in lockstep with the write log).
+    pub fn digest_log_versions(&self) -> Vec<u64> {
+        self.digest_log.keys().copied().collect()
+    }
+
     /// Digest of the retained snapshot at `version` (test inspection).
     pub fn snapshot_digest(&self, version: u64) -> Option<Hash256> {
         self.snapshots.get(version).map(Database::state_digest)
@@ -318,6 +326,10 @@ impl MasterProcess {
                 req_id,
                 ops,
             } => self.commit_write(ctx, origin_master, client, req_id, ops),
+            MasterEvent::WriteBatch {
+                origin_master,
+                writes,
+            } => self.commit_batch(ctx, origin_master, writes),
             MasterEvent::SlaveList { master, slaves } => {
                 for s in slaves {
                     self.slave_owner.insert(s, master);
@@ -351,16 +363,13 @@ impl MasterProcess {
                         now,
                         version as f64,
                     );
+                    // A single-write round: the degenerate batch.
+                    ctx.metrics().observe("write.batch_size", 1);
                 }
                 self.snapshots.record(&self.db);
                 self.write_log.insert(version, ops.clone());
                 self.digest_log.insert(version, self.db.state_digest());
-                // Bound the op and digest logs like the snapshot ring.
-                while self.write_log.len() > self.cfg.snapshot_capacity {
-                    let oldest = *self.write_log.keys().next().expect("non-empty");
-                    self.write_log.remove(&oldest);
-                    self.digest_log.remove(&oldest);
-                }
+                self.prune_logs();
                 self.auditor_state.on_write_committed(version, ops.clone(), now);
                 self.earliest_next_write = now + self.cfg.max_latency;
 
@@ -393,6 +402,104 @@ impl MasterProcess {
         }
     }
 
+    /// Commits one ordered round of writes as a multi-version batch:
+    /// every member applies the runs in order (each write still bumps
+    /// the version by one, keeping per-version snapshots, write-log and
+    /// digest-log entries intact for sync replay and rollback), but the
+    /// round signs only **one** stamp pair — at the batch's final
+    /// version — and pushes all runs to the slaves in one message.  A
+    /// write that fails mid-batch rolls back to its own pre-write state
+    /// (the store's write atomicity) and the rest of the batch continues.
+    fn commit_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        origin_master: MemberId,
+        writes: Vec<(NodeId, u64, Vec<UpdateOp>)>,
+    ) {
+        let now = ctx.now();
+        let mut outcomes = Vec::with_capacity(writes.len());
+        let mut applied: Vec<(u64, Vec<UpdateOp>)> = Vec::new();
+        for (client, req_id, ops) in writes {
+            ctx.charge(ctx.costs().write_apply * ops.len() as u64);
+            let outcome = match self.db.apply_write(&ops) {
+                Ok(version) => {
+                    ctx.metrics().inc("master.writes_applied");
+                    if origin_master == self.rank {
+                        ctx.metrics()
+                            .inc(&format!("write.committed.shard{}", self.shard));
+                        ctx.metrics().series_push(
+                            &format!("write.commit_us.shard{}", self.shard),
+                            now,
+                            version as f64,
+                        );
+                    }
+                    self.snapshots.record(&self.db);
+                    self.write_log.insert(version, ops.clone());
+                    self.digest_log.insert(version, self.db.state_digest());
+                    self.auditor_state.on_write_committed(version, ops.clone(), now);
+                    applied.push((version, ops));
+                    WriteOutcome::Committed { version }
+                }
+                Err(e) => WriteOutcome::Failed(e.to_string()),
+            };
+            outcomes.push((client, req_id, outcome));
+        }
+        self.prune_logs();
+        self.earliest_next_write = now + self.cfg.max_latency;
+        if !applied.is_empty() {
+            if origin_master == self.rank {
+                ctx.metrics().observe("write.batch_size", applied.len() as u64);
+            }
+            // One stamp pair anchors the whole batch: the amortisation
+            // this round exists for.  Per-row proofs at the final
+            // version all verify against this single digest stamp.
+            if !self.my_slaves.is_empty() {
+                if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
+                    for &s in &self.my_slaves {
+                        ctx.send(
+                            s,
+                            Msg::StateUpdateBatch {
+                                updates: applied.clone(),
+                                stamp: stamp.clone(),
+                                digest_stamp: digest_stamp.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if origin_master == self.rank {
+            self.inflight_write = false;
+            for (client, req_id, outcome) in outcomes {
+                ctx.send(client, Msg::WriteResponse { req_id, outcome });
+            }
+            self.pump_writes(ctx);
+        }
+    }
+
+    /// Bounds the op and digest logs like the snapshot ring, in strict
+    /// lockstep: the digest log covers exactly the write log's window.
+    /// The digest seeded at construction (for the initial version, which
+    /// has no ops to replay) ages out as soon as the window starts —
+    /// sync replays only re-stamp versions the write log retains.
+    fn prune_logs(&mut self) {
+        while self.write_log.len() > self.cfg.snapshot_capacity {
+            let oldest = *self.write_log.keys().next().expect("non-empty");
+            self.write_log.remove(&oldest);
+            self.digest_log.remove(&oldest);
+        }
+        if let Some((&floor, _)) = self.write_log.first_key_value() {
+            while self
+                .digest_log
+                .first_key_value()
+                .is_some_and(|(&v, _)| v < floor)
+            {
+                let straggler = *self.digest_log.keys().next().expect("non-empty");
+                self.digest_log.remove(&straggler);
+            }
+        }
+    }
+
     /// Routes an admitted write: the sequencer owns the single global
     /// write queue (and therefore the spacing rule); everyone else
     /// forwards to it.
@@ -415,7 +522,7 @@ impl MasterProcess {
             );
             return;
         }
-        if self.pending_writes.len() >= MAX_PENDING_WRITES {
+        if self.pending_writes.len() >= MAX_PENDING_ROUNDS * self.cfg.max_write_batch {
             // Backpressure: beyond the spacing rule's capacity the queue
             // would only add unbounded commit latency, so shed load
             // explicitly instead (the client sees a prompt failure, not a
@@ -441,15 +548,31 @@ impl MasterProcess {
         if ctx.now() < self.earliest_next_write {
             return;
         }
-        let (client, req_id, ops) = self.pending_writes.pop_front().expect("non-empty");
+        if self.cfg.max_write_batch <= 1 {
+            let (client, req_id, ops) = self.pending_writes.pop_front().expect("non-empty");
+            self.inflight_write = true;
+            // Optimistic local reservation; the commit re-arms it exactly.
+            self.earliest_next_write = ctx.now() + self.cfg.max_latency;
+            let actions = self.tob.broadcast(MasterEvent::Write {
+                origin_master: self.rank,
+                client,
+                req_id,
+                ops,
+            });
+            self.drain_tob(ctx, actions);
+            return;
+        }
+        // Batched round: drain everything at the head of the queue (up
+        // to `max_write_batch`) into one ordered round.  The spacing
+        // rule is unchanged — the queue still opens once per
+        // `max_latency` — but the round carries a whole batch.
+        let n = self.pending_writes.len().min(self.cfg.max_write_batch);
+        let writes: Vec<_> = self.pending_writes.drain(..n).collect();
         self.inflight_write = true;
-        // Optimistic local reservation; the commit re-arms it exactly.
         self.earliest_next_write = ctx.now() + self.cfg.max_latency;
-        let actions = self.tob.broadcast(MasterEvent::Write {
+        let actions = self.tob.broadcast(MasterEvent::WriteBatch {
             origin_master: self.rank,
-            client,
-            req_id,
-            ops,
+            writes,
         });
         self.drain_tob(ctx, actions);
     }

@@ -183,6 +183,17 @@ pub enum MasterEvent {
         /// The operations.
         ops: Vec<UpdateOp>,
     },
+    /// A whole round of client writes admitted by the sequencer: the
+    /// head of its queue, drained in arrival order and committed as one
+    /// multi-version batch.  One ordered round and one signed stamp pair
+    /// carry all of them, amortising the spacing rule's per-round cost
+    /// over `writes.len()` commits.
+    WriteBatch {
+        /// Master that admitted the batch (always the sequencer).
+        origin_master: MemberId,
+        /// The queued writes in commit order: `(client, req_id, ops)`.
+        writes: Vec<(NodeId, u64, Vec<UpdateOp>)>,
+    },
     /// Periodic slave-list gossip ("masters also periodically broadcast
     /// their slave list to the master set, so in the event of a master
     /// crash the remaining ones will divide its slave set").
@@ -291,6 +302,20 @@ pub enum Msg {
         /// Signed stamp for the new version.
         stamp: VersionStamp,
         /// Signed state digest at the new version (anchors proof reads).
+        digest_stamp: StateDigestStamp,
+    },
+    /// A batch of committed state updates pushed as one message: the
+    /// per-version op runs of one sequencer round, anchored by a
+    /// *single* stamp pair signed at the batch's final version.  The
+    /// slave applies every run in order and adopts the stamps once the
+    /// last one lands — O(1) signatures per round instead of per write.
+    StateUpdateBatch {
+        /// `(version, ops)` runs in ascending, gapless version order.
+        updates: Vec<(u64, Vec<UpdateOp>)>,
+        /// Signed stamp of the batch's final version.
+        stamp: VersionStamp,
+        /// Signed state digest at the batch's final version: one anchor
+        /// for every proof read served at that version.
         digest_stamp: StateDigestStamp,
     },
     /// Signed keep-alive (slaves may serve only while fresh).
@@ -435,6 +460,14 @@ impl Payload for Msg {
             Msg::StateUpdate { ops, .. } => {
                 224 + ops.iter().map(UpdateOp::size).sum::<usize>()
             }
+            // One 224-byte stamp pair for the whole batch, plus a small
+            // per-run header (version) and the ops themselves.
+            Msg::StateUpdateBatch { updates, .. } => {
+                224 + updates
+                    .iter()
+                    .map(|(_, ops)| 8 + ops.iter().map(UpdateOp::size).sum::<usize>())
+                    .sum::<usize>()
+            }
             Msg::KeepAlive { .. } => 224,
             Msg::SlaveSyncRequest { .. } => 16,
             Msg::ExcludeNotice => 8,
@@ -462,6 +495,12 @@ impl Payload for Msg {
 fn master_event_len(e: &MasterEvent) -> usize {
     match e {
         MasterEvent::Write { ops, .. } => 24 + ops.iter().map(UpdateOp::size).sum::<usize>(),
+        MasterEvent::WriteBatch { writes, .. } => {
+            24 + writes
+                .iter()
+                .map(|(_, _, ops)| 16 + ops.iter().map(UpdateOp::size).sum::<usize>())
+                .sum::<usize>()
+        }
         MasterEvent::SlaveList { slaves, .. } => 16 + slaves.len() * 4,
         MasterEvent::Exclude { .. } => 12,
     }

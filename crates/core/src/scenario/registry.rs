@@ -51,6 +51,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("large_catalog", large_catalog),
     ("proof_vs_pledge", proof_vs_pledge),
     ("sharded_commit", sharded_commit),
+    ("batched_commit", batched_commit),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -670,6 +671,40 @@ fn sharded_commit() -> ScenarioSpec {
     spec.duration = SimDuration::from_secs(60);
     spec.seeds = vec![8_008, 9_009];
     spec.grid = Grid::sweep("shards", Param::NShards, &[1.0, 2.0, 4.0, 8.0]);
+    spec
+}
+
+fn batched_commit() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "batched_commit",
+        "Commit throughput vs sequencer batch size on one shard under \
+         saturating write demand: the queue still opens once per \
+         max_latency, but each round drains up to max_write_batch writes \
+         as one multi-version commit anchored by a single signed digest \
+         stamp, so committed writes track the batch bound",
+        SystemConfig {
+            n_masters: 3,
+            n_slaves: 2,
+            n_clients: 16,
+            double_check_prob: 0.01,
+            max_latency: SimDuration::from_millis(1_000),
+            keepalive_period: SimDuration::from_millis(250),
+            seed: 6_006,
+            ..SystemConfig::default()
+        },
+    );
+    // The same saturating write demand as `sharded_commit`: one queue
+    // can admit only 1/max_latency rounds, so throughput moves with how
+    // much each round carries.
+    spec.workload = Workload {
+        reads_per_sec: 2.0,
+        writes_per_sec: 40.0,
+        writer_fraction: 0.5,
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(60);
+    spec.seeds = vec![6_006, 7_007];
+    spec.grid = Grid::sweep("batch", Param::WriteBatch, &[1.0, 2.0, 4.0, 8.0]);
     spec
 }
 

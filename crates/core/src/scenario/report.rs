@@ -248,7 +248,8 @@ mod tests {
             "rejected_stale":0,"rejected_hash":0,"read_retries":0,
             "reads_sensitive":0,
             "proof_reads_issued":1,"proof_reads_accepted":1,
-            "proof_reads_rejected":0,"proof_fallbacks":0,"proof_retries":0,
+            "proof_reads_rejected":0,"proof_fallbacks":0,
+            "proof_unsupported":0,"proof_retries":0,
             "proof_bytes":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "proof_depth":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "proof_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
@@ -258,6 +259,7 @@ mod tests {
             "reassignments":0,"audit_submitted":0,"audit_checked":0,
             "audit_cache_hits":0,"audit_mismatch":0,"audit_skipped":0,
             "writes_committed":0,"writes_denied":0,
+            "writes_per_round":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "read_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "write_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "audit_lag":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},

@@ -71,6 +71,10 @@ pub enum Param {
     /// space is split across (each with `n_masters` masters and
     /// `n_slaves` slaves of its own).
     NShards,
+    /// `config.max_write_batch`: how many queued client writes the
+    /// shard's sequencer packs into one ordered round (1 = the paper's
+    /// unbatched pipeline).
+    WriteBatch,
 }
 
 impl Param {
@@ -132,6 +136,12 @@ impl Param {
                     return Err(format!("NShards must be >= 1, got {v}"));
                 }
                 spec.config.n_shards = v as usize;
+            }
+            Param::WriteBatch => {
+                if v < 1.0 {
+                    return Err(format!("WriteBatch must be >= 1, got {v}"));
+                }
+                spec.config.max_write_batch = v as usize;
             }
         }
         Ok(())
@@ -438,6 +448,14 @@ mod tests {
         Param::NShards.apply(&mut spec, 4.0).unwrap();
         assert_eq!(spec.config.n_shards, 4);
         assert!(Param::NShards.apply(&mut spec, 0.0).is_err());
+    }
+
+    #[test]
+    fn write_batch_applies_and_rejects_zero() {
+        let mut spec = base();
+        Param::WriteBatch.apply(&mut spec, 8.0).unwrap();
+        assert_eq!(spec.config.max_write_batch, 8);
+        assert!(Param::WriteBatch.apply(&mut spec, 0.0).is_err());
     }
 
     #[test]

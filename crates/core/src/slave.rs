@@ -169,7 +169,11 @@ pub struct SlaveProcess {
     /// it cannot anchor, and a stale server's anchor ages out.
     latest_digest_stamp: Option<StateDigestStamp>,
     last_keepalive_at: SimTime,
-    pending_updates: BTreeMap<u64, (Vec<UpdateOp>, VersionStamp, StateDigestStamp)>,
+    /// Buffered out-of-order updates, keyed by version.  The digest
+    /// stamp is `None` for intermediate versions of a batch: the master
+    /// signs one anchor — the batch's final version — so only that run
+    /// carries a provable digest.
+    pending_updates: BTreeMap<u64, (Vec<UpdateOp>, VersionStamp, Option<StateDigestStamp>)>,
     excluded: bool,
     /// Earliest time the next sync request may be sent (rate limit: the
     /// simulated network reorders packets, so most gaps heal by
@@ -320,7 +324,27 @@ impl SlaveProcess {
                 ctx.metrics().inc("slave.updates_applied");
             }
             self.accept_stamp(stamp);
-            self.accept_digest_stamp(ctx, digest_stamp);
+            if let Some(digest_stamp) = digest_stamp {
+                self.accept_digest_stamp(ctx, digest_stamp);
+            }
+        }
+    }
+
+    /// Gap detection: ask the master for anything still missing,
+    /// rate-limited so transient network reordering (which heals by
+    /// itself) does not trigger replay storms.
+    fn request_missing(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId) {
+        if let Some((&lowest, _)) = self.pending_updates.first_key_value() {
+            if lowest > self.effective_version() + 1 && ctx.now() >= self.sync_cooldown_until {
+                self.sync_cooldown_until = ctx.now() + self.cfg.keepalive_period;
+                ctx.metrics().inc("slave.sync_requests");
+                ctx.send(
+                    from,
+                    Msg::SlaveSyncRequest {
+                        from_version: self.effective_version() + 1,
+                    },
+                );
+            }
         }
     }
 
@@ -547,26 +571,42 @@ impl Process<Msg> for SlaveProcess {
                 }
                 if version > self.effective_version() {
                     self.pending_updates
-                        .insert(version, (ops, stamp, digest_stamp));
+                        .insert(version, (ops, stamp, Some(digest_stamp)));
                 }
                 self.apply_ready_updates(ctx);
-                // Gap detection: ask the master for anything still missing,
-                // rate-limited so transient network reordering (which heals
-                // by itself) does not trigger replay storms.
-                if let Some((&lowest, _)) = self.pending_updates.first_key_value() {
-                    if lowest > self.effective_version() + 1
-                        && ctx.now() >= self.sync_cooldown_until
-                    {
-                        self.sync_cooldown_until = ctx.now() + self.cfg.keepalive_period;
-                        ctx.metrics().inc("slave.sync_requests");
-                        ctx.send(
-                            from,
-                            Msg::SlaveSyncRequest {
-                                from_version: self.effective_version() + 1,
-                            },
-                        );
-                    }
+                self.request_missing(ctx, from);
+            }
+            Msg::StateUpdateBatch {
+                updates,
+                stamp,
+                digest_stamp,
+            } => {
+                // One stamp pair covers the whole batch: verify twice,
+                // not 2 x batch.  The version stamp certifies the final
+                // version; every run in the batch rides that signature.
+                ctx.charge(ctx.costs().verify * 2);
+                let valid = self
+                    .master_keys
+                    .get(&stamp.master)
+                    .is_some_and(|k| stamp.verify(k).is_ok() && digest_stamp.verify(k).is_ok());
+                if !valid {
+                    ctx.metrics().inc("slave.bad_updates");
+                    return;
                 }
+                let last = updates.last().map(|(v, _)| *v);
+                for (version, ops) in updates {
+                    if version <= self.effective_version() {
+                        continue;
+                    }
+                    // Only the batch's final version carries the signed
+                    // digest anchor; intermediates apply without one (a
+                    // mid-batch digest was never signed).
+                    let anchor = (Some(version) == last).then(|| digest_stamp.clone());
+                    self.pending_updates
+                        .insert(version, (ops, stamp.clone(), anchor));
+                }
+                self.apply_ready_updates(ctx);
+                self.request_missing(ctx, from);
             }
             Msg::ExcludeNotice => {
                 self.excluded = true;

@@ -32,6 +32,9 @@ pub struct SystemStats {
     pub proof_reads_rejected: u64,
     /// Proof reads that fell back to the pledged pipeline.
     pub proof_fallbacks: u64,
+    /// Proof requests a slave refused because the query shape has no
+    /// Merkle path (non-point queries routed to the proof path).
+    pub proof_unsupported: u64,
     /// Rejected proof replies retried on another replica of the same
     /// shard while still on the proof path (proof-path hardening; these
     /// happen *before* any pledged fallback).
@@ -74,6 +77,9 @@ pub struct SystemStats {
     pub writes_committed: u64,
     /// Writes denied by ACL.
     pub writes_denied: u64,
+    /// Client writes committed per sequencer round (batch-size
+    /// distribution; every observation is `1` at `max_write_batch = 1`).
+    pub writes_per_round: Summary,
     /// Read latency summary (µs).
     pub read_latency: Summary,
     /// Write commit latency summary (µs).
@@ -174,6 +180,7 @@ impl SystemStats {
             proof_reads_accepted: m.counter("read.proof_accepted"),
             proof_reads_rejected: m.counter("read.proof_rejected"),
             proof_fallbacks: m.counter("read.proof_fallback"),
+            proof_unsupported: m.counter("slave.proof_unsupported"),
             proof_retries: m.counter("read.proof_retry"),
             proof_bytes: m.summary("proof.bytes"),
             proof_depth: m.summary("proof.depth"),
@@ -194,6 +201,7 @@ impl SystemStats {
             audit_skipped: m.counter("audit.skipped_sampling"),
             writes_committed: m.counter("write.committed"),
             writes_denied: m.counter("write.denied"),
+            writes_per_round: m.summary("write.batch_size"),
             read_latency: m.summary("read.latency_us"),
             write_latency: m.summary("write.latency_us"),
             audit_lag: m.summary("audit.lag_hist_us"),
@@ -263,6 +271,7 @@ impl SystemStats {
             ("proof_reads_accepted", self.proof_reads_accepted as f64),
             ("proof_reads_rejected", self.proof_reads_rejected as f64),
             ("proof_fallbacks", self.proof_fallbacks as f64),
+            ("proof_unsupported", self.proof_unsupported as f64),
             ("proof_retries", self.proof_retries as f64),
             ("snapshot_nodes_owned", self.snapshot_nodes_owned as f64),
             ("snapshot_nodes_shared", self.snapshot_nodes_shared as f64),
@@ -283,6 +292,8 @@ impl SystemStats {
             ("audit_skipped", self.audit_skipped as f64),
             ("writes_committed", self.writes_committed as f64),
             ("writes_denied", self.writes_denied as f64),
+            ("writes_per_round_mean", self.writes_per_round.mean),
+            ("writes_per_round_max", self.writes_per_round.max as f64),
             ("audit_backlog", self.audit_backlog as f64),
             ("master_util_mean", mean(&self.master_utilisation)),
             ("slave_util_mean", mean(&self.slave_utilisation)),
@@ -324,8 +335,8 @@ impl SystemStats {
         format!(
             "reads: issued={} accepted={} failed={} stale_rejects={} sensitive={}\n\
              proofs: issued={} accepted={} rejected={} retries={} fallbacks={} \
-             bytes_p50={} depth_p50={}\n\
-             writes: committed={} denied={}\n\
+             unsupported={} bytes_p50={} depth_p50={}\n\
+             writes: committed={} denied={} per_round_mean={:.2}\n\
              lies: told={} wrong_accepted={} ({:.4}%)\n\
              double-check: sent={} mismatch={} throttled={}\n\
              discovery: immediate={} delayed={} exclusions={} reassignments={}\n\
@@ -341,10 +352,12 @@ impl SystemStats {
             self.proof_reads_rejected,
             self.proof_retries,
             self.proof_fallbacks,
+            self.proof_unsupported,
             self.proof_bytes.p50,
             self.proof_depth.p50,
             self.writes_committed,
             self.writes_denied,
+            self.writes_per_round.mean,
             self.lies_told,
             self.wrong_accepted,
             100.0 * self.wrong_accept_rate(),

@@ -6,8 +6,9 @@
 use secure_replication::core::scenario::{
     registry, BehaviorSpec, Grid, Param, Runner, SweepAxis,
 };
-use secure_replication::core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
+use secure_replication::core::{Msg, SlaveBehavior, SystemBuilder, SystemConfig, Workload};
 use secure_replication::sim::SimDuration;
+use secure_replication::store::Query;
 
 /// Runs a trimmed copy of the registered `proof_vs_pledge` scenario and
 /// checks the headline property in its RunReport: with an all-static
@@ -128,6 +129,70 @@ fn proof_path_rejects_lies_immediately() {
     // *proof-accepted* reads can be wrong; pledged reads may still have
     // accepted consistent lies (that is exactly the paper's gap).
     assert!(stats.proof_reads_accepted > 0, "{}", stats.render());
+}
+
+/// A proof request for a query shape with no Merkle path (here a range
+/// scan) is refused, counted, and — since this PR — *surfaced*: the
+/// `slave.proof_unsupported` counter reaches `SystemStats` and its JSON
+/// report, so rejected proof paths are visible, not silent.
+#[test]
+fn unsupported_proof_shapes_are_refused_and_surfaced() {
+    let cfg = SystemConfig {
+        n_masters: 2,
+        n_slaves: 2,
+        n_clients: 4,
+        seed: 23,
+        ..SystemConfig::default()
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        .behaviors(vec![SlaveBehavior::Honest; 2])
+        .workload(Workload {
+            reads_per_sec: 2.0,
+            writes_per_sec: 0.5, // Keeps digest anchors fresh on slaves.
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(10));
+    assert_eq!(sys.stats().proof_unsupported, 0, "clients never route ranges to proofs");
+
+    // A buggy or probing client asks a slave to *prove* a range scan:
+    // no Merkle path exists for it, so the slave must refuse and count.
+    let client = sys.clients[0];
+    for &slave in &[sys.slaves[0], sys.slaves[1]] {
+        sys.world.inject(
+            client,
+            slave,
+            Msg::ProofRead {
+                req_id: 999_999,
+                query: Query::Range {
+                    table: "products".into(),
+                    low: 0,
+                    high: 10,
+                    limit: None,
+                },
+            },
+        );
+    }
+    sys.run_for(SimDuration::from_secs(1));
+
+    let stats = sys.stats();
+    assert_eq!(
+        stats.proof_unsupported, 2,
+        "both refusals must surface in SystemStats: {}",
+        stats.render()
+    );
+    assert!(
+        stats.render().contains("unsupported=2"),
+        "render must show the counter: {}",
+        stats.render()
+    );
+    // And it reaches the report's numeric fields (the --json path).
+    let fields = stats.numeric_fields();
+    let (_, v) = fields
+        .iter()
+        .find(|(name, _)| *name == "proof_unsupported")
+        .expect("field exported");
+    assert_eq!(*v, 2.0);
 }
 
 /// Proof generation and verification are O(log n): the observed path

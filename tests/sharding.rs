@@ -4,9 +4,9 @@
 
 use secure_replication::core::scenario::{registry, Param, Runner};
 use secure_replication::core::{
-    SlaveBehavior, SystemBuilder, SystemConfig, QueryMix, Workload,
+    Msg, SlaveBehavior, SystemBuilder, SystemConfig, QueryMix, Workload,
 };
-use secure_replication::sim::SimDuration;
+use secure_replication::sim::{NodeId, SimDuration};
 
 fn write_heavy(n_shards: usize, seed: u64) -> SystemConfig {
     SystemConfig {
@@ -233,6 +233,196 @@ fn single_shard_reproduces_seed_topology_byte_identically() {
     assert_eq!(sys.world.node_count(), nm + ns + 1 + nc);
     assert_eq!(sys.masters.len(), nm);
     assert_eq!(sys.slaves.len(), ns);
+}
+
+/// Regression for the cross-shard blacklist wipe: exhausting shard k's
+/// master candidates used to call `blacklist.clear()`, erasing Byzantine
+/// evidence accumulated against *every other* shard's masters.  The
+/// forgiveness must stay scoped to the shard that ran dry.
+#[test]
+fn blacklist_survives_other_shards_boot_retry() {
+    let cfg = write_heavy(2, 404);
+    let mut sys = SystemBuilder::new(cfg)
+        // Read-only, non-sensitive traffic: no write/sensitive timeouts
+        // can blacklist masters behind the test's back.
+        .workload(Workload {
+            reads_per_sec: 2.0,
+            writes_per_sec: 0.0,
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(10));
+    assert!(sys.with_client(0, |c| c.is_ready()), "client 0 must be ready");
+
+    let shard0 = sys.with_client(0, |c| c.shard_masters(0));
+    let shard1 = sys.with_client(0, |c| c.shard_masters(1));
+    assert_eq!(shard0.len(), 3);
+    assert_eq!(shard1.len(), 3);
+
+    // Plant Byzantine evidence: one shard-0 master the client is *not*
+    // set up with (liveness never needs to forgive it), plus every
+    // shard-1 master (shard 1's candidate list runs completely dry).
+    let chosen0 = sys.with_client(0, |c| c.chosen_master(0)).expect("ready");
+    let marked = *shard0.iter().find(|n| **n != chosen0).expect("three masters");
+    sys.with_client(0, |c| {
+        c.blacklist_insert(marked);
+        for n in &shard1 {
+            c.blacklist_insert(*n);
+        }
+    });
+
+    // A retiring-master notice forces the full re-setup path; shard 1's
+    // directory response then finds every candidate blacklisted and must
+    // forgive only shard 1's masters before retrying.
+    let from = sys.masters[0];
+    let client = sys.clients[0];
+    sys.world.inject(
+        from,
+        client,
+        Msg::Reassign {
+            excluded: NodeId(u32::MAX),
+            replacement: None,
+        },
+    );
+    sys.run_for(SimDuration::from_secs(20));
+
+    let bl = sys.with_client(0, |c| c.blacklisted());
+    assert!(
+        bl.contains(&marked),
+        "shard-0 evidence wiped by shard-1's boot retry: {bl:?}"
+    );
+    // Forgiving shard 1's own masters restored liveness.
+    assert!(
+        sys.with_client(0, |c| c.is_ready()),
+        "client must finish re-setup once shard 1's masters are forgiven"
+    );
+}
+
+/// Boot-storm audit of the same retry site: repeated full re-setups
+/// across every client of a multi-shard deployment must re-request the
+/// directory for *all* shards and leave no stale `awaiting_setup`/phase
+/// state behind — every client returns Ready with a full pipeline per
+/// shard, and writes keep committing on every shard afterwards.
+#[test]
+fn multi_shard_boot_storm_recovers_cleanly() {
+    let cfg = write_heavy(3, 505);
+    let n_clients = cfg.n_clients;
+    let mut sys = SystemBuilder::new(cfg)
+        .workload(Workload {
+            reads_per_sec: 1.0,
+            writes_per_sec: 20.0,
+            writer_fraction: 1.0,
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(10));
+
+    let lookups_before: u64 = (0..3)
+        .map(|k| {
+            sys.world
+                .metrics()
+                .counter(&format!("directory.lookups.shard{k}"))
+        })
+        .sum();
+
+    // Three waves of retiring-master notices to every client, spaced so
+    // re-setups overlap with live traffic and with each other.
+    for wave in 0..3 {
+        for i in 0..n_clients {
+            let from = sys.masters[wave % sys.masters.len()];
+            let client = sys.clients[i];
+            sys.world.inject(
+                from,
+                client,
+                Msg::Reassign {
+                    excluded: NodeId(u32::MAX),
+                    replacement: None,
+                },
+            );
+        }
+        sys.run_for(SimDuration::from_secs(4));
+    }
+    let committed_after_storm = sys.stats().writes_committed_per_shard.clone();
+    sys.run_for(SimDuration::from_secs(15));
+
+    // Every client fully recovered: Ready, with a chosen master and
+    // slaves for every shard (no half-booted shard views).
+    for i in 0..n_clients {
+        assert!(sys.with_client(i, |c| c.is_ready()), "client {i} stuck");
+        for shard in 0..3 {
+            assert!(
+                sys.with_client(i, |c| c.chosen_master(shard)).is_some(),
+                "client {i} shard {shard} has no master after the storm"
+            );
+            assert!(
+                !sys.with_client(i, |c| c.assigned_slaves_of_shard(shard)).is_empty(),
+                "client {i} shard {shard} has no slaves after the storm"
+            );
+        }
+    }
+    // Each re-boot re-requested the directory for all shards.
+    let lookups_after: u64 = (0..3)
+        .map(|k| {
+            sys.world
+                .metrics()
+                .counter(&format!("directory.lookups.shard{k}"))
+        })
+        .sum();
+    assert!(
+        lookups_after >= lookups_before + (3 * n_clients as u64 * 3),
+        "every storm wave must re-request the directory for every shard: \
+         before={lookups_before} after={lookups_after}"
+    );
+    // And the write pipeline kept going on every shard.
+    let committed_final = sys.stats().writes_committed_per_shard.clone();
+    for shard in 0..3 {
+        assert!(
+            committed_final[shard] > committed_after_storm[shard],
+            "shard {shard} stopped committing after the storm: \
+             {committed_after_storm:?} -> {committed_final:?}"
+        );
+    }
+}
+
+/// The registry's `batched_commit` sweep delivers the tentpole claim:
+/// at a fixed `max_latency` (the spacing rule unchanged), commit
+/// throughput scales with the sequencer's batch bound — ≥ 4× at
+/// batch = 8 vs batch = 1 on a single shard.
+#[test]
+fn batched_commit_sweep_scales_with_batch_size() {
+    let mut spec = registry::lookup("batched_commit").expect("registered");
+    // Shrink for test time; the shape of the claim is unchanged.
+    spec.duration = SimDuration::from_secs(12);
+    spec.seeds = vec![6_006];
+    let report = Runner::new(spec).run().expect("scenario runs");
+    assert_eq!(report.cells.len(), 4);
+
+    let committed: Vec<f64> = report
+        .cells
+        .iter()
+        .map(|c| c.mean("writes_committed"))
+        .collect();
+    for (i, pair) in committed.windows(2).enumerate() {
+        assert!(
+            pair[1] > pair[0],
+            "writes_committed must grow with batch size: {committed:?} (step {i})"
+        );
+    }
+    assert!(
+        committed[3] >= 4.0 * committed[0],
+        "batch=8 must commit at least 4x batch=1: {committed:?}"
+    );
+    // The batch-size histogram shows real batches at batch=8 and the
+    // degenerate single-write rounds at batch=1.
+    let batched = &report.cells[3].runs[0].stats;
+    assert!(
+        batched.writes_per_round.mean > 1.5,
+        "batch=8 rounds must actually pack writes: mean={}",
+        batched.writes_per_round.mean
+    );
+    assert!(batched.writes_per_round.max <= 8);
+    let unbatched = &report.cells[0].runs[0].stats;
+    assert_eq!(unbatched.writes_per_round.max, 1);
 }
 
 /// The registry's `sharded_commit` sweep delivers the tentpole claim:
