@@ -8,10 +8,10 @@
 //! [`RunReport`]-shaped document (any child emitting unparseable or
 //! unrecognisable output fails the whole run — this is the report-schema
 //! regression gate CI relies on), and the combined output is one JSON
-//! array of the reports.  The `sharded_commit` and `batched_commit`
-//! scenarios have no dedicated binaries, so they run in-process here and
-//! their reports are validated (and, with `--json`, emitted) exactly
-//! like the children's.
+//! array of the reports.  The `sharded_commit`, `batched_commit`, and
+//! `cdn_media` scenarios have no dedicated binaries, so they run
+//! in-process here and their reports are validated (and, with `--json`,
+//! emitted) exactly like the children's.
 
 use sdr_bench::BenchCli;
 use sdr_core::scenario::{registry, Runner};
@@ -125,7 +125,11 @@ fn main() {
     // in-process with the same CLI overrides and hold their reports to
     // the same schema gate as every child's.
     let cli = BenchCli::from_args(forwarded.iter().cloned());
-    for (scenario, coord) in [("sharded_commit", "shards"), ("batched_commit", "batch")] {
+    for (scenario, coord) in [
+        ("sharded_commit", "shards"),
+        ("batched_commit", "batch"),
+        ("cdn_media", "shared lines"),
+    ] {
         if !json {
             println!("\n================ {scenario} ================");
         }
@@ -144,10 +148,18 @@ fn main() {
                         } else {
                             for cell in &report.cells {
                                 let x = cell.coord(coord).unwrap_or(1.0);
-                                println!(
-                                    "{coord}={x:<2} committed writes (mean over seeds) = {:.1}",
-                                    cell.mean("writes_committed")
-                                );
+                                if scenario == "cdn_media" {
+                                    println!(
+                                        "{coord}={x:<5} dedup_ratio={:.3} streams accepted (mean) = {:.1}",
+                                        cell.mean("chunk_dedup_ratio"),
+                                        cell.mean("stream_reads_accepted")
+                                    );
+                                } else {
+                                    println!(
+                                        "{coord}={x:<2} committed writes (mean over seeds) = {:.1}",
+                                        cell.mean("writes_committed")
+                                    );
+                                }
                             }
                         }
                     }

@@ -40,7 +40,7 @@ use crate::workload::Workload;
 use rand::Rng;
 use sdr_crypto::{CertRole, PublicKey};
 use sdr_sim::{Ctx, NodeId, Process, SimDuration, SimTime};
-use sdr_store::{Query, QueryResult, StateProof, UpdateOp};
+use sdr_store::{ProofError, Query, QueryResult, StateProof, StreamProof, UpdateOp};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 const K_BOOT: u64 = 1;
@@ -98,6 +98,32 @@ struct PendingRead {
     awaiting: HashSet<NodeId>,
     responses: Vec<(NodeId, QueryResult, Pledge)>,
     mismatch_check_sent: bool,
+    /// In-flight chunk stream (`ReadFileRange` on the proof path): the
+    /// verified header plus per-chunk progress.  The client never holds
+    /// the file — only the manifest and which chunk indexes verified.
+    stream: Option<StreamState>,
+    /// Chunks that arrived before their stream header (per-message
+    /// network latency can reorder the slave's sends).  Held unverified
+    /// until the header opens the window, then replayed; bounded so a
+    /// flood before any header cannot grow client memory.
+    early_chunks: Vec<(NodeId, u32, Vec<u8>)>,
+}
+
+/// Progress of one verified chunk stream.
+struct StreamState {
+    /// The header proof (manifest pinned to the signed digest).
+    proof: StreamProof,
+    /// The slave streaming to us; chunks from anyone else are ignored.
+    source: NodeId,
+    /// First manifest index the stream carries.
+    first: u32,
+    /// Number of chunks announced.
+    count: u32,
+    /// Manifest indexes verified so far (the network may reorder
+    /// chunks; verification is per-index so order never matters).
+    received: HashSet<u32>,
+    /// Verified payload bytes so far.
+    bytes: u64,
 }
 
 /// Per-client counters used by experiments (E8 needs per-client views).
@@ -341,6 +367,15 @@ impl ClientProcess {
         }
     }
 
+    /// The message a proof-path read sends: file ranges stream
+    /// (header + chunks); everything else is a single proof reply.
+    fn proof_read_msg(req: u64, query: Query) -> Msg {
+        match query {
+            q @ Query::ReadFileRange { .. } => Msg::StreamRead { req_id: req, query: q },
+            q => Msg::ProofRead { req_id: req, query: q },
+        }
+    }
+
     /// Rotation cursor shared by every proof-path target pick: request
     /// id plus attempt count, wrapped over the replica list.
     fn proof_rotation(req: u64, attempts: u32, n: usize) -> usize {
@@ -419,16 +454,13 @@ impl ClientProcess {
             // is nothing a quorum would vote on.
             self.counters.proof_reads_issued += 1;
             ctx.metrics().inc("read.proof_issued");
+            if matches!(query, Query::ReadFileRange { .. }) {
+                ctx.metrics().inc("read.stream_issued");
+            }
             let s = self
                 .proof_target(shard, req, 0)
                 .expect("checked non-empty above");
-            ctx.send(
-                s,
-                Msg::ProofRead {
-                    req_id: req,
-                    query: query.clone(),
-                },
-            );
+            ctx.send(s, Self::proof_read_msg(req, query.clone()));
             awaiting.insert(s);
         } else {
             for (s, _) in &self.shards[shard].slaves {
@@ -455,6 +487,8 @@ impl ClientProcess {
                 awaiting,
                 responses: Vec::new(),
                 mismatch_check_sent: false,
+                stream: None,
+                early_chunks: Vec::new(),
             },
         );
         ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
@@ -473,6 +507,8 @@ impl ClientProcess {
         p.responses.clear();
         p.mismatch_check_sent = false;
         p.awaiting.clear();
+        p.stream = None;
+        p.early_chunks.clear();
         let shard = p.shard;
         if p.sensitive {
             let (m, _) = self.shards[shard].master.expect("ready implies master");
@@ -487,7 +523,7 @@ impl ClientProcess {
         } else if p.strategy == ReadStrategy::Proof {
             let (query, attempts) = (p.query.clone(), p.attempts);
             if let Some(s) = self.proof_target(shard, req, attempts) {
-                ctx.send(s, Msg::ProofRead { req_id: req, query });
+                ctx.send(s, Self::proof_read_msg(req, query));
                 self.pending
                     .get_mut(&req)
                     .expect("present")
@@ -610,42 +646,190 @@ impl ClientProcess {
                 ctx.metrics()
                     .observe("read.proof_latency_us", latency.as_micros());
             }
-            Err(reason) => {
-                // Deterministic lie detection: the slave shipped a result
-                // its proof cannot cover (or a stale/forged anchor).
-                self.note_rejection(ctx, reason);
-                // Umbrella counter: *any* rejected proof reply, whatever
-                // the reason (the reason-specific metric has the detail).
-                ctx.metrics().inc("read.proof_rejected");
-                let p = self.pending.get_mut(&req).expect("present");
-                p.awaiting.remove(&from);
-                let attempts = p.attempts;
-                let retry_target = (!p.proof_retried)
-                    .then(|| self.proof_retry_target(shard, req, attempts, from))
-                    .flatten();
-                let p = self.pending.get_mut(&req).expect("present");
-                match retry_target {
-                    Some(s) => {
-                        // Proof-path hardening: one same-shard replica
-                        // retry before any pledged fallback.
-                        p.proof_retried = true;
-                        p.awaiting.insert(s);
-                        let query = p.query.clone();
-                        self.counters.proof_retries += 1;
-                        ctx.metrics().inc("read.proof_retry");
-                        ctx.send(s, Msg::ProofRead { req_id: req, query });
-                        ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
-                    }
-                    None => {
-                        // Fall back to the pledged pipeline for the
-                        // remaining retries.
-                        ctx.metrics().inc("read.proof_fallback");
-                        p.strategy = ReadStrategy::Pledged;
-                        self.retry_read(ctx, req);
-                    }
-                }
+            Err(reason) => self.reject_proof_path(ctx, req, from, reason),
+        }
+    }
+
+    /// Shared rejection path for proof-verified replies — point proofs,
+    /// stream headers, and streamed chunks alike.  Deterministic lie
+    /// detection: the slave shipped something its proof cannot cover (or
+    /// a stale/forged anchor).  The first rejection retries one *other*
+    /// replica of the same shard, still on the proof path; only when
+    /// that is spent does the read fall back to pledge+audit.
+    fn reject_proof_path(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: u64,
+        from: NodeId,
+        reason: RejectReason,
+    ) {
+        self.note_rejection(ctx, reason);
+        // Umbrella counter: *any* rejected proof reply, whatever
+        // the reason (the reason-specific metric has the detail).
+        ctx.metrics().inc("read.proof_rejected");
+        let Some(p) = self.pending.get_mut(&req) else { return };
+        p.awaiting.remove(&from);
+        p.stream = None;
+        p.early_chunks.clear();
+        let (shard, attempts) = (p.shard, p.attempts);
+        let retry_target = (!p.proof_retried)
+            .then(|| self.proof_retry_target(shard, req, attempts, from))
+            .flatten();
+        let p = self.pending.get_mut(&req).expect("present");
+        match retry_target {
+            Some(s) => {
+                // Proof-path hardening: one same-shard replica
+                // retry before any pledged fallback.
+                p.proof_retried = true;
+                p.awaiting.insert(s);
+                let query = p.query.clone();
+                self.counters.proof_retries += 1;
+                ctx.metrics().inc("read.proof_retry");
+                ctx.send(s, Self::proof_read_msg(req, query));
+                ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
+            }
+            None => {
+                // Fall back to the pledged pipeline for the
+                // remaining retries.
+                ctx.metrics().inc("read.proof_fallback");
+                p.strategy = ReadStrategy::Pledged;
+                self.retry_read(ctx, req);
             }
         }
+    }
+
+    /// Handles a stream header: verify the manifest proof against the
+    /// signed digest, then open the per-chunk verification window.  An
+    /// empty stream (absent file or empty range) accepts immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_stream_header(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        proof: StreamProof,
+        stamp: StateDigestStamp,
+        first_chunk: u32,
+        chunk_count: u32,
+    ) {
+        let Some(p) = self.pending.get(&req) else { return };
+        if p.strategy != ReadStrategy::Proof || !p.awaiting.contains(&from) || p.stream.is_some()
+        {
+            return; // Duplicate, unsolicited, or already fallen back.
+        }
+        // Stamp signature + O(log n) header fold.
+        ctx.charge(ctx.costs().verify);
+        ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
+        let shard = p.shard;
+        let env = self.verify_env(shard, ctx.now());
+        if let Err(reason) = verify::verify_stream_header(&env, from, &p.query, &proof, &stamp) {
+            self.reject_proof_path(ctx, req, from, reason);
+            return;
+        }
+        ctx.metrics().observe("proof.bytes", proof.wire_len() as u64);
+        ctx.metrics().observe("proof.depth", proof.depth() as u64);
+        // The announced window must lie within the verified manifest —
+        // a slave cannot promise chunks the manifest does not commit to.
+        let n_chunks = proof.manifest.as_ref().map_or(0, |m| m.chunks.len());
+        if first_chunk as usize + chunk_count as usize > n_chunks {
+            self.reject_proof_path(
+                ctx,
+                req,
+                from,
+                RejectReason::BadProof(ProofError::ShapeMismatch),
+            );
+            return;
+        }
+        if chunk_count == 0 {
+            // Nothing to stream: proven absence or an empty range.
+            self.accept_stream(ctx, req, 0, 0);
+        } else {
+            let p = self.pending.get_mut(&req).expect("present");
+            p.stream = Some(StreamState {
+                proof,
+                source: from,
+                first: first_chunk,
+                count: chunk_count,
+                received: HashSet::new(),
+                bytes: 0,
+            });
+            // Chunks are in flight: give them a fresh timeout window.
+            ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
+            // Replay any chunks the network delivered ahead of this
+            // header; they verify exactly as if they had just arrived.
+            let early = std::mem::take(
+                &mut self.pending.get_mut(&req).expect("present").early_chunks,
+            );
+            for (src, index, data) in early {
+                self.handle_stream_chunk(ctx, src, req, index, data);
+            }
+        }
+    }
+
+    /// Handles one streamed chunk: hash it, compare against the verified
+    /// manifest entry, and accept the read once every announced chunk
+    /// verified.  A bad chunk rejects the stream *at that chunk* — the
+    /// already-verified prefix needed no buffering and no re-transfer.
+    fn handle_stream_chunk(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        index: u32,
+        data: Vec<u8>,
+    ) {
+        let Some(p) = self.pending.get_mut(&req) else { return };
+        let Some(st) = p.stream.as_mut() else {
+            // Header not here yet (per-message latency reorders the
+            // slave's sends): hold the chunk for replay, bounded.
+            if p.strategy == ReadStrategy::Proof
+                && p.awaiting.contains(&from)
+                && p.early_chunks.len() < 1024
+            {
+                p.early_chunks.push((from, index, data));
+            }
+            return;
+        };
+        if st.source != from
+            || index < st.first
+            || index >= st.first + st.count
+            || st.received.contains(&index)
+        {
+            return; // Wrong sender, outside the window, or duplicate.
+        }
+        ctx.charge(ctx.costs().hash_cost(data.len()));
+        match st.proof.verify_chunk(index as usize, &data) {
+            Ok(()) => {
+                st.received.insert(index);
+                st.bytes += data.len() as u64;
+                ctx.metrics().inc("read.stream_chunks_verified");
+                if st.received.len() as u32 == st.count {
+                    let (chunks, bytes) = (u64::from(st.count), st.bytes);
+                    self.accept_stream(ctx, req, chunks, bytes);
+                }
+            }
+            Err(e) => {
+                ctx.metrics().inc("read.stream_chunk_rejected");
+                self.reject_proof_path(ctx, req, from, RejectReason::BadProof(e));
+            }
+        }
+    }
+
+    /// Final acceptance of a verified stream (all chunks checked, or an
+    /// empty/absent result proven by the header alone).
+    fn accept_stream(&mut self, ctx: &mut Ctx<'_, Msg>, req: u64, chunks: u64, bytes: u64) {
+        let Some(p) = self.pending.remove(&req) else { return };
+        self.counters.reads_accepted += 1;
+        self.counters.proof_reads_accepted += 1;
+        ctx.metrics().inc("read.accepted");
+        ctx.metrics().inc("read.proof_accepted");
+        ctx.metrics().inc("read.stream_accepted");
+        ctx.metrics().observe("stream.chunks", chunks);
+        ctx.metrics().observe("stream.bytes", bytes);
+        let latency = ctx.now().since(p.issued_at);
+        ctx.metrics().observe("read.latency_us", latency.as_micros());
+        ctx.metrics()
+            .observe("read.proof_latency_us", latency.as_micros());
     }
 
     fn finalize_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: u64) {
@@ -1009,6 +1193,24 @@ impl Process<Msg> for ClientProcess {
                 proof,
                 digest_stamp,
             } => self.handle_proof_reply(ctx, from, req_id, result, proof, digest_stamp),
+            Msg::StreamHeader {
+                req_id,
+                proof,
+                digest_stamp,
+                first_chunk,
+                chunk_count,
+            } => self.handle_stream_header(
+                ctx,
+                from,
+                req_id,
+                proof,
+                digest_stamp,
+                first_chunk,
+                chunk_count,
+            ),
+            Msg::StreamChunk { req_id, index, data } => {
+                self.handle_stream_chunk(ctx, from, req_id, index, data)
+            }
             Msg::ReadRefused { req_id, reason } => {
                 if !self.pending.contains_key(&req_id) {
                     return;

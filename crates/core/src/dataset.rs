@@ -21,6 +21,10 @@ pub struct DatasetSpec {
     pub n_files: usize,
     /// Lines per file.
     pub lines_per_file: usize,
+    /// Lines of an identical shared block prepended to *every* file
+    /// (models shared assets — headers, boilerplate, common media
+    /// segments — that the chunk store deduplicates across files).
+    pub shared_block_lines: usize,
     /// Seed for the deterministic generator.
     pub seed: u64,
 }
@@ -32,6 +36,7 @@ impl Default for DatasetSpec {
             n_reviews: 1_000,
             n_files: 40,
             lines_per_file: 30,
+            shared_block_lines: 0,
             seed: 7,
         }
     }
@@ -142,10 +147,25 @@ impl DatasetSpec {
         }
         apply_partitioned(&mut dbs, parts);
 
-        // Files.
+        // Files.  The shared block is drawn once (from its own stream,
+        // so enabling it never perturbs the per-file content) and
+        // prepended verbatim to every file: identical leading bytes
+        // chunk identically, so the chunk store keeps one copy.
+        let shared_block = if self.shared_block_lines > 0 {
+            let mut block_drbg = HmacDrbg::from_seed_label(self.seed, b"shared-block");
+            let mut block = String::new();
+            for l in 0..self.shared_block_lines {
+                let word = LOG_WORDS[(block_drbg.next_u64() % LOG_WORDS.len() as u64) as usize];
+                let code = block_drbg.next_u64() % 10_000;
+                block.push_str(&format!("asset {l:03} {word} code={code:04}\n"));
+            }
+            block
+        } else {
+            String::new()
+        };
         let mut parts: Vec<Vec<UpdateOp>> = vec![Vec::new(); n];
         for f in 0..self.n_files {
-            let mut contents = String::new();
+            let mut contents = shared_block.clone();
             for l in 0..self.lines_per_file {
                 let word = LOG_WORDS[(drbg.next_u64() % LOG_WORDS.len() as u64) as usize];
                 let code = drbg.next_u64() % 10_000;
@@ -190,6 +210,7 @@ mod tests {
             n_reviews: 20,
             n_files: 3,
             lines_per_file: 5,
+            shared_block_lines: 0,
             seed: 1,
         };
         let db = spec.build();
@@ -234,6 +255,31 @@ mod tests {
                 assert_eq!(map.shard_of_row(key), s);
             }
         }
+    }
+
+    #[test]
+    fn shared_block_dedups_across_files() {
+        let spec = DatasetSpec {
+            n_files: 20,
+            lines_per_file: 10,
+            shared_block_lines: 300, // ~10 KiB shared prefix per file
+            ..DatasetSpec::default()
+        };
+        let db = spec.build();
+        let stats = db.fs().chunk_stats();
+        assert!(
+            stats.chunks_deduped > 0,
+            "identical leading blocks must dedup: {stats:?}"
+        );
+        assert!(stats.physical_bytes < stats.logical_bytes);
+        // Without the block, every file is unique content.
+        let plain = DatasetSpec {
+            shared_block_lines: 0,
+            ..spec
+        }
+        .build();
+        let plain_stats = plain.fs().chunk_stats();
+        assert!(plain_stats.dedup_ratio() < stats.dedup_ratio());
     }
 
     #[test]

@@ -215,6 +215,12 @@ impl MasterProcess {
         self.db.node_stats()
     }
 
+    /// Chunk-store telemetry of the live replica: dedup hits, logical
+    /// vs physical bytes.
+    pub fn chunk_stats(&self) -> sdr_store::ChunkStats {
+        self.db.fs().chunk_stats()
+    }
+
     /// Write-access policy (test harness mutation).
     pub fn policy_mut(&mut self) -> &mut WritePolicy {
         &mut self.policy

@@ -5,7 +5,7 @@ use crate::pledge::Pledge;
 use sdr_broadcast::{MemberId, TobMessage};
 use sdr_crypto::{Certificate, CryptoError, Hash256, PublicKey, Signature, Signer};
 use sdr_sim::{NodeId, Payload, SimTime};
-use sdr_store::{Query, QueryResult, StateProof, UpdateOp};
+use sdr_store::{Query, QueryResult, StateProof, StreamProof, UpdateOp};
 use serde::{Deserialize, Serialize};
 
 /// The "signed and time-stamped value of the `content_version` variable"
@@ -378,6 +378,40 @@ pub enum Msg {
         /// Master-signed state digest the proof anchors in.
         digest_stamp: StateDigestStamp,
     },
+    /// Client → slave: stream this file range chunk-by-chunk, with a
+    /// manifest proof header (the `ReadFileRange` analogue of
+    /// [`Msg::ProofRead`]).
+    StreamRead {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// The query (must be `ReadFileRange`).
+        query: Query,
+    },
+    /// Slave → client: the stream header — a Merkle path from the file's
+    /// chunk manifest to the signed digest.  Chunks follow as
+    /// [`Msg::StreamChunk`]; the client verifies each against the
+    /// manifest as it arrives, never buffering the whole file.
+    StreamHeader {
+        /// Echoed request id.
+        req_id: u64,
+        /// Manifest-to-digest proof (manifest `None` proves absence).
+        proof: StreamProof,
+        /// Master-signed state digest the proof anchors in.
+        digest_stamp: StateDigestStamp,
+        /// Index of the first chunk the stream will carry.
+        first_chunk: u32,
+        /// Number of chunks the stream will carry.
+        chunk_count: u32,
+    },
+    /// Slave → client: one content chunk of an in-flight stream.
+    StreamChunk {
+        /// Echoed request id.
+        req_id: u64,
+        /// Manifest index of this chunk.
+        index: u32,
+        /// Raw chunk bytes.
+        data: Vec<u8>,
+    },
 
     // ----- Client ↔ master: reads (sensitive + double-check) -----
     /// Client → master: execute this read on trusted hardware
@@ -478,6 +512,10 @@ impl Payload for Msg {
             Msg::ProofReadReply { result, proof, .. } => {
                 16 + result.size() + proof.wire_len() + 128
             }
+            Msg::StreamRead { query, .. } => 16 + query.encode().len(),
+            // Header proof plus the digest stamp (~128) and stream bounds.
+            Msg::StreamHeader { proof, .. } => 24 + proof.wire_len() + 128,
+            Msg::StreamChunk { data, .. } => 20 + data.len(),
             Msg::TrustedRead { query, .. } => 16 + query.encode().len(),
             Msg::TrustedReadResponse { result, .. } => 16 + result.size(),
             Msg::DoubleCheck { pledge, .. } => 16 + pledge.wire_len(),

@@ -52,6 +52,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("proof_vs_pledge", proof_vs_pledge),
     ("sharded_commit", sharded_commit),
     ("batched_commit", batched_commit),
+    ("cdn_media", cdn_media),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -512,6 +513,7 @@ fn cdn_catalog() -> ScenarioSpec {
             n_reviews: 1_600,
             n_files: 50,
             lines_per_file: 25,
+            shared_block_lines: 0,
             seed: 7,
         },
         reads_per_sec: 6.0,
@@ -587,6 +589,7 @@ fn large_catalog() -> ScenarioSpec {
             n_reviews: 20_000,
             n_files: 200,
             lines_per_file: 20,
+            shared_block_lines: 0,
             seed: 4_242,
         },
         reads_per_sec: 3.0,
@@ -705,6 +708,64 @@ fn batched_commit() -> ScenarioSpec {
     spec.duration = SimDuration::from_secs(60);
     spec.seeds = vec![6_006, 7_007];
     spec.grid = Grid::sweep("batch", Param::WriteBatch, &[1.0, 2.0, 4.0, 8.0]);
+    spec
+}
+
+fn cdn_media() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "cdn_media",
+        "Media distribution over untrusted edge nodes: large files served \
+         as verified chunk streams (no client buffers a whole file), a \
+         flash crowd modelled as a sharp diurnal read peak, and a sweep \
+         over how much content the files share — shared segments chunk \
+         identically, so the edge stores each one once",
+        SystemConfig {
+            n_masters: 3,
+            n_slaves: 8,  // Edge nodes holding the media tree.
+            n_clients: 24, // Flash-crowd audience.
+            double_check_prob: 0.01,
+            max_latency: SimDuration::from_millis(2_000),
+            seed: 5_150,
+            ..SystemConfig::default()
+        },
+    );
+    // One edge node was compromised and corrupts chunks mid-stream;
+    // chunk-by-chunk verification pins the lie to the exact chunk.
+    spec.behaviors = BehaviorSpec::with_overrides(vec![(4, SlaveBehavior::ConsistentLiar {
+        prob: 0.1,
+        collude: false,
+    })]);
+    spec.workload = Workload {
+        dataset: DatasetSpec {
+            n_products: 100,
+            n_reviews: 200,
+            n_files: 60,          // The media library.
+            lines_per_file: 400,  // ~14 KiB per file: many chunks each.
+            shared_block_lines: 0, // Swept below.
+            seed: 5_150,
+        },
+        reads_per_sec: 8.0,
+        writes_per_sec: 0.2, // Occasional re-encodes/uploads.
+        writer_fraction: 0.1,
+        mix: QueryMix::media(),
+        // Flash crowd: reads spike to the peak and collapse to 10%
+        // of it between waves.
+        diurnal: Some(DiurnalPattern {
+            period: SimDuration::from_secs(60),
+            trough: 0.1,
+        }),
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(120);
+    spec.checkpoints = vec![SimDuration::from_secs(60)];
+    // Dedup sweep: 0 lines shared (every file unique) up to ~90% of
+    // each file shared (300-line block on 400 own lines ≈ 43% …; at
+    // 3_600 lines the shared block is 90% of every file's bytes).
+    spec.grid = Grid::sweep(
+        "shared lines",
+        Param::SharedBlockLines,
+        &[0.0, 400.0, 3_600.0],
+    );
     spec
 }
 

@@ -75,6 +75,10 @@ pub enum Param {
     /// shard's sequencer packs into one ordered round (1 = the paper's
     /// unbatched pipeline).
     WriteBatch,
+    /// `workload.dataset.shared_block_lines`: lines of identical content
+    /// prepended to every generated file (0 = all files unique).  Sweeps
+    /// how much cross-file shared content the chunk store can dedup.
+    SharedBlockLines,
 }
 
 impl Param {
@@ -143,6 +147,12 @@ impl Param {
                 }
                 spec.config.max_write_batch = v as usize;
             }
+            Param::SharedBlockLines => {
+                if v < 0.0 {
+                    return Err(format!("SharedBlockLines must be >= 0, got {v}"));
+                }
+                spec.workload.dataset.shared_block_lines = v as usize;
+            }
         }
         Ok(())
     }
@@ -188,6 +198,7 @@ fn static_fraction_mix(fraction: f64) -> crate::workload::QueryMix {
         aggregate,
         join,
         grep,
+        stream: 0,
     }
 }
 
@@ -432,8 +443,14 @@ mod tests {
             let mut spec = base();
             Param::StaticReadFraction.apply(&mut spec, v).unwrap();
             let m = spec.workload.mix;
-            let total =
-                m.get + m.range + m.filter + m.aggregate + m.join + m.grep + m.read_file;
+            let total = m.get
+                + m.range
+                + m.filter
+                + m.aggregate
+                + m.join
+                + m.grep
+                + m.read_file
+                + m.stream;
             assert_eq!(total, 100, "fraction {v}");
             let static_weight = m.get + m.read_file;
             assert_eq!(static_weight, (v * 100.0).round() as u32, "fraction {v}");
@@ -456,6 +473,16 @@ mod tests {
         Param::WriteBatch.apply(&mut spec, 8.0).unwrap();
         assert_eq!(spec.config.max_write_batch, 8);
         assert!(Param::WriteBatch.apply(&mut spec, 0.0).is_err());
+    }
+
+    #[test]
+    fn shared_block_lines_applies_and_rejects_negative() {
+        let mut spec = base();
+        Param::SharedBlockLines.apply(&mut spec, 120.0).unwrap();
+        assert_eq!(spec.workload.dataset.shared_block_lines, 120);
+        Param::SharedBlockLines.apply(&mut spec, 0.0).unwrap();
+        assert_eq!(spec.workload.dataset.shared_block_lines, 0);
+        assert!(Param::SharedBlockLines.apply(&mut spec, -1.0).is_err());
     }
 
     #[test]

@@ -141,7 +141,9 @@ impl ShardMap {
         match q {
             Query::GetRow { key, .. } => self.shard_of_row(*key),
             Query::Range { low, .. } => self.shard_of_row(*low),
-            Query::ReadFile { path } => self.shard_of_path(path),
+            Query::ReadFile { path } | Query::ReadFileRange { path, .. } => {
+                self.shard_of_path(path)
+            }
             Query::Filter { table, .. } | Query::Aggregate { table, .. } => {
                 self.shard_of_table(table)
             }

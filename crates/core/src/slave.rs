@@ -529,6 +529,113 @@ impl SlaveProcess {
             },
         );
     }
+
+    /// Serves a `ReadFileRange` as a proof-anchored chunk stream: one
+    /// [`Msg::StreamHeader`] carrying the manifest proof, then the
+    /// overlapping chunks as [`Msg::StreamChunk`]s.
+    ///
+    /// Same self-gates as [`SlaveProcess::serve_proof_read`].  A liar can
+    /// corrupt chunk *bytes* but not the header — the manifest is pinned
+    /// by the signed digest — so the client rejects the stream at exactly
+    /// the corrupted chunk.
+    fn serve_stream_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: NodeId,
+        req_id: u64,
+        query: Query,
+    ) {
+        let refuse = |ctx: &mut Ctx<'_, Msg>, reason: RefuseReason| {
+            ctx.send(client, Msg::ReadRefused { req_id, reason });
+        };
+        if self.excluded {
+            refuse(ctx, RefuseReason::Excluded);
+            return;
+        }
+        let anchor_fresh = self
+            .latest_digest_stamp
+            .as_ref()
+            .is_some_and(|s| s.is_fresh(ctx.now(), self.cfg.max_latency));
+        if !anchor_fresh {
+            ctx.metrics().inc("slave.refused_stale");
+            refuse(ctx, RefuseReason::OutOfSync);
+            return;
+        }
+        if let SlaveBehavior::Refuser { prob } = self.behavior {
+            if ctx.coin() < prob {
+                ctx.metrics().inc("slave.refused_malicious");
+                refuse(ctx, RefuseReason::OutOfSync);
+                return;
+            }
+        }
+        let Query::ReadFileRange { path, offset, len } = &query else {
+            ctx.metrics().inc("slave.proof_unsupported");
+            refuse(ctx, RefuseReason::OutOfSync);
+            return;
+        };
+
+        let proof = self.db.prove_stream(path);
+        // Header assembly re-hashes only the O(log n) path.
+        ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
+        let (first, end) = proof
+            .manifest
+            .as_ref()
+            .map_or((0, 0), |m| m.chunk_range(*offset, *len));
+        let chunks: Vec<(u32, Vec<u8>)> = (first..end)
+            .filter_map(|i| {
+                let id = proof.manifest.as_ref()?.chunks.get(i)?.id;
+                let data = self.db.fs().chunk_bytes(&id)?.to_vec();
+                Some((i as u32, data))
+            })
+            .collect();
+        if chunks.len() != end - first {
+            // A manifest chunk missing from the store means replica
+            // corruption; refusing beats streaming a doomed proof.
+            ctx.metrics().inc("slave.query_errors");
+            refuse(ctx, RefuseReason::OutOfSync);
+            return;
+        }
+        let streamed: usize = chunks.iter().map(|(_, d)| d.len()).sum();
+        ctx.charge(ctx.costs().serde_cost(streamed));
+        self.reads_served += 1;
+        ctx.metrics().inc("slave.reads");
+        ctx.metrics().inc("slave.stream_reads");
+
+        // Liars corrupt one chunk's bytes; the header stays honest
+        // because the manifest is pinned by the signed digest.
+        let mut chunks = chunks;
+        let lie_coin = match self.behavior {
+            SlaveBehavior::ConsistentLiar { prob, .. }
+            | SlaveBehavior::InconsistentLiar { prob } => ctx.coin() < prob,
+            _ => false,
+        };
+        if lie_coin {
+            if let Some((_, data)) = chunks.last_mut() {
+                data[0] ^= 0x5a;
+                ctx.metrics().inc("slave.lies");
+                let forged = QueryResult::Text(Some(
+                    String::from_utf8_lossy(data).into_owned(),
+                ));
+                self.lies_told
+                    .insert(ResultHash::of(&forged, self.cfg.pledge_hash).bytes().to_vec());
+            }
+        }
+
+        let digest_stamp = self.latest_digest_stamp.clone().expect("checked fresh");
+        ctx.send(
+            client,
+            Msg::StreamHeader {
+                req_id,
+                proof,
+                digest_stamp,
+                first_chunk: first as u32,
+                chunk_count: (end - first) as u32,
+            },
+        );
+        for (index, data) in chunks {
+            ctx.send(client, Msg::StreamChunk { req_id, index, data });
+        }
+    }
 }
 
 impl Process<Msg> for SlaveProcess {
@@ -536,6 +643,7 @@ impl Process<Msg> for SlaveProcess {
         match msg {
             Msg::ReadRequest { req_id, query } => self.serve_read(ctx, from, req_id, query),
             Msg::ProofRead { req_id, query } => self.serve_proof_read(ctx, from, req_id, query),
+            Msg::StreamRead { req_id, query } => self.serve_stream_read(ctx, from, req_id, query),
             Msg::KeepAlive {
                 stamp,
                 digest_stamp,

@@ -105,6 +105,22 @@ pub struct SystemStats {
     pub writes_committed_per_shard: Vec<u64>,
     /// Directory lookups per shard (the routing-table load split).
     pub dir_lookups_per_shard: Vec<u64>,
+    /// Unique chunks in the content store (one master per shard, summed).
+    pub chunks_stored: u64,
+    /// Chunk writes that hit an existing chunk (dedup hits).
+    pub chunks_deduped: u64,
+    /// Logical file bytes (what the files claim to hold).
+    pub chunk_logical_bytes: u64,
+    /// Physical chunk bytes actually stored (after dedup).
+    pub chunk_physical_bytes: u64,
+    /// Streamed `ReadFileRange` requests issued on the proof path.
+    pub stream_reads_issued: u64,
+    /// Streams fully verified chunk-by-chunk and accepted.
+    pub stream_reads_accepted: u64,
+    /// Individual chunks verified across all streams.
+    pub stream_chunks_verified: u64,
+    /// Streams rejected at a corrupted chunk.
+    pub stream_chunk_rejects: u64,
 }
 
 impl SystemStats {
@@ -145,6 +161,20 @@ impl SystemStats {
         let mut snapshot_nodes = sdr_store::NodeStats::default();
         for rank in 0..sys.masters.len() {
             snapshot_nodes.merge(sys.with_master(rank, |m| m.snapshot_node_stats()));
+        }
+
+        // Chunk-store telemetry: one master per shard (masters of the
+        // same subgroup hold identical replicas; summing them all would
+        // just multiply by the replication factor), summed across
+        // shards.
+        let masters_per_shard = (sys.masters.len() / sys.config.n_shards.max(1)).max(1);
+        let mut chunk_stats = sdr_store::ChunkStats::default();
+        for rank in (0..sys.masters.len()).step_by(masters_per_shard) {
+            let cs = sys.with_master(rank, |m| m.chunk_stats());
+            chunk_stats.chunks_stored += cs.chunks_stored;
+            chunk_stats.chunks_deduped += cs.chunks_deduped;
+            chunk_stats.logical_bytes += cs.logical_bytes;
+            chunk_stats.physical_bytes += cs.physical_bytes;
         }
 
         let master_utilisation: Vec<f64> = sys
@@ -216,6 +246,14 @@ impl SystemStats {
             per_client,
             writes_committed_per_shard,
             dir_lookups_per_shard,
+            chunks_stored: chunk_stats.chunks_stored,
+            chunks_deduped: chunk_stats.chunks_deduped,
+            chunk_logical_bytes: chunk_stats.logical_bytes,
+            chunk_physical_bytes: chunk_stats.physical_bytes,
+            stream_reads_issued: m.counter("read.stream_issued"),
+            stream_reads_accepted: m.counter("read.stream_accepted"),
+            stream_chunks_verified: m.counter("read.stream_chunks_verified"),
+            stream_chunk_rejects: m.counter("read.stream_chunk_rejected"),
         }
         .fill_auditor(sys)
     }
@@ -245,6 +283,16 @@ impl SystemStats {
     /// Total misbehaviour discoveries.
     pub fn discoveries(&self) -> u64 {
         self.discovery_immediate + self.discovery_delayed
+    }
+
+    /// Fraction of logical bytes the chunk store saved through dedup
+    /// (`1 - physical/logical`; 0 when nothing was written).
+    pub fn chunk_dedup_ratio(&self) -> f64 {
+        if self.chunk_logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.chunk_physical_bytes as f64 / self.chunk_logical_bytes as f64
+        }
     }
 
     /// Every scalar field (plus a few derived rates), flattened to
@@ -297,6 +345,15 @@ impl SystemStats {
             ("audit_backlog", self.audit_backlog as f64),
             ("master_util_mean", mean(&self.master_utilisation)),
             ("slave_util_mean", mean(&self.slave_utilisation)),
+            ("chunks_stored", self.chunks_stored as f64),
+            ("chunks_deduped", self.chunks_deduped as f64),
+            ("chunk_logical_bytes", self.chunk_logical_bytes as f64),
+            ("chunk_physical_bytes", self.chunk_physical_bytes as f64),
+            ("chunk_dedup_ratio", self.chunk_dedup_ratio()),
+            ("stream_reads_issued", self.stream_reads_issued as f64),
+            ("stream_reads_accepted", self.stream_reads_accepted as f64),
+            ("stream_chunks_verified", self.stream_chunks_verified as f64),
+            ("stream_chunk_rejects", self.stream_chunk_rejects as f64),
         ];
         let s = &self.read_latency;
         out.extend([
@@ -336,6 +393,8 @@ impl SystemStats {
             "reads: issued={} accepted={} failed={} stale_rejects={} sensitive={}\n\
              proofs: issued={} accepted={} rejected={} retries={} fallbacks={} \
              unsupported={} bytes_p50={} depth_p50={}\n\
+             streams: issued={} accepted={} chunks_verified={} chunk_rejects={}\n\
+             chunks: stored={} deduped={} logical={}B physical={}B dedup_ratio={:.3}\n\
              writes: committed={} denied={} per_round_mean={:.2}\n\
              lies: told={} wrong_accepted={} ({:.4}%)\n\
              double-check: sent={} mismatch={} throttled={}\n\
@@ -355,6 +414,15 @@ impl SystemStats {
             self.proof_unsupported,
             self.proof_bytes.p50,
             self.proof_depth.p50,
+            self.stream_reads_issued,
+            self.stream_reads_accepted,
+            self.stream_chunks_verified,
+            self.stream_chunk_rejects,
+            self.chunks_stored,
+            self.chunks_deduped,
+            self.chunk_logical_bytes,
+            self.chunk_physical_bytes,
+            self.chunk_dedup_ratio(),
             self.writes_committed,
             self.writes_denied,
             self.writes_per_round.mean,

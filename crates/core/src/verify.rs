@@ -23,7 +23,7 @@ use crate::messages::{StateDigestStamp, VersionStamp};
 use crate::pledge::Pledge;
 use sdr_crypto::PublicKey;
 use sdr_sim::{NodeId, SimDuration, SimTime};
-use sdr_store::{ProofError, Query, QueryResult, StateProof};
+use sdr_store::{ProofError, Query, QueryResult, StateProof, StreamProof};
 
 /// Why a read response was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,11 +69,15 @@ pub enum ReadStrategy {
     Proof,
 }
 
-/// Picks the read strategy for a query: static point lookups take the
-/// proof path when it is enabled; everything computed stays pledged.
+/// Picks the read strategy for a query: static point lookups (and
+/// streamed file ranges, which verify chunk-by-chunk against the
+/// manifest proof) take the proof path when it is enabled; everything
+/// computed stays pledged.
 pub fn strategy_for(query: &Query, proof_reads_enabled: bool) -> ReadStrategy {
     match query {
-        Query::GetRow { .. } | Query::ReadFile { .. } if proof_reads_enabled => {
+        Query::GetRow { .. } | Query::ReadFile { .. } | Query::ReadFileRange { .. }
+            if proof_reads_enabled =>
+        {
             ReadStrategy::Proof
         }
         _ => ReadStrategy::Pledged,
@@ -199,6 +203,35 @@ pub fn verify_proof_read(
         .map_err(RejectReason::BadProof)
 }
 
+/// Stream-header verification: known responder, the proof is about the
+/// requested path, digest-stamp signature, freshness, then the Merkle
+/// fold from the chunk manifest to the signed digest.  After this
+/// passes, each arriving chunk is checked with
+/// [`StreamProof::verify_chunk`] — no further trust in the slave, and
+/// no buffering of the file.
+pub fn verify_stream_header(
+    env: &VerifyEnv<'_>,
+    from: NodeId,
+    query: &Query,
+    proof: &StreamProof,
+    stamp: &StateDigestStamp,
+) -> Result<(), RejectReason> {
+    if env.slave_key(from).is_none() {
+        return Err(RejectReason::UnknownSlave);
+    }
+    let Query::ReadFileRange { path, .. } = query else {
+        return Err(RejectReason::BadProof(ProofError::ShapeMismatch));
+    };
+    if proof.path != *path {
+        return Err(RejectReason::BadProof(ProofError::ShapeMismatch));
+    }
+    check_digest_stamp(env, stamp)?;
+    check_freshness(env, stamp.timestamp)?;
+    proof
+        .verify_header(&stamp.digest, stamp.version)
+        .map_err(RejectReason::BadProof)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +301,77 @@ mod tests {
         assert_eq!(
             strategy_for(&Query::ReadFile { path: "/a".into() }, true),
             ReadStrategy::Proof
+        );
+        let range = Query::ReadFileRange {
+            path: "/a".into(),
+            offset: 0,
+            len: 10,
+        };
+        assert_eq!(strategy_for(&range, true), ReadStrategy::Proof);
+        assert_eq!(strategy_for(&range, false), ReadStrategy::Pledged);
+    }
+
+    #[test]
+    fn stream_header_pipeline_checks_path_stamp_and_fold() {
+        let mut f = fixture();
+        let mut db = db();
+        let contents: String = (0..800).map(|l| format!("line {l:04} of streamed data\n")).collect();
+        db.apply_write(&[UpdateOp::WriteFile {
+            path: "/big".into(),
+            contents: contents.clone(),
+        }])
+        .unwrap();
+        let query = Query::ReadFileRange {
+            path: "/big".into(),
+            offset: 0,
+            len: contents.len() as u64,
+        };
+        let proof = db.prove_stream("/big");
+        let stamp = StateDigestStamp::build(
+            db.version(),
+            db.state_digest(),
+            SimTime::from_millis(100),
+            NodeId(0),
+            &mut f.master,
+        )
+        .unwrap();
+
+        verify_stream_header(&env(&f, 200), NodeId(5), &query, &proof, &stamp).unwrap();
+        // Chunks then verify individually against the manifest.
+        let manifest = proof.manifest.as_ref().unwrap();
+        let mut off = 0usize;
+        for (i, e) in manifest.chunks.iter().enumerate() {
+            proof
+                .verify_chunk(i, &contents.as_bytes()[off..off + e.len as usize])
+                .unwrap();
+            off += e.len as usize;
+        }
+
+        // A proof for a different path is not accepted for this query.
+        let wrong_path = Query::ReadFileRange {
+            path: "/other".into(),
+            offset: 0,
+            len: 8,
+        };
+        assert!(matches!(
+            verify_stream_header(&env(&f, 200), NodeId(5), &wrong_path, &proof, &stamp),
+            Err(RejectReason::BadProof(_))
+        ));
+        // Unknown responder, forged stamp, staleness — same gates as
+        // point-read proofs.
+        assert_eq!(
+            verify_stream_header(&env(&f, 200), NodeId(99), &query, &proof, &stamp),
+            Err(RejectReason::UnknownSlave)
+        );
+        let mut bad_stamp = stamp.clone();
+        bad_stamp.version += 1;
+        assert_eq!(
+            verify_stream_header(&env(&f, 200), NodeId(5), &query, &proof, &bad_stamp),
+            Err(RejectReason::BadStampSignature)
+        );
+        assert_eq!(
+            verify_stream_header(&env(&f, 2_000), NodeId(5), &query, &proof, &stamp),
+            Err(RejectReason::Stale)
         );
     }
 

@@ -24,6 +24,8 @@ pub struct QueryMix {
     pub grep: u32,
     /// Whole-file reads.
     pub read_file: u32,
+    /// Byte-range file reads, streamed chunk-by-chunk on the proof path.
+    pub stream: u32,
 }
 
 impl QueryMix {
@@ -38,6 +40,7 @@ impl QueryMix {
             join: 5,
             grep: 7,
             read_file: 3,
+            stream: 0,
         }
     }
 
@@ -51,12 +54,29 @@ impl QueryMix {
             join: 15,
             grep: 25,
             read_file: 5,
+            stream: 0,
+        }
+    }
+
+    /// A large-media mix: streamed range reads dominate, point lookups
+    /// and greps trail (the `cdn_media` flash-crowd shape).
+    pub fn media() -> Self {
+        QueryMix {
+            get: 20,
+            range: 5,
+            filter: 5,
+            aggregate: 5,
+            join: 0,
+            grep: 5,
+            read_file: 10,
+            stream: 50,
         }
     }
 
     fn total(&self) -> u32 {
         self.get + self.range + self.filter + self.aggregate + self.join + self.grep
             + self.read_file
+            + self.stream
     }
 
     /// Samples a query against the generated dataset.
@@ -135,9 +155,19 @@ impl QueryMix {
                 pattern: word.to_string(),
                 prefix: "/docs".into(),
             }
-        } else {
+        } else if take(self.read_file) {
             Query::ReadFile {
                 path: format!("/docs/file-{:03}.log", rng.gen_range(0..spec.n_files.max(1))),
+            }
+        } else {
+            // Byte-range read somewhere inside the file (generated lines
+            // are ~30-40 bytes, so scale the window to the file's shape).
+            let approx_len = (spec.lines_per_file.max(1) as u64) * 36;
+            let offset = rng.gen_range(0..approx_len.max(2) / 2);
+            Query::ReadFileRange {
+                path: format!("/docs/file-{:03}.log", rng.gen_range(0..spec.n_files.max(1))),
+                offset,
+                len: rng.gen_range(512..8192),
             }
         }
     }
@@ -303,6 +333,24 @@ mod tests {
         for k in ["get", "range", "filter", "aggregate", "grep", "read_file"] {
             assert!(kinds.contains(k), "missing {k}");
         }
+    }
+
+    #[test]
+    fn media_mix_samples_streams() {
+        let mix = QueryMix::media();
+        let spec = DatasetSpec::default();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut streams = 0;
+        for _ in 0..400 {
+            let q = mix.sample(&mut rng, &spec);
+            if let Query::ReadFileRange { path, len, .. } = &q {
+                assert!(path.starts_with("/docs/"));
+                assert!(*len >= 512);
+                streams += 1;
+            }
+        }
+        // stream weight is 50/100: roughly half the samples.
+        assert!((100..300).contains(&streams), "streams {streams}");
     }
 
     #[test]

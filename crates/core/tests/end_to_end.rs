@@ -134,6 +134,72 @@ fn inconsistent_liar_rejected_instantly_no_harm() {
 }
 
 #[test]
+fn honest_streamed_reads_verify_every_chunk() {
+    let cfg = small_config(41);
+    let n = cfg.n_slaves;
+    let workload = Workload {
+        mix: sdr_core::QueryMix::media(),
+        ..Workload::default()
+    };
+    let mut sys = build(cfg, vec![SlaveBehavior::Honest; n], workload);
+    sys.run_for(SimDuration::from_secs(30));
+    let stats = sys.stats();
+
+    assert!(
+        stats.stream_reads_issued > 20,
+        "streamed reads issued: {}",
+        stats.stream_reads_issued
+    );
+    assert_eq!(
+        stats.stream_reads_accepted, stats.stream_reads_issued,
+        "honest streams must all verify: {}",
+        stats.render()
+    );
+    assert_eq!(stats.stream_chunk_rejects, 0);
+    assert!(
+        stats.stream_chunks_verified >= stats.stream_reads_accepted,
+        "each accepted stream verifies its chunks: {} chunks / {} streams",
+        stats.stream_chunks_verified,
+        stats.stream_reads_accepted
+    );
+    assert_eq!(stats.wrong_accepted, 0);
+}
+
+#[test]
+fn corrupted_stream_chunk_rejected_at_that_chunk() {
+    let mut cfg = small_config(42);
+    cfg.double_check_prob = 0.0; // Stream verification needs no checks.
+    let mut behaviors = vec![SlaveBehavior::Honest; cfg.n_slaves];
+    behaviors[1] = SlaveBehavior::ConsistentLiar { prob: 0.5, collude: false };
+    let workload = Workload {
+        mix: sdr_core::QueryMix::media(),
+        ..Workload::default()
+    };
+    let mut sys = build(cfg, behaviors, workload);
+    sys.run_for(SimDuration::from_secs(60));
+    let stats = sys.stats();
+
+    // The chunk hash pins each corruption to the exact chunk: detection
+    // is the client's own verification, with no checks configured.
+    assert!(
+        stats.stream_chunk_rejects > 0,
+        "corrupted chunks never rejected: {}",
+        stats.render()
+    );
+    // Every accepted *stream* verified all its chunks — a corrupted
+    // stream can only be rejected, never folded into an accept.  (The
+    // pledged fallback path can still wrongly accept a consistent lie
+    // until audits catch it, which is the paper's delayed-detection
+    // story, not the stream path's.)
+    assert!(stats.stream_reads_accepted < stats.stream_reads_issued);
+    assert!(
+        stats.stream_chunks_verified > 0 && stats.reads_accepted > 0,
+        "clients stopped making progress: {}",
+        stats.render()
+    );
+}
+
+#[test]
 fn stale_server_detected_by_audit() {
     let mut cfg = small_config(6);
     cfg.double_check_prob = 0.02;

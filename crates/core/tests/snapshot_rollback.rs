@@ -96,6 +96,7 @@ fn write_log_replay_over_cow_handles_reproduces_snapshots() {
         n_reviews: 100,
         n_files: 10,
         lines_per_file: 5,
+        shared_block_lines: 0,
         seed: 3,
     }
     .build();

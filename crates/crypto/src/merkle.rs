@@ -32,6 +32,22 @@ pub fn node_hash(left: &Hash256, right: &Hash256) -> Hash256 {
     Sha256::digest_parts(&[&[NODE_PREFIX], left.as_ref(), right.as_ref()])
 }
 
+/// Domain tag for content-defined chunk commitments ([`chunk_hash`]).
+const CHUNK_DOMAIN: &[u8] = b"sdr/chunk/v1";
+
+/// Commitment to one content-defined chunk of file data.
+///
+/// The chunk store (`sdr-store::chunk`) addresses chunks by this digest,
+/// and file manifests embed it per chunk, so a streamed read verifies
+/// each chunk independently: `chunk_hash(bytes)` must equal the manifest
+/// entry, which the manifest's own commitment binds into the state
+/// digest.  The length prefix plus a dedicated domain keep chunk
+/// commitments disjoint from leaf/node hashes and from each other under
+/// concatenation ambiguity.
+pub fn chunk_hash(data: &[u8]) -> Hash256 {
+    Sha256::digest_parts(&[CHUNK_DOMAIN, &(data.len() as u64).to_be_bytes(), data])
+}
+
 /// Commitment to one search-tree entry: a key commitment paired with a
 /// value commitment.  Binding key and value separately (instead of
 /// hashing their concatenation) lets authentication paths ship a path

@@ -1,0 +1,509 @@
+//! Content-defined chunking and the content-addressed chunk store.
+//!
+//! Files are split at *content-defined* cut points found by a gear
+//! rolling hash, so an edit moves only the chunk boundaries near the
+//! touched bytes: appending to a file re-chunks the tail chunk alone,
+//! and two files sharing most of their content share most of their
+//! chunks.  Chunks are stored once, keyed by their commitment digest
+//! ([`ChunkId`], `sdr_crypto::chunk_hash`) and reference-counted across
+//! files ([`ChunkStore`]); each file keeps a [`FileManifest`] — the
+//! ordered list of chunk digests and lengths — whose canonical encoding
+//! is what the file tree's Merkle digest commits to.  A streamed read
+//! therefore verifies chunk-by-chunk: manifest entry → chunk digest →
+//! chunk bytes, with the manifest itself bound to the master-signed
+//! state digest by an O(log n) inclusion proof.
+//!
+//! Chunking is fully deterministic (a compile-time gear table, no
+//! platform-dependent state), and the rolling hash *restarts at every
+//! cut*, so the boundaries after a cut depend only on the bytes after
+//! it.  That restart is what makes appends O(chunk): re-chunking
+//! `tail-chunk ‖ appended-bytes` yields exactly the chunks a
+//! from-scratch pass over the whole file would produce past the old
+//! tail boundary.
+
+use crate::pmap::{MerkleContent, PKey, PMap};
+use sdr_crypto::{chunk_hash, Hash256};
+use serde::{Deserialize, Serialize};
+
+/// No cut point is considered before a chunk reaches this many bytes.
+pub const MIN_CHUNK: usize = 256;
+/// A cut is forced once a chunk reaches this many bytes.
+pub const MAX_CHUNK: usize = 4096;
+/// Bits of the rolling hash a cut point must zero: expected chunk size
+/// is `MIN_CHUNK + 2^CUT_BITS` (~1.25 KiB) between the hard bounds.
+pub const CUT_BITS: u32 = 10;
+
+/// The judged hash window: bits 16..16+[`CUT_BITS`], so a cut decision
+/// depends on roughly the last 26 bytes — comfortably inside the
+/// [`MIN_CHUNK`] restart guard.
+const CUT_MASK: u64 = ((1u64 << CUT_BITS) - 1) << 16;
+
+/// Deterministic gear table: one 64-bit mixing constant per byte value,
+/// generated at compile time so chunk boundaries are identical on every
+/// platform and build.
+const GEAR: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = splitmix64(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        i += 1;
+    }
+    table
+};
+
+const fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splits `data` into content-defined `[start, end)` spans.
+///
+/// Invariants: spans are contiguous, cover `data` exactly, every span
+/// except possibly the last is in `[MIN_CHUNK, MAX_CHUNK]`, and empty
+/// input yields no spans.
+pub fn chunk_spans(data: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::with_capacity(data.len() / MIN_CHUNK + 1);
+    let mut start = 0usize;
+    let mut h = 0u64;
+    for (i, &b) in data.iter().enumerate() {
+        h = (h << 1).wrapping_add(GEAR[b as usize]);
+        let len = i + 1 - start;
+        if (len >= MIN_CHUNK && h & CUT_MASK == 0) || len == MAX_CHUNK {
+            spans.push((start, i + 1));
+            start = i + 1;
+            h = 0; // Restart: later boundaries depend only on later bytes.
+        }
+    }
+    if start < data.len() {
+        spans.push((start, data.len()));
+    }
+    spans
+}
+
+/// Identity of one chunk: the domain-separated digest of its bytes
+/// (`sdr_crypto::chunk_hash`).  The chunk store's key, and what file
+/// manifests embed per chunk.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ChunkId(pub Hash256);
+
+impl ChunkId {
+    /// The id of a chunk with these bytes.
+    pub fn of(data: &[u8]) -> Self {
+        ChunkId(chunk_hash(data))
+    }
+}
+
+impl PKey for ChunkId {
+    fn encode_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.0.as_ref());
+    }
+}
+
+/// One manifest entry: a chunk's id and its length in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// The chunk's content digest.
+    pub id: ChunkId,
+    /// The chunk's length in bytes.
+    pub len: u32,
+}
+
+/// The ordered chunk list of one file.
+///
+/// This is the value the file tree ([`crate::fsview::FsView`]) stores
+/// per path, so the state digest commits to *chunk digests* rather than
+/// raw contents — verifying any single chunk against an inclusion proof
+/// of the manifest authenticates that chunk without the rest of the
+/// file.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileManifest {
+    /// Total file length in bytes (the sum of the entry lengths).
+    pub total_len: u64,
+    /// The chunks, in file order.
+    pub chunks: Vec<ManifestEntry>,
+}
+
+impl FileManifest {
+    /// Chunks `data` from scratch into its manifest (without touching
+    /// any store).  This is also what proof *verifiers* run over claimed
+    /// contents: determinism makes the manifest recomputable anywhere.
+    pub fn of(data: &[u8]) -> Self {
+        let chunks = chunk_spans(data)
+            .into_iter()
+            .map(|(s, e)| ManifestEntry {
+                id: ChunkId::of(&data[s..e]),
+                len: (e - s) as u32,
+            })
+            .collect();
+        FileManifest {
+            total_len: data.len() as u64,
+            chunks,
+        }
+    }
+
+    /// Indexes `[first, end)` of the chunks overlapping the byte range
+    /// `[offset, offset + len)`, clamped to the file.
+    pub fn chunk_range(&self, offset: u64, len: u64) -> (usize, usize) {
+        let lo = offset.min(self.total_len);
+        let hi = offset.saturating_add(len).min(self.total_len);
+        let (mut first, mut end) = (self.chunks.len(), self.chunks.len());
+        let mut pos = 0u64;
+        for (i, entry) in self.chunks.iter().enumerate() {
+            let next = pos + u64::from(entry.len);
+            if first == self.chunks.len() && lo < next {
+                first = i;
+            }
+            if hi <= next {
+                end = i + 1;
+                break;
+            }
+            pos = next;
+        }
+        if lo >= hi {
+            return (0, 0);
+        }
+        (first, end)
+    }
+
+    /// Byte offset where chunk `index` starts.
+    pub fn chunk_offset(&self, index: usize) -> u64 {
+        self.chunks[..index.min(self.chunks.len())]
+            .iter()
+            .map(|e| u64::from(e.len))
+            .sum()
+    }
+}
+
+impl MerkleContent for FileManifest {
+    fn content_encode(&self, out: &mut Vec<u8>) {
+        // A dedicated domain keeps manifest commitments disjoint from the
+        // raw-contents leaves of the pre-chunking store: an old
+        // single-leaf encoding can never verify as a manifest.
+        out.extend_from_slice(b"sdr/manifest/v1");
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u32).to_be_bytes());
+        for entry in &self.chunks {
+            out.extend_from_slice(entry.id.0.as_ref());
+            out.extend_from_slice(&entry.len.to_be_bytes());
+        }
+    }
+}
+
+/// One stored chunk: its bytes and how many manifest entries reference
+/// it across all files.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkEntry {
+    /// The chunk's bytes.
+    pub data: Vec<u8>,
+    /// Live references from file manifests.
+    pub refs: u64,
+}
+
+impl MerkleContent for ChunkEntry {
+    fn content_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.data.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out.extend_from_slice(&self.refs.to_be_bytes());
+    }
+}
+
+/// Aggregated chunk-store telemetry (see `SystemStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkStats {
+    /// Distinct chunks currently stored.
+    pub chunks_stored: u64,
+    /// Retains that hit an already-stored chunk (cumulative).
+    pub chunks_deduped: u64,
+    /// Bytes of file content as the manifests see it.
+    pub logical_bytes: u64,
+    /// Bytes of chunk data actually stored (once per distinct chunk).
+    pub physical_bytes: u64,
+}
+
+impl ChunkStats {
+    /// Fraction of logical bytes saved by dedup: `1 - physical/logical`.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.physical_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+}
+
+/// The content-addressed, reference-counted chunk store.
+///
+/// Persistent like everything else in this crate: cloning is O(1) and
+/// mutations path-copy, so database snapshots share chunk storage
+/// structurally and a failed write's rollback restores the counters for
+/// free.  The store is *not* part of the Merkle state digest — the
+/// manifests' chunk digests already commit to every stored byte.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ChunkStore {
+    entries: PMap<ChunkId, ChunkEntry>,
+    dedup_hits: u64,
+    logical_bytes: u64,
+    physical_bytes: u64,
+}
+
+impl ChunkStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ChunkStore::default()
+    }
+
+    /// Adds one reference to the chunk with these bytes, storing them on
+    /// first sight, and returns its id.
+    pub fn retain(&mut self, data: &[u8]) -> ChunkId {
+        let id = ChunkId::of(data);
+        self.logical_bytes += data.len() as u64;
+        match self.entries.get_mut(&id) {
+            Some(entry) => {
+                entry.refs += 1;
+                self.dedup_hits += 1;
+            }
+            None => {
+                self.physical_bytes += data.len() as u64;
+                self.entries.insert(
+                    id,
+                    ChunkEntry {
+                        data: data.to_vec(),
+                        refs: 1,
+                    },
+                );
+            }
+        }
+        id
+    }
+
+    /// Drops one reference; the chunk's bytes are freed at zero.
+    pub fn release(&mut self, id: ChunkId, len: u32) {
+        self.logical_bytes = self.logical_bytes.saturating_sub(u64::from(len));
+        let gone = match self.entries.get_mut(&id) {
+            Some(entry) => {
+                entry.refs -= 1;
+                entry.refs == 0
+            }
+            None => false,
+        };
+        if gone {
+            if let Some(entry) = self.entries.remove(&id) {
+                self.physical_bytes -= entry.data.len() as u64;
+            }
+        }
+    }
+
+    /// The bytes of a stored chunk.
+    pub fn get(&self, id: &ChunkId) -> Option<&[u8]> {
+        self.entries.get(id).map(|e| e.data.as_slice())
+    }
+
+    /// Live reference count of a chunk (0 when absent).
+    pub fn refs(&self, id: &ChunkId) -> u64 {
+        self.entries.get(id).map_or(0, |e| e.refs)
+    }
+
+    /// Number of distinct chunks stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() == 0
+    }
+
+    /// Shared-vs-owned node counts of the chunk tree (memory telemetry).
+    pub fn node_stats(&self) -> crate::pmap::NodeStats {
+        self.entries.node_stats()
+    }
+
+    /// Current telemetry snapshot.
+    pub fn stats(&self) -> ChunkStats {
+        ChunkStats {
+            chunks_stored: self.entries.len() as u64,
+            chunks_deduped: self.dedup_hits,
+            logical_bytes: self.logical_bytes,
+            physical_bytes: self.physical_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random content (text-ish, like the dataset's
+    /// log files) long enough to cross many cut points.
+    fn sample(len: usize, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut state = seed;
+        while out.len() < len {
+            state = splitmix64(state);
+            let word = state % 997;
+            out.extend_from_slice(format!("entry {word:03} code={:04}\n", state % 9973).as_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    #[test]
+    fn spans_cover_input_exactly_and_respect_bounds() {
+        for (len, seed) in [(0usize, 1u64), (1, 2), (255, 3), (256, 4), (5000, 5), (40_000, 6)] {
+            let data = sample(len, seed);
+            let spans = chunk_spans(&data);
+            let mut pos = 0;
+            for (i, &(s, e)) in spans.iter().enumerate() {
+                assert_eq!(s, pos, "len={len}");
+                assert!(e > s);
+                let clen = e - s;
+                assert!(clen <= MAX_CHUNK, "len={len} chunk {i} too big");
+                if i + 1 < spans.len() {
+                    assert!(clen >= MIN_CHUNK, "len={len} chunk {i} too small");
+                }
+                pos = e;
+            }
+            assert_eq!(pos, data.len(), "len={len}");
+            if len == 0 {
+                assert!(spans.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_input_forces_max_cuts() {
+        // All-identical bytes never zero the hash window, so every chunk
+        // is a forced MAX_CHUNK cut.
+        let data = vec![0x41u8; MAX_CHUNK * 3 + 100];
+        let spans = chunk_spans(&data);
+        assert_eq!(spans.len(), 4);
+        assert!(spans[..3].iter().all(|&(s, e)| e - s == MAX_CHUNK));
+        assert_eq!(spans[3].1 - spans[3].0, 100);
+    }
+
+    /// The pinned determinism fixture: identical contents must produce
+    /// identical boundaries and digests on every platform and run.  If
+    /// this test fails the chunker changed shape — that silently breaks
+    /// proof verification between old and new builds, so it must be a
+    /// deliberate domain bump, not an accident.
+    #[test]
+    fn chunking_is_deterministic_pinned() {
+        let data = sample(10_000, 42);
+        let spans = chunk_spans(&data);
+        assert_eq!(spans, chunk_spans(&data));
+        let manifest = FileManifest::of(&data);
+        assert_eq!(manifest, FileManifest::of(&data));
+        assert_eq!(manifest.total_len, 10_000);
+        // Pinned shape: boundary list and first/last chunk commitments.
+        let cuts: Vec<usize> = spans.iter().map(|&(_, e)| e).collect();
+        assert_eq!(cuts, vec![1681, 2297, 6393, 10_000]);
+        assert_eq!(
+            manifest.chunks[0].id.0.to_hex(),
+            "6836699f70714e24222776b432534161f72f5f9bd949199e4c454f498f32a971"
+        );
+    }
+
+    #[test]
+    fn restart_at_cut_makes_appends_local() {
+        let base = sample(20_000, 7);
+        let extra = sample(900, 8);
+        let mut whole = base.clone();
+        whole.extend_from_slice(&extra);
+
+        let before = chunk_spans(&base);
+        let after = chunk_spans(&whole);
+        // Every chunk before the old tail is untouched.
+        assert!(before.len() > 2);
+        let stable = &before[..before.len() - 1];
+        assert_eq!(&after[..stable.len()], stable);
+        // And the re-chunked tail equals chunking (tail ‖ extra) alone.
+        let tail_start = stable.last().unwrap().1;
+        let rechunked = chunk_spans(&whole[tail_start..]);
+        let shifted: Vec<(usize, usize)> = after[stable.len()..]
+            .iter()
+            .map(|&(s, e)| (s - tail_start, e - tail_start))
+            .collect();
+        assert_eq!(shifted, rechunked);
+    }
+
+    #[test]
+    fn chunk_range_selects_overlapping_chunks() {
+        let data = sample(6_000, 11);
+        let m = FileManifest::of(&data);
+        assert!(m.chunks.len() >= 3);
+        // Whole file.
+        assert_eq!(m.chunk_range(0, m.total_len), (0, m.chunks.len()));
+        // Empty and out-of-range requests select nothing.
+        assert_eq!(m.chunk_range(0, 0), (0, 0));
+        assert_eq!(m.chunk_range(m.total_len + 5, 10), (0, 0));
+        // A one-byte read in the middle hits exactly one chunk.
+        let mid = m.chunk_offset(1);
+        let (first, end) = m.chunk_range(mid, 1);
+        assert_eq!((first, end), (1, 2));
+        // A range straddling a boundary hits both neighbours.
+        let (first, end) = m.chunk_range(mid - 1, 2);
+        assert_eq!((first, end), (0, 2));
+    }
+
+    #[test]
+    fn store_refcounts_and_dedups() {
+        let mut store = ChunkStore::new();
+        let a = store.retain(b"alpha-chunk");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.refs(&a), 1);
+        assert_eq!(store.stats().chunks_deduped, 0);
+
+        // Same bytes again: dedup, not a second copy.
+        let a2 = store.retain(b"alpha-chunk");
+        assert_eq!(a, a2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.refs(&a), 2);
+        let stats = store.stats();
+        assert_eq!(stats.chunks_deduped, 1);
+        assert_eq!(stats.logical_bytes, 22);
+        assert_eq!(stats.physical_bytes, 11);
+        assert!(stats.dedup_ratio() > 0.49 && stats.dedup_ratio() < 0.51);
+
+        store.release(a, 11);
+        assert_eq!(store.refs(&a), 1);
+        assert_eq!(store.get(&a), Some(b"alpha-chunk".as_ref()));
+        store.release(a, 11);
+        assert_eq!(store.refs(&a), 0);
+        assert!(store.get(&a).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.logical_bytes, 0);
+        assert_eq!(stats.physical_bytes, 0);
+    }
+
+    #[test]
+    fn store_clone_is_isolated() {
+        let mut store = ChunkStore::new();
+        store.retain(b"shared");
+        let snap = store.clone();
+        store.retain(b"later");
+        assert_eq!(snap.len(), 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(snap.stats().physical_bytes, 6);
+    }
+
+    #[test]
+    fn manifest_encoding_binds_chunks_and_length() {
+        let a = FileManifest::of(b"some file contents that are short");
+        let mut ea = Vec::new();
+        a.content_encode(&mut ea);
+        let b = FileManifest::of(b"some file contents that are shorT");
+        let mut eb = Vec::new();
+        b.content_encode(&mut eb);
+        assert_ne!(ea, eb);
+        // And it is *not* the raw-contents encoding the old store used.
+        let mut raw = Vec::new();
+        "some file contents that are short"
+            .to_string()
+            .content_encode(&mut raw);
+        assert_ne!(ea, raw);
+    }
+}

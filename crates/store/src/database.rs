@@ -198,8 +198,12 @@ pub fn digest_from_parts(
     tables_root: &Hash256,
     files_root: &Hash256,
 ) -> Hash256 {
+    // v4: the files root commits to per-file *chunk manifests* (see
+    // `crate::chunk`), not raw contents.  The domain bump makes digests
+    // from the pre-chunking layout verifiably distinct — an old
+    // single-leaf state can never be passed off as a chunked one.
     let mut buf = Vec::with_capacity(96);
-    buf.extend_from_slice(b"sdr/state/v3");
+    buf.extend_from_slice(b"sdr/state/v4");
     buf.extend_from_slice(&version.to_be_bytes());
     buf.extend_from_slice(&table_count.to_be_bytes());
     buf.extend_from_slice(tables_root.as_ref());
@@ -319,9 +323,30 @@ mod tests {
         // The snapshot still sees the captured state, digest included.
         assert_eq!(snap.version(), 3);
         assert!(snap.table("t").unwrap().get(2).is_none());
-        assert_eq!(snap.fs().read("/a"), Some("one"));
+        assert_eq!(snap.fs().read("/a").as_deref(), Some("one"));
         assert_eq!(snap.state_digest(), snap_digest);
         assert_ne!(db.state_digest(), snap_digest);
+    }
+
+    #[test]
+    fn state_domain_v4_rejects_v3_layout_digests() {
+        // A digest built with the pre-chunking domain tag over the same
+        // roots must not match: old single-leaf states cannot be passed
+        // off under the chunked domain (or vice versa).
+        let mut db = Database::new();
+        db.apply_write(&[UpdateOp::WriteFile {
+            path: "/a".into(),
+            contents: "one".into(),
+        }])
+        .unwrap();
+        let mut buf = Vec::with_capacity(96);
+        buf.extend_from_slice(b"sdr/state/v3");
+        buf.extend_from_slice(&db.version().to_be_bytes());
+        buf.extend_from_slice(&(db.table_count() as u32).to_be_bytes());
+        buf.extend_from_slice(db.tables_root().as_ref());
+        buf.extend_from_slice(db.fs().files_digest().as_ref());
+        let v3_digest = Sha256::digest(&buf);
+        assert_ne!(db.state_digest(), v3_digest);
     }
 
     #[test]

@@ -161,7 +161,7 @@ pub fn execute(db: &Database, query: &Query) -> Result<(QueryResult, QueryCost),
             QueryResult::Rows(out)
         }
         Query::ReadFile { path } => {
-            let contents = db.fs().read(path).map(str::to_string);
+            let contents = db.fs().read(path);
             cost.bytes_processed += contents.as_ref().map_or(0, |c| c.len() as u64);
             QueryResult::Text(contents)
         }
@@ -175,6 +175,11 @@ pub fn execute(db: &Database, query: &Query) -> Result<(QueryResult, QueryCost),
             let paths = db.fs().list(prefix);
             cost.rows_scanned += db.fs().file_count() as u64;
             QueryResult::Paths(paths)
+        }
+        Query::ReadFileRange { path, offset, len } => {
+            let contents = db.fs().read_range(path, *offset, *len);
+            cost.bytes_processed += contents.as_ref().map_or(0, |c| c.len() as u64);
+            QueryResult::Text(contents)
         }
     };
     cost.rows_returned = result.row_count() as u64;
@@ -560,6 +565,58 @@ mod tests {
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].path, "/docs/catalog");
         assert!(c.bytes_processed > 0);
+    }
+
+    #[test]
+    fn read_file_range_slices_the_file() {
+        let db = db();
+        let full = match execute(
+            &db,
+            &Query::ReadFile {
+                path: "/docs/readme".into(),
+            },
+        )
+        .unwrap()
+        .0
+        {
+            QueryResult::Text(Some(t)) => t,
+            other => panic!("unexpected result {other:?}"),
+        };
+        let (r, c) = execute(
+            &db,
+            &Query::ReadFileRange {
+                path: "/docs/readme".into(),
+                offset: 5,
+                len: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(r, QueryResult::Text(Some(full[5..13].to_string())));
+        assert_eq!(c.bytes_processed, 8);
+
+        // Past-the-end offsets yield an empty (but present) result.
+        let (r, _) = execute(
+            &db,
+            &Query::ReadFileRange {
+                path: "/docs/readme".into(),
+                offset: 1 << 20,
+                len: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(r, QueryResult::Text(Some(String::new())));
+
+        // Missing files are None, like ReadFile.
+        let (r, _) = execute(
+            &db,
+            &Query::ReadFileRange {
+                path: "/docs/missing".into(),
+                offset: 0,
+                len: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(r, QueryResult::Text(None));
     }
 
     #[test]

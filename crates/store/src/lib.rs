@@ -17,7 +17,10 @@
 //! * [`database`] — the named-table + file-system container, with the
 //!   `content_version` counter and an incrementally maintained
 //!   whole-state digest;
-//! * [`fsview`] — the file-system flavoured content (`read`, `grep`);
+//! * [`chunk`] — the content-defined chunker and content-addressed,
+//!   refcounted chunk store (dedup across files, O(chunk) appends);
+//! * [`fsview`] — the file-system flavoured content (`read`, `grep`),
+//!   built on per-file chunk manifests over the shared chunk store;
 //! * [`predicate`] / [`pattern`] — filter expressions and the from-scratch
 //!   glob/substring matcher that powers grep;
 //! * [`query`] — the query AST (point reads, ranges, filters, grep,
@@ -58,6 +61,13 @@
 //!   ~`depth × 65` proof bytes on the wire and O(log n) hashes at both
 //!   ends — no trusted-party work whatsoever.
 //!
+//! Streamed file reads (`ReadFileRange`) extend the proof-verified
+//! path to large files: the slave sends one [`proof::StreamProof`]
+//! header (Merkle path from the file's chunk *manifest* to the signed
+//! digest) and then raw chunks; the client verifies each chunk against
+//! the manifest as it arrives, so corruption is caught at the offending
+//! chunk without ever buffering the whole file.
+//!
 //! # Cost model
 //!
 //! With `n` rows/files and point writes touching one entry:
@@ -71,6 +81,18 @@
 //! | `state_digest`, nothing changed  | O(1)                            |
 //! | `prove_row` / `prove_file`       | O(log n) (cached subtree hashes)|
 //! | proof verification (client side) | O(log n) hashes                 |
+//!
+//! File content is chunked (content-defined, ~1.25 KiB average) into a
+//! shared content-addressed store; with `c` chunks per file and `b`
+//! bytes written:
+//!
+//! | operation                          | cost                              |
+//! |------------------------------------|-----------------------------------|
+//! | chunked `WriteFile`                | O(b) hash + O(log n) tree copies  |
+//! | chunked `AppendFile`               | O(appended + tail chunk), not O(b)|
+//! | duplicate content across files     | stored once (refcounted)          |
+//! | `prove_stream` (header)            | O(log n) path + O(c) manifest     |
+//! | stream verify (client, per chunk)  | O(chunk) hash, O(1) memory        |
 //!
 //! # Batched commits
 //!
@@ -94,6 +116,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chunk;
 pub mod database;
 pub mod document;
 pub mod error;
@@ -110,6 +133,7 @@ pub mod update;
 pub mod value;
 
 pub use cache::QueryCache;
+pub use chunk::{ChunkId, ChunkStats, ChunkStore, FileManifest, ManifestEntry};
 pub use database::{digest_from_parts, Database};
 pub use document::Document;
 pub use error::StoreError;
@@ -118,7 +142,7 @@ pub use fsview::FsView;
 pub use pattern::Pattern;
 pub use pmap::{InclusionProof, NodeStats, PMap, ProofError};
 pub use predicate::{CmpOp, Predicate};
-pub use proof::{FileProof, RowProof, StateProof};
+pub use proof::{FileProof, RowProof, StateProof, StreamProof};
 pub use query::{Aggregate, Query, QueryResult};
 pub use snapshot::SnapshotStore;
 pub use table::Table;

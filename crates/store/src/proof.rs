@@ -15,6 +15,7 @@
 //! level reusing cached subtree hashes, and verification re-hashes only
 //! the path.
 
+use crate::chunk::{ChunkId, FileManifest};
 use crate::database::{digest_from_parts, Database};
 use crate::document::Document;
 use crate::error::StoreError;
@@ -96,6 +97,11 @@ pub struct FileProof {
 
 impl FileProof {
     /// Verifies the proof against a trusted state digest for `version`.
+    ///
+    /// The file tree commits to chunk *manifests*, so the verifier
+    /// re-chunks the claimed contents (the chunker is deterministic) and
+    /// recomputes the manifest encoding — a claim that differs in any
+    /// byte produces different chunk digests and breaks the fold.
     pub fn verify(
         &self,
         expected_digest: &Hash256,
@@ -103,8 +109,9 @@ impl FileProof {
         contents: Option<&str>,
     ) -> Result<(), ProofError> {
         let encoding = contents.map(|c| {
-            let mut out = Vec::with_capacity(c.len() + 8);
-            c.to_string().content_encode(&mut out);
+            let manifest = FileManifest::of(c.as_bytes());
+            let mut out = Vec::with_capacity(manifest.chunks.len() * 36 + 32);
+            manifest.content_encode(&mut out);
             out
         });
         let files_root = self.file.computed_root(&self.path, encoding.as_deref())?;
@@ -114,6 +121,84 @@ impl FileProof {
         } else {
             Err(ProofError::RootMismatch)
         }
+    }
+}
+
+/// Header proof of a streamed (`ReadFileRange`) read: binds a file's
+/// chunk manifest to the state digest so each subsequent chunk verifies
+/// alone against its 32-byte manifest entry.
+///
+/// The verification chain is chunk bytes → [`ChunkId`] (chunk
+/// commitment) → manifest encoding → file-tree leaf → files root →
+/// digest preimage → master-signed digest stamp.  A client therefore
+/// never buffers the file: it checks this header once (O(log n)
+/// hashes), then hashes each arriving chunk and compares against the
+/// manifest — a corrupted chunk is rejected the moment it arrives.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamProof {
+    /// The path streamed.
+    pub path: String,
+    /// The file's chunk manifest (`None` claims the file is absent).
+    pub manifest: Option<FileManifest>,
+    /// Proof of the manifest (or the path's absence) within the file
+    /// tree.
+    pub file: InclusionProof<String>,
+    /// Root of the table map (the other half of the state digest).
+    pub tables_root: Hash256,
+    /// Number of tables (part of the state-digest preimage).
+    pub table_count: u32,
+}
+
+impl StreamProof {
+    /// Verifies the manifest against a trusted state digest for
+    /// `version`.  After this, [`StreamProof::verify_chunk`] needs no
+    /// further trust in the slave.
+    pub fn verify_header(
+        &self,
+        expected_digest: &Hash256,
+        version: u64,
+    ) -> Result<(), ProofError> {
+        let encoding = self.manifest.as_ref().map(|m| {
+            let mut out = Vec::with_capacity(m.chunks.len() * 36 + 32);
+            m.content_encode(&mut out);
+            out
+        });
+        let files_root = self.file.computed_root(&self.path, encoding.as_deref())?;
+        let digest = digest_from_parts(version, self.table_count, &self.tables_root, &files_root);
+        if digest == *expected_digest {
+            Ok(())
+        } else {
+            Err(ProofError::RootMismatch)
+        }
+    }
+
+    /// Verifies one streamed chunk (by manifest index) against the
+    /// already-verified manifest: length and chunk commitment must both
+    /// match.
+    pub fn verify_chunk(&self, index: usize, data: &[u8]) -> Result<(), ProofError> {
+        let entry = self
+            .manifest
+            .as_ref()
+            .and_then(|m| m.chunks.get(index))
+            .ok_or(ProofError::ShapeMismatch)?;
+        if data.len() != entry.len as usize || ChunkId::of(data) != entry.id {
+            return Err(ProofError::RootMismatch);
+        }
+        Ok(())
+    }
+
+    /// Path length of the header fold (hash work the verifier does).
+    pub fn depth(&self) -> usize {
+        self.file.depth()
+    }
+
+    /// Approximate wire size of the header in bytes.
+    pub fn wire_len(&self) -> usize {
+        let manifest = self
+            .manifest
+            .as_ref()
+            .map_or(1, |m| 13 + m.chunks.len() * 36);
+        self.file.wire_len() + self.path.len() + 36 + manifest
     }
 }
 
@@ -211,8 +296,22 @@ impl Database {
         })
     }
 
+    /// Produces a [`StreamProof`] header for `path` (presence or
+    /// absence) against the current [`Database::state_digest`]: the
+    /// anchor of a chunk-by-chunk streamed read.
+    pub fn prove_stream(&self, path: &str) -> StreamProof {
+        StreamProof {
+            path: path.to_string(),
+            manifest: self.fs().manifest(path).cloned(),
+            file: self.fs().prove_file(path),
+            tables_root: self.tables_root(),
+            table_count: self.table_count() as u32,
+        }
+    }
+
     /// Proof machinery for an arbitrary static point read; `None` for
-    /// query shapes that need pledge+audit (computed queries).
+    /// query shapes that need pledge+audit (computed queries — and
+    /// `ReadFileRange`, which streams with its own [`StreamProof`]).
     pub fn prove_query(&self, query: &Query) -> Option<Result<StateProof, StoreError>> {
         match query {
             Query::GetRow { table, key } => Some(self.prove_row(table, *key)),
@@ -361,6 +460,132 @@ mod tests {
         assert!(proof
             .verify_result(&db.state_digest(), db.version(), &q, &result)
             .is_err());
+    }
+
+    fn stream_contents(lines: usize) -> String {
+        (0..lines).map(|l| format!("entry {l:05} streamed payload\n")).collect()
+    }
+
+    #[test]
+    fn stream_proof_verifies_chunk_by_chunk() {
+        let mut db = db();
+        let contents = stream_contents(3_000);
+        db.apply_write(&[UpdateOp::WriteFile {
+            path: "/stream".into(),
+            contents: contents.clone(),
+        }])
+        .unwrap();
+        let digest = db.state_digest();
+        let v = db.version();
+
+        let proof = db.prove_stream("/stream");
+        proof.verify_header(&digest, v).unwrap();
+        let manifest = proof.manifest.clone().unwrap();
+        assert!(manifest.chunks.len() > 1, "fixture should be multi-chunk");
+
+        // Verify and assemble chunk by chunk — never holding more than
+        // one chunk beyond the output buffer.
+        let mut assembled = Vec::new();
+        for (i, entry) in manifest.chunks.iter().enumerate() {
+            let data = db.fs().chunk_bytes(&entry.id).unwrap().to_vec();
+            proof.verify_chunk(i, &data).unwrap();
+            assembled.extend_from_slice(&data);
+        }
+        assert_eq!(String::from_utf8(assembled).unwrap(), contents);
+    }
+
+    #[test]
+    fn stream_proof_rejects_corruption_at_the_corrupted_chunk() {
+        let mut db = db();
+        db.apply_write(&[UpdateOp::WriteFile {
+            path: "/stream".into(),
+            contents: stream_contents(3_000),
+        }])
+        .unwrap();
+        let proof = db.prove_stream("/stream");
+        proof.verify_header(&db.state_digest(), db.version()).unwrap();
+        let manifest = proof.manifest.as_ref().unwrap();
+
+        let good0 = db.fs().chunk_bytes(&manifest.chunks[0].id).unwrap().to_vec();
+        let mut bad1 = db.fs().chunk_bytes(&manifest.chunks[1].id).unwrap().to_vec();
+        bad1[7] ^= 0x01;
+
+        proof.verify_chunk(0, &good0).unwrap();
+        assert_eq!(proof.verify_chunk(1, &bad1), Err(ProofError::RootMismatch));
+        // Wrong length alone is also caught.
+        assert_eq!(proof.verify_chunk(0, &good0[..good0.len() - 1]), Err(ProofError::RootMismatch));
+        // An index past the manifest is a shape error.
+        assert_eq!(
+            proof.verify_chunk(manifest.chunks.len(), b"x"),
+            Err(ProofError::ShapeMismatch)
+        );
+        // And a tampered header (extra manifest entry) breaks the fold.
+        let mut forged = proof.clone();
+        let extra = forged.manifest.as_ref().unwrap().chunks[0];
+        forged.manifest.as_mut().unwrap().chunks.push(extra);
+        assert!(forged.verify_header(&db.state_digest(), db.version()).is_err());
+    }
+
+    #[test]
+    fn stream_proof_absence_for_missing_path() {
+        let db = db();
+        let proof = db.prove_stream("/missing");
+        assert!(proof.manifest.is_none());
+        proof.verify_header(&db.state_digest(), db.version()).unwrap();
+        // An absent file has no chunks to verify.
+        assert_eq!(proof.verify_chunk(0, b"x"), Err(ProofError::ShapeMismatch));
+    }
+
+    #[test]
+    fn delete_then_absence_proof() {
+        let mut db = db();
+        db.apply_write(&[UpdateOp::WriteFile {
+            path: "/gone".into(),
+            contents: stream_contents(500),
+        }])
+        .unwrap();
+        let live = db.prove_stream("/gone");
+        live.verify_header(&db.state_digest(), db.version()).unwrap();
+
+        db.apply_write(&[UpdateOp::DeleteFile { path: "/gone".into() }]).unwrap();
+        // The old presence header is stale now...
+        assert!(live.verify_header(&db.state_digest(), db.version()).is_err());
+        // ...and a fresh proof shows verifiable absence, on the stream
+        // path and the point-read path alike.
+        let gone = db.prove_stream("/gone");
+        assert!(gone.manifest.is_none());
+        gone.verify_header(&db.state_digest(), db.version()).unwrap();
+        let q = Query::ReadFile { path: "/gone".into() };
+        db.prove_file("/gone")
+            .verify_result(&db.state_digest(), db.version(), &q, &QueryResult::Text(None))
+            .unwrap();
+    }
+
+    #[test]
+    fn single_chunk_file_proofs() {
+        let mut db = db();
+        db.apply_write(&[UpdateOp::WriteFile {
+            path: "/tiny".into(),
+            contents: "just one chunk\n".into(),
+        }])
+        .unwrap();
+        let proof = db.prove_stream("/tiny");
+        proof.verify_header(&db.state_digest(), db.version()).unwrap();
+        let manifest = proof.manifest.as_ref().unwrap();
+        assert_eq!(manifest.chunks.len(), 1);
+        proof
+            .verify_chunk(0, db.fs().chunk_bytes(&manifest.chunks[0].id).unwrap())
+            .unwrap();
+        // The whole-file point proof agrees.
+        let q = Query::ReadFile { path: "/tiny".into() };
+        db.prove_file("/tiny")
+            .verify_result(
+                &db.state_digest(),
+                db.version(),
+                &q,
+                &QueryResult::Text(Some("just one chunk\n".into())),
+            )
+            .unwrap();
     }
 
     #[test]

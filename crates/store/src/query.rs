@@ -124,6 +124,16 @@ pub enum Query {
         /// Path prefix.
         prefix: String,
     },
+    /// Read a byte range of a file (served chunk-by-chunk under proof
+    /// reads; see `StreamProof`).
+    ReadFileRange {
+        /// File path.
+        path: String,
+        /// Byte offset of the first byte to read.
+        offset: u64,
+        /// Number of bytes to read (clamped to the file length).
+        len: u64,
+    },
 }
 
 impl Query {
@@ -223,6 +233,12 @@ impl Query {
                 out.push(7);
                 put_str(out, prefix);
             }
+            Query::ReadFileRange { path, offset, len } => {
+                out.push(8);
+                put_str(out, path);
+                out.extend_from_slice(&offset.to_be_bytes());
+                out.extend_from_slice(&len.to_be_bytes());
+            }
         }
     }
 
@@ -244,6 +260,7 @@ impl Query {
             Query::ReadFile { .. } => "read_file",
             Query::Grep { .. } => "grep",
             Query::ListFiles { .. } => "list",
+            Query::ReadFileRange { .. } => "stream",
         }
     }
 }

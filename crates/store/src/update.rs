@@ -248,7 +248,7 @@ mod tests {
         }
         .apply(&mut db)
         .unwrap();
-        assert_eq!(db.fs().read("/a"), Some("one\ntwo\n"));
+        assert_eq!(db.fs().read("/a").as_deref(), Some("one\ntwo\n"));
         UpdateOp::DeleteFile { path: "/a".into() }.apply(&mut db).unwrap();
         assert!(db.fs().read("/a").is_none());
     }

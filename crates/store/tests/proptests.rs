@@ -332,4 +332,58 @@ proptest! {
             prop_assert_eq!(snap.state_digest(), digest);
         }
     }
+
+    /// Chunking round-trip oracle: the content-defined spans partition
+    /// the input exactly (contiguous, in-bounds, reassembling to the
+    /// original), chunk sizes respect the configured bounds, and the
+    /// fsview built on the chunk store reads back byte-identical
+    /// content through both the whole-file and ranged paths.
+    #[test]
+    fn chunking_reassembles_and_fsview_round_trips(
+        contents in "[a-zA-Z0-9 \n]{0,12000}",
+        tail in "[a-z\n]{0,3000}",
+        offset in 0u64..16_000,
+        len in 0u64..8_000,
+    ) {
+        use sdr_store::chunk::{chunk_spans, MAX_CHUNK, MIN_CHUNK};
+
+        let data = contents.as_bytes();
+        let spans = chunk_spans(data);
+        // Exact partition: contiguous from 0 to len.
+        let mut expect_start = 0;
+        for &(start, end) in &spans {
+            prop_assert_eq!(start, expect_start);
+            prop_assert!(end > start);
+            expect_start = end;
+        }
+        prop_assert_eq!(expect_start, data.len());
+        if data.is_empty() {
+            prop_assert!(spans.is_empty());
+        }
+        // Size bounds: every chunk but the last is >= MIN_CHUNK (the
+        // tail may be short); none exceeds MAX_CHUNK.
+        for (i, &(start, end)) in spans.iter().enumerate() {
+            prop_assert!(end - start <= MAX_CHUNK);
+            if i + 1 < spans.len() {
+                prop_assert!(end - start >= MIN_CHUNK);
+            }
+        }
+
+        // Fsview oracle: write + append reads back as the plain string
+        // concatenation, whole and by range.
+        let mut db = Database::new();
+        db.apply_write(&[
+            UpdateOp::WriteFile { path: "/f".into(), contents: contents.clone() },
+            UpdateOp::AppendFile { path: "/f".into(), contents: tail.clone() },
+        ])
+        .expect("writes apply");
+        let full = format!("{contents}{tail}");
+        prop_assert_eq!(db.fs().read("/f").as_deref(), Some(full.as_str()));
+        let lo = (offset as usize).min(full.len());
+        let hi = lo.saturating_add(len as usize).min(full.len());
+        prop_assert_eq!(
+            db.fs().read_range("/f", offset, len).as_deref(),
+            Some(&full[lo..hi])
+        );
+    }
 }

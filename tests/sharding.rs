@@ -122,6 +122,7 @@ fn byzantine_shard_cannot_affect_other_shards_proof_reads() {
                 aggregate: 0,
                 join: 0,
                 grep: 0,
+                stream: 0,
             },
             ..Workload::default()
         })
@@ -185,6 +186,7 @@ fn proof_retry_exhausted_falls_back_to_pledged() {
                 aggregate: 0,
                 join: 0,
                 grep: 0,
+                stream: 0,
             },
             ..Workload::default()
         })
