@@ -8,10 +8,10 @@
 //! [`RunReport`]-shaped document (any child emitting unparseable or
 //! unrecognisable output fails the whole run — this is the report-schema
 //! regression gate CI relies on), and the combined output is one JSON
-//! array of the reports.  The `sharded_commit`, `batched_commit`, and
-//! `cdn_media` scenarios have no dedicated binaries, so they run
-//! in-process here and their reports are validated (and, with `--json`,
-//! emitted) exactly like the children's.
+//! array of the reports.  The `sharded_commit`, `batched_commit`,
+//! `cdn_media`, and `churn_100k` scenarios have no dedicated binaries,
+//! so they run in-process here and their reports are validated (and,
+//! with `--json`, emitted) exactly like the children's.
 
 use sdr_bench::BenchCli;
 use sdr_core::scenario::{registry, Runner};
@@ -129,6 +129,7 @@ fn main() {
         ("sharded_commit", "shards"),
         ("batched_commit", "batch"),
         ("cdn_media", "shared lines"),
+        ("churn_100k", ""),
     ] {
         if !json {
             println!("\n================ {scenario} ================");
@@ -148,7 +149,18 @@ fn main() {
                         } else {
                             for cell in &report.cells {
                                 let x = cell.coord(coord).unwrap_or(1.0);
-                                if scenario == "cdn_media" {
+                                if scenario == "churn_100k" {
+                                    println!(
+                                        "clients churning: joins={:.0} leaves={:.0} \
+                                         reads accepted (mean) = {:.0} \
+                                         queue peak = {:.0} sharing = {:.2}x",
+                                        cell.mean("churn_joins"),
+                                        cell.mean("churn_leaves"),
+                                        cell.mean("reads_accepted"),
+                                        cell.mean("sim_queue_peak"),
+                                        cell.mean("msg_sharing_ratio"),
+                                    );
+                                } else if scenario == "cdn_media" {
                                     println!(
                                         "{coord}={x:<5} dedup_ratio={:.3} streams accepted (mean) = {:.1}",
                                         cell.mean("chunk_dedup_ratio"),

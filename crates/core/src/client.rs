@@ -49,6 +49,7 @@ const K_NEXT_WRITE: u64 = 3;
 const K_READ_TIMEOUT: u64 = 4;
 const K_WRITE_TIMEOUT: u64 = 5;
 const K_SETUP_TIMEOUT: u64 = 6;
+const K_CHURN: u64 = 7;
 
 fn tag(kind: u64, req: u64) -> u64 {
     (kind << 40) | req
@@ -67,6 +68,9 @@ enum Phase {
     AwaitDir,
     AwaitSetup,
     Ready,
+    /// Churned away: no reads, no writes, all inbound traffic dropped.
+    /// The next churn flip reboots through the full setup phase.
+    Offline,
 }
 
 /// The client's view of one shard: its masters, the chosen setup master,
@@ -165,6 +169,15 @@ pub struct ClientProcess {
     map: ShardMap,
 
     phase: Phase,
+    /// Whether this client participates in session churn (drawn once at
+    /// start from [`crate::workload::ChurnModel::fraction`]).
+    churns: bool,
+    /// Whether a read/write workload timer chain is currently ticking.
+    /// Guards re-arming on every `Ready` transition: without it each
+    /// re-setup (and each churn rejoin) would stack another perpetual
+    /// timer chain, inflating the event rate cycle after cycle.
+    read_timer_live: bool,
+    write_timer_live: bool,
     shards: Vec<ShardView>,
     /// Shards with an outstanding `SetupRequest`: exactly these have an
     /// unresponsive master to blame when the setup timeout fires.
@@ -224,6 +237,9 @@ impl ClientProcess {
             my_max_latency,
             map,
             phase: Phase::Boot,
+            churns: false,
+            read_timer_live: false,
+            write_timer_live: false,
             shards,
             awaiting_setup: HashSet::new(),
             blacklist: HashSet::new(),
@@ -324,12 +340,28 @@ impl ClientProcess {
     fn schedule_next_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
         let gap = self.workload.read_gap(ctx.rng(), now);
+        self.read_timer_live = true;
         ctx.set_timer(gap, tag(K_NEXT_READ, 0));
     }
 
     fn schedule_next_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let gap = self.workload.write_gap(ctx.rng(), 1);
+        self.write_timer_live = true;
         ctx.set_timer(gap, tag(K_NEXT_WRITE, 0));
+    }
+
+    /// Leaves the system: drops every in-flight request so late replies
+    /// and timeouts find nothing to act on, and lets the workload timer
+    /// chains die at their next tick.
+    fn go_offline(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.phase = Phase::Offline;
+        self.pending.clear();
+        self.pending_writes.clear();
+        for q in &mut self.deferred_writes {
+            q.clear();
+        }
+        self.awaiting_setup.clear();
+        ctx.metrics().inc("client.churn_leave");
     }
 
     /// Writes in flight to one shard's master (response still pending).
@@ -857,7 +889,7 @@ impl ClientProcess {
                 for pl in pledges {
                     self.counters.dc_sent += 1;
                     ctx.metrics().inc("dc.sent");
-                    ctx.send(m, Msg::DoubleCheck { req_id: req, pledge: pl });
+                    ctx.send(m, Msg::DoubleCheck { req_id: req, pledge: Box::new(pl) });
                 }
             }
             return;
@@ -876,13 +908,13 @@ impl ClientProcess {
                 m,
                 Msg::DoubleCheck {
                     req_id: req,
-                    pledge: p.responses[0].2.clone(),
+                    pledge: Box::new(p.responses[0].2.clone()),
                 },
             );
         } else {
             let auditor = self.shards[p.shard].auditor;
             for (_, _, pl) in &p.responses {
-                ctx.send(auditor, Msg::AuditSubmit { pledge: pl.clone() });
+                ctx.send(auditor, Msg::AuditSubmit { pledge: Box::new(pl.clone()) });
             }
         }
         for (slave, _, pl) in &p.responses {
@@ -959,16 +991,49 @@ impl Process<Msg> for ClientProcess {
         // Jittered boot spreads directory load and client phase.
         let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..200_000));
         ctx.set_timer(jitter, tag(K_BOOT, 0));
+        // Churn participation and the first leave time draw only when the
+        // workload models churn at all, so non-churn runs consume an
+        // identical RNG stream to the pre-churn simulator.
+        if let Some(churn) = self.workload.churn {
+            self.churns = ctx.rng().gen_bool(churn.fraction.clamp(0.0, 1.0));
+            if self.churns {
+                let first = jitter + churn.sample_session(ctx.rng());
+                ctx.set_timer(first, tag(K_CHURN, 0));
+            }
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, t: u64) {
         match (tag_kind(t), tag_req(t)) {
             (K_BOOT, _) => self.boot(ctx),
+            (K_CHURN, _) => {
+                let Some(churn) = self.workload.churn else { return };
+                if self.phase == Phase::Offline {
+                    // Rejoin: full setup phase, like any cold client.
+                    ctx.metrics().inc("client.churn_join");
+                    self.counters.re_setups += 1;
+                    self.boot(ctx);
+                    let gap = churn.sample_session(ctx.rng());
+                    ctx.set_timer(gap, tag(K_CHURN, 0));
+                } else {
+                    self.go_offline(ctx);
+                    let gap = churn.sample_offline(ctx.rng());
+                    ctx.set_timer(gap, tag(K_CHURN, 0));
+                }
+            }
             (K_NEXT_READ, _) => {
+                if self.phase == Phase::Offline {
+                    self.read_timer_live = false;
+                    return;
+                }
                 self.issue_read(ctx);
                 self.schedule_next_read(ctx);
             }
             (K_NEXT_WRITE, _) => {
+                if self.phase == Phase::Offline {
+                    self.write_timer_live = false;
+                    return;
+                }
                 if self.phase == Phase::Ready {
                     let ops = self.workload.sample_write(ctx.rng());
                     let shard = self.map.shard_of_ops(&ops);
@@ -1028,7 +1093,7 @@ impl Process<Msg> for ClientProcess {
                 }
             }
             (K_SETUP_TIMEOUT, _)
-                if self.phase != Phase::Ready => {
+                if !matches!(self.phase, Phase::Ready | Phase::Offline) => {
                     // Blame exactly the masters that owe a SetupResponse
                     // (shards that answered are innocent; shards still
                     // waiting on the directory have no master to blame).
@@ -1046,6 +1111,11 @@ impl Process<Msg> for ClientProcess {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        // A churned-away client has no socket to receive on: late replies
+        // from its previous session fall on the floor.
+        if self.phase == Phase::Offline {
+            return;
+        }
         match msg {
             Msg::DirResponse {
                 shard,
@@ -1157,8 +1227,10 @@ impl Process<Msg> for ClientProcess {
                 if self.shards.iter().all(|sv| !sv.slaves.is_empty()) {
                     self.phase = Phase::Ready;
                     ctx.metrics().inc("client.ready");
-                    self.schedule_next_read(ctx);
-                    if self.is_writer {
+                    if !self.read_timer_live {
+                        self.schedule_next_read(ctx);
+                    }
+                    if self.is_writer && !self.write_timer_live {
                         self.schedule_next_write(ctx);
                     }
                 }
@@ -1177,7 +1249,7 @@ impl Process<Msg> for ClientProcess {
                     return; // Duplicate or unsolicited.
                 }
                 if valid {
-                    p.responses.push((from, result, pledge));
+                    p.responses.push((from, result, *pledge));
                 }
                 if p.awaiting.is_empty() {
                     if p.responses.is_empty() {
@@ -1192,7 +1264,7 @@ impl Process<Msg> for ClientProcess {
                 result,
                 proof,
                 digest_stamp,
-            } => self.handle_proof_reply(ctx, from, req_id, result, proof, digest_stamp),
+            } => self.handle_proof_reply(ctx, from, req_id, result, *proof, digest_stamp),
             Msg::StreamHeader {
                 req_id,
                 proof,
@@ -1203,7 +1275,7 @@ impl Process<Msg> for ClientProcess {
                 ctx,
                 from,
                 req_id,
-                proof,
+                *proof,
                 digest_stamp,
                 first_chunk,
                 chunk_count,

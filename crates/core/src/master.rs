@@ -384,17 +384,17 @@ impl MasterProcess {
                 // state digest (proof-read anchor).
                 if !self.my_slaves.is_empty() {
                     if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
-                        for &s in &self.my_slaves {
-                            ctx.send(
-                                s,
-                                Msg::StateUpdate {
-                                    version,
-                                    ops: ops.clone(),
-                                    stamp: stamp.clone(),
-                                    digest_stamp: digest_stamp.clone(),
-                                },
-                            );
-                        }
+                        // One shared payload for the whole subgroup: the
+                        // queue holds pointers, not per-slave deep copies.
+                        ctx.multicast(
+                            self.my_slaves.iter().copied(),
+                            Msg::StateUpdate {
+                                version,
+                                ops: ops.clone(),
+                                stamp,
+                                digest_stamp,
+                            },
+                        );
                     }
                 }
                 WriteOutcome::Committed { version }
@@ -461,16 +461,14 @@ impl MasterProcess {
             // version all verify against this single digest stamp.
             if !self.my_slaves.is_empty() {
                 if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
-                    for &s in &self.my_slaves {
-                        ctx.send(
-                            s,
-                            Msg::StateUpdateBatch {
-                                updates: applied.clone(),
-                                stamp: stamp.clone(),
-                                digest_stamp: digest_stamp.clone(),
-                            },
-                        );
-                    }
+                    ctx.multicast(
+                        self.my_slaves.iter().copied(),
+                        Msg::StateUpdateBatch {
+                            updates: applied.clone(),
+                            stamp,
+                            digest_stamp,
+                        },
+                    );
                 }
             }
         }
@@ -954,15 +952,13 @@ impl Process<Msg> for MasterProcess {
                 if !self.my_slaves.is_empty() {
                     if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
                         ctx.metrics().inc("keepalive.sent");
-                        for &s in &self.my_slaves {
-                            ctx.send(
-                                s,
-                                Msg::KeepAlive {
-                                    stamp: stamp.clone(),
-                                    digest_stamp: digest_stamp.clone(),
-                                },
-                            );
-                        }
+                        ctx.multicast(
+                            self.my_slaves.iter().copied(),
+                            Msg::KeepAlive {
+                                stamp,
+                                digest_stamp,
+                            },
+                        );
                     }
                 }
                 ctx.set_timer(self.cfg.keepalive_period, T_KEEPALIVE);
@@ -987,7 +983,7 @@ impl Process<Msg> for MasterProcess {
                         ctx.send(
                             owner_node,
                             Msg::Accusation {
-                                evidence: f.evidence,
+                                evidence: Box::new(f.evidence),
                             },
                         );
                     }
@@ -1008,15 +1004,13 @@ impl Process<Msg> for MasterProcess {
                 self.drain_tob(ctx, actions);
                 if !self.my_slaves.is_empty() {
                     if let Some((stamp, digest_stamp)) = self.make_stamps(ctx) {
-                        for &s in &self.my_slaves {
-                            ctx.send(
-                                s,
-                                Msg::KeepAlive {
-                                    stamp: stamp.clone(),
-                                    digest_stamp: digest_stamp.clone(),
-                                },
-                            );
-                        }
+                        ctx.multicast(
+                            self.my_slaves.iter().copied(),
+                            Msg::KeepAlive {
+                                stamp,
+                                digest_stamp,
+                            },
+                        );
                     }
                 }
                 ctx.set_timer(self.cfg.keepalive_period * 8, T_GOSSIP);
@@ -1065,7 +1059,7 @@ impl Process<Msg> for MasterProcess {
                 self.admit_write(ctx, client, req_id, ops);
             }
             Msg::DoubleCheck { req_id, pledge } => {
-                self.handle_double_check(ctx, from, req_id, pledge)
+                self.handle_double_check(ctx, from, req_id, *pledge)
             }
             Msg::TrustedRead { req_id, query } => {
                 ctx.metrics().inc("master.trusted_reads");
@@ -1076,14 +1070,14 @@ impl Process<Msg> for MasterProcess {
             }
             Msg::AuditSubmit { pledge } => {
                 if self.is_auditor() {
-                    self.auditor_state.enqueue(pledge, ctx.metrics());
+                    self.auditor_state.enqueue(*pledge, ctx.metrics());
                 } else {
                     // Stale client knowledge: forward to the real auditor.
                     let auditor = self.auditor_node();
                     ctx.send(auditor, Msg::AuditSubmit { pledge });
                 }
             }
-            Msg::Accusation { evidence } => self.handle_accusation(ctx, evidence),
+            Msg::Accusation { evidence } => self.handle_accusation(ctx, *evidence),
             Msg::SlaveSyncRequest { from_version } => {
                 // Replay what we still hold, bounded per request; the
                 // slave re-requests if it is still behind afterwards.

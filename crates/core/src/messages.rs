@@ -343,13 +343,17 @@ pub enum Msg {
         query: Query,
     },
     /// Slave → client: result plus signed pledge.
+    ///
+    /// The pledge rides behind a `Box`: it is by far the widest payload
+    /// in the protocol, and inlining it would drag every `Msg` (and so
+    /// every queued event allocation) up to its size.
     ReadResponse {
         /// Echoed request id.
         req_id: u64,
         /// The (claimed) query result.
         result: QueryResult,
         /// The signed pledge.
-        pledge: Pledge,
+        pledge: Box<Pledge>,
     },
     /// Slave → client: refusing to serve (self-gated or excluded).
     ReadRefused {
@@ -373,8 +377,9 @@ pub enum Msg {
         req_id: u64,
         /// The (claimed) query result.
         result: QueryResult,
-        /// O(log n) path proof from the result to the digest.
-        proof: StateProof,
+        /// O(log n) path proof from the result to the digest (boxed —
+        /// see [`Msg::ReadResponse`] on why wide payloads stay indirect).
+        proof: Box<StateProof>,
         /// Master-signed state digest the proof anchors in.
         digest_stamp: StateDigestStamp,
     },
@@ -394,8 +399,9 @@ pub enum Msg {
     StreamHeader {
         /// Echoed request id.
         req_id: u64,
-        /// Manifest-to-digest proof (manifest `None` proves absence).
-        proof: StreamProof,
+        /// Manifest-to-digest proof (manifest `None` proves absence;
+        /// boxed — see [`Msg::ReadResponse`]).
+        proof: Box<StreamProof>,
         /// Master-signed state digest the proof anchors in.
         digest_stamp: StateDigestStamp,
         /// Index of the first chunk the stream will carry.
@@ -433,8 +439,8 @@ pub enum Msg {
     DoubleCheck {
         /// Client-chosen request id.
         req_id: u64,
-        /// The pledge under suspicion.
-        pledge: Pledge,
+        /// The pledge under suspicion (boxed — see [`Msg::ReadResponse`]).
+        pledge: Box<Pledge>,
     },
     /// Master → client: double-check verdict.
     DoubleCheckResponse {
@@ -447,13 +453,13 @@ pub enum Msg {
     // ----- Audit path -----
     /// Client → auditor: pledge for background verification (Section 3.4).
     AuditSubmit {
-        /// The pledge to verify.
-        pledge: Pledge,
+        /// The pledge to verify (boxed — see [`Msg::ReadResponse`]).
+        pledge: Box<Pledge>,
     },
     /// Auditor/client → responsible master: proof of slave misbehaviour.
     Accusation {
-        /// Self-contained evidence.
-        evidence: Evidence,
+        /// Self-contained evidence (boxed — see [`Msg::ReadResponse`]).
+        evidence: Box<Evidence>,
     },
 
     // ----- Corrective action -----
@@ -596,6 +602,27 @@ mod tests {
             VersionStamp::build(7, SimTime::from_millis(100), NodeId(0), &mut m).unwrap();
         stamp.version = 8;
         assert!(stamp.verify(&m.public_key()).is_err());
+    }
+
+    /// Pins the in-memory footprint of the scheduler's unit of work.
+    /// `Event<Msg>` holds deliveries behind an `Arc`, so it must stay
+    /// within a single cache line regardless of how `Msg` grows; and the
+    /// `Msg` allocation itself must not regress past the stamp-carrying
+    /// replication variants, which set the floor.  If either assertion
+    /// fires, a new variant embedded a wide payload inline — box it
+    /// (see `ReadResponse`).
+    #[test]
+    fn event_and_msg_stay_small() {
+        assert!(
+            std::mem::size_of::<sdr_sim::event::Event<Msg>>() <= 64,
+            "Event<Msg> is {}B; must fit one cache line",
+            std::mem::size_of::<sdr_sim::event::Event<Msg>>()
+        );
+        assert!(
+            std::mem::size_of::<Msg>() <= 256,
+            "Msg is {}B; box wide payload fields",
+            std::mem::size_of::<Msg>()
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("sharded_commit", sharded_commit),
     ("batched_commit", batched_commit),
     ("cdn_media", cdn_media),
+    ("churn_100k", churn_100k),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -766,6 +767,59 @@ fn cdn_media() -> ScenarioSpec {
         Param::SharedBlockLines,
         &[0.0, 400.0, 3_600.0],
     );
+    spec
+}
+
+fn churn_100k() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "churn_100k",
+        "Registry at population scale: a 100k-row catalogue sharded four \
+         ways, served to two thousand clients that join and leave all day \
+         under a diurnal read mix.  Every rejoin redoes the full setup \
+         phase, so the scenario stresses the directory, slave assignment, \
+         and the simulator's event scheduler far more than any steady \
+         workload — the target of the bucketed event queue and the \
+         shared-payload multicast path",
+        SystemConfig {
+            n_shards: 4,
+            n_masters: 3, // Per shard: 12 masters total.
+            n_slaves: 4,  // Per shard: 16 replicas total.
+            n_clients: 2_000,
+            double_check_prob: 0.005,
+            audit_fraction: 0.25, // Population-scale auditor sampling.
+            max_latency: SimDuration::from_millis(2_000),
+            snapshot_capacity: 32,
+            seed: 100_000,
+            ..SystemConfig::default()
+        },
+    );
+    spec.workload = Workload {
+        dataset: DatasetSpec {
+            n_products: 100_000,
+            n_reviews: 50_000,
+            n_files: 100,
+            lines_per_file: 10,
+            shared_block_lines: 0,
+            seed: 100_000,
+        },
+        // Per-client rates are low — load comes from the population.
+        reads_per_sec: 0.5,
+        writes_per_sec: 2.0,
+        writer_fraction: 0.05,
+        mix: QueryMix::catalogue(),
+        diurnal: Some(DiurnalPattern {
+            period: SimDuration::from_secs(30),
+            trough: 0.2,
+        }),
+        churn: Some(crate::workload::ChurnModel {
+            session: SimDuration::from_secs(10),
+            offline: SimDuration::from_secs(5),
+            fraction: 0.5,
+        }),
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(60);
+    spec.checkpoints = vec![SimDuration::from_secs(30)];
     spec
 }
 

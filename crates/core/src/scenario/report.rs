@@ -268,6 +268,10 @@ mod tests {
             "write_latency":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "audit_lag":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
             "audit_backlog":0,
+            "churn_joins":0,"churn_leaves":0,
+            "sim_events":0,"sim_queue_peak":0,"sim_queue_live":0,
+            "sim_queue_slots":0,"sim_timers_cancelled":0,
+            "sim_msg_bytes_logical":0,"sim_msg_bytes_resident":0,
             "snapshot_nodes_owned":0,"snapshot_nodes_shared":0,
             "master_utilisation":[0.5],"slave_utilisation":[0.25],
             "per_client":[],

@@ -444,7 +444,7 @@ impl SlaveProcess {
             Msg::ReadResponse {
                 req_id,
                 result: shipped,
-                pledge,
+                pledge: Box::new(pledge),
             },
         );
     }
@@ -524,7 +524,7 @@ impl SlaveProcess {
             Msg::ProofReadReply {
                 req_id,
                 result: shipped,
-                proof,
+                proof: Box::new(proof),
                 digest_stamp,
             },
         );
@@ -626,7 +626,7 @@ impl SlaveProcess {
             client,
             Msg::StreamHeader {
                 req_id,
-                proof,
+                proof: Box::new(proof),
                 digest_stamp,
                 first_chunk: first as u32,
                 chunk_count: (end - first) as u32,

@@ -121,6 +121,26 @@ pub struct SystemStats {
     pub stream_chunks_verified: u64,
     /// Streams rejected at a corrupted chunk.
     pub stream_chunk_rejects: u64,
+    /// Client churn rejoins completed (each redoes the setup phase).
+    pub churn_joins: u64,
+    /// Client churn departures.
+    pub churn_leaves: u64,
+    /// Simulator events processed over the run.
+    pub sim_events: u64,
+    /// High-water mark of live events in the scheduler.
+    pub sim_queue_peak: u64,
+    /// Live events still queued at collection time.
+    pub sim_queue_live: u64,
+    /// Event-slab slots allocated (scheduler resident-set proxy).
+    pub sim_queue_slots: u64,
+    /// Cancelled timers discarded lazily by the scheduler.
+    pub sim_timers_cancelled: u64,
+    /// Wire bytes summed over every enqueued delivery — what the queue
+    /// would hold if each fan-out delivery carried its own copy.
+    pub sim_msg_bytes_logical: u64,
+    /// Wire bytes of unique payload allocations enqueued; a multicast
+    /// counts once here, so `logical / resident` is the sharing ratio.
+    pub sim_msg_bytes_resident: u64,
 }
 
 impl SystemStats {
@@ -191,6 +211,10 @@ impl SystemStats {
             .collect();
 
         let n_shards = sys.config.n_shards;
+        let queue_depth = sys.world.queue_depth();
+        let sim_events = sys.world.events_processed();
+        let sim_msg_bytes_logical = sys.world.msg_bytes_logical();
+        let sim_msg_bytes_resident = sys.world.msg_bytes_resident();
         let m = sys.world.metrics_mut();
         let writes_committed_per_shard: Vec<u64> = (0..n_shards)
             .map(|k| m.counter(&format!("write.committed.shard{k}")))
@@ -254,6 +278,15 @@ impl SystemStats {
             stream_reads_accepted: m.counter("read.stream_accepted"),
             stream_chunks_verified: m.counter("read.stream_chunks_verified"),
             stream_chunk_rejects: m.counter("read.stream_chunk_rejected"),
+            churn_joins: m.counter("client.churn_join"),
+            churn_leaves: m.counter("client.churn_leave"),
+            sim_events,
+            sim_queue_peak: queue_depth.peak as u64,
+            sim_queue_live: queue_depth.live as u64,
+            sim_queue_slots: queue_depth.slots as u64,
+            sim_timers_cancelled: queue_depth.drained_cancelled,
+            sim_msg_bytes_logical,
+            sim_msg_bytes_resident,
         }
         .fill_auditor(sys)
     }
@@ -283,6 +316,17 @@ impl SystemStats {
     /// Total misbehaviour discoveries.
     pub fn discoveries(&self) -> u64 {
         self.discovery_immediate + self.discovery_delayed
+    }
+
+    /// How many queued deliveries each unique payload allocation served
+    /// on average (`logical / resident` bytes; 1.0 means no sharing,
+    /// higher means multicast fan-out amortised its payloads).
+    pub fn msg_sharing_ratio(&self) -> f64 {
+        if self.sim_msg_bytes_resident == 0 {
+            1.0
+        } else {
+            self.sim_msg_bytes_logical as f64 / self.sim_msg_bytes_resident as f64
+        }
     }
 
     /// Fraction of logical bytes the chunk store saved through dedup
@@ -354,6 +398,16 @@ impl SystemStats {
             ("stream_reads_accepted", self.stream_reads_accepted as f64),
             ("stream_chunks_verified", self.stream_chunks_verified as f64),
             ("stream_chunk_rejects", self.stream_chunk_rejects as f64),
+            ("churn_joins", self.churn_joins as f64),
+            ("churn_leaves", self.churn_leaves as f64),
+            ("sim_events", self.sim_events as f64),
+            ("sim_queue_peak", self.sim_queue_peak as f64),
+            ("sim_queue_live", self.sim_queue_live as f64),
+            ("sim_queue_slots", self.sim_queue_slots as f64),
+            ("sim_timers_cancelled", self.sim_timers_cancelled as f64),
+            ("sim_msg_bytes_logical", self.sim_msg_bytes_logical as f64),
+            ("sim_msg_bytes_resident", self.sim_msg_bytes_resident as f64),
+            ("msg_sharing_ratio", self.msg_sharing_ratio()),
         ];
         let s = &self.read_latency;
         out.extend([
@@ -400,6 +454,8 @@ impl SystemStats {
              double-check: sent={} mismatch={} throttled={}\n\
              discovery: immediate={} delayed={} exclusions={} reassignments={}\n\
              audit: submitted={} checked={} cache_hits={} mismatch={} backlog={}\n\
+             sim: events={} queue_peak={} slots={} cancelled={} \
+             msg_logical={}B msg_resident={}B sharing={:.2}x\n\
              read latency: p50={}us p90={}us p99={}us",
             self.reads_issued,
             self.reads_accepted,
@@ -441,6 +497,13 @@ impl SystemStats {
             self.audit_cache_hits,
             self.audit_mismatch,
             self.audit_backlog,
+            self.sim_events,
+            self.sim_queue_peak,
+            self.sim_queue_slots,
+            self.sim_timers_cancelled,
+            self.sim_msg_bytes_logical,
+            self.sim_msg_bytes_resident,
+            self.msg_sharing_ratio(),
             self.read_latency.p50,
             self.read_latency.p90,
             self.read_latency.p99,

@@ -193,6 +193,41 @@ impl DiurnalPattern {
     }
 }
 
+/// Client session churn: participating clients alternate between an
+/// online session and an offline gap, redoing the setup phase (directory
+/// lookup + slave assignment) on every rejoin — the membership stress of
+/// a planet-scale CDN where edge clients come and go all day.
+#[derive(Clone, Copy, Debug, ToJson, FromJson)]
+pub struct ChurnModel {
+    /// Mean online session length (actual sessions are uniform in
+    /// `[0.5, 1.5] × session`).
+    pub session: SimDuration,
+    /// Mean offline gap between sessions (same uniform spread).
+    pub offline: SimDuration,
+    /// Fraction of clients that churn at all; the rest stay connected
+    /// for the whole run.
+    pub fraction: f64,
+}
+
+impl ChurnModel {
+    /// Samples one online-session length.
+    pub fn sample_session<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        sample_uniform_spread(rng, self.session)
+    }
+
+    /// Samples one offline gap.
+    pub fn sample_offline<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        sample_uniform_spread(rng, self.offline)
+    }
+}
+
+/// Uniform draw in `[0.5, 1.5] × mean`, floored at 1ms so a zero-mean
+/// config cannot schedule a same-instant churn flip loop.
+fn sample_uniform_spread<R: Rng>(rng: &mut R, mean: SimDuration) -> SimDuration {
+    let us = mean.as_micros().max(2_000);
+    SimDuration::from_micros(rng.gen_range(us / 2..=us + us / 2).max(1_000))
+}
+
 /// Per-run workload description.
 #[derive(Clone, Debug, ToJson, FromJson)]
 pub struct Workload {
@@ -214,6 +249,8 @@ pub struct Workload {
     /// Per-client `max_latency` overrides (Section 3.2's client-chosen
     /// freshness): `(client_index, bound)`.
     pub client_max_latency: Vec<(usize, SimDuration)>,
+    /// Optional client session churn (join/leave cycling).
+    pub churn: Option<ChurnModel>,
 }
 
 impl Default for Workload {
@@ -227,6 +264,7 @@ impl Default for Workload {
             diurnal: None,
             greedy_clients: Vec::new(),
             client_max_latency: Vec::new(),
+            churn: None,
         }
     }
 }
@@ -260,6 +298,17 @@ impl Workload {
                 return Err(format!(
                     "workload.greedy_clients: probability must be in [0,1], got {p}"
                 ));
+            }
+        }
+        if let Some(c) = &self.churn {
+            if !(0.0..=1.0).contains(&c.fraction) {
+                return Err(format!(
+                    "workload.churn.fraction must be in [0,1], got {}",
+                    c.fraction
+                ));
+            }
+            if c.session.as_micros() == 0 || c.offline.as_micros() == 0 {
+                return Err("workload.churn: session and offline must be > 0".into());
             }
         }
         Ok(())

@@ -384,3 +384,70 @@ fn audit_sampling_reduces_checks() {
         "checked fraction {frac} far from configured 0.3"
     );
 }
+
+#[test]
+fn churning_clients_rejoin_and_keep_reading() {
+    let cfg = SystemConfig {
+        n_masters: 3,
+        n_slaves: 4,
+        n_clients: 12,
+        seed: 77,
+        ..SystemConfig::default()
+    };
+    let n = cfg.n_slaves;
+    let workload = Workload {
+        reads_per_sec: 4.0,
+        churn: Some(sdr_core::workload::ChurnModel {
+            session: SimDuration::from_secs(6),
+            offline: SimDuration::from_secs(3),
+            fraction: 0.75,
+        }),
+        ..Workload::default()
+    };
+    let mut sys = build(cfg, vec![SlaveBehavior::Honest; n], workload);
+    sys.run_for(SimDuration::from_secs(60));
+    let stats = sys.stats();
+
+    // Churners left and came back — each rejoin redoes the setup phase.
+    assert!(stats.churn_leaves > 10, "leaves: {}", stats.churn_leaves);
+    assert!(stats.churn_joins > 10, "joins: {}", stats.churn_joins);
+    // The system keeps serving through the churn: reads flow and nearly
+    // all issued reads verify (in-flight reads dropped at a leave are
+    // issued-but-never-answered, so demand only near-equality).
+    assert!(stats.reads_issued > 200, "reads issued: {}", stats.reads_issued);
+    assert!(
+        stats.reads_accepted as f64 >= 0.8 * stats.reads_issued as f64,
+        "accepted {}/{} reads",
+        stats.reads_accepted,
+        stats.reads_issued
+    );
+    assert_eq!(stats.wrong_accepted, 0);
+    // Offline clients answer nothing, so no exclusions of honest slaves.
+    assert_eq!(stats.exclusions, 0);
+}
+
+#[test]
+fn churn_scheduler_telemetry_is_populated() {
+    let cfg = SystemConfig {
+        n_masters: 3,
+        n_slaves: 4,
+        n_clients: 8,
+        seed: 78,
+        ..SystemConfig::default()
+    };
+    let n = cfg.n_slaves;
+    let mut sys = build(cfg, vec![SlaveBehavior::Honest; n], Workload::default());
+    sys.run_for(SimDuration::from_secs(20));
+    let stats = sys.stats();
+    assert!(stats.sim_events > 1_000, "events: {}", stats.sim_events);
+    assert!(stats.sim_queue_peak > 0);
+    assert!(stats.sim_msg_bytes_logical >= stats.sim_msg_bytes_resident);
+    assert!(stats.sim_msg_bytes_resident > 0);
+    // Master → slave replication fans out shared payloads: the logical
+    // byte volume must exceed the resident (allocated-once) volume.
+    assert!(
+        stats.msg_sharing_ratio() > 1.0,
+        "sharing ratio {}",
+        stats.msg_sharing_ratio()
+    );
+}

@@ -31,12 +31,15 @@ pub mod event;
 pub mod metrics;
 pub mod net;
 pub mod process;
+pub mod ring;
 pub mod time;
 pub mod world;
 
 pub use cost::CostModel;
+pub use event::{BaselineHeap, EventQueue, QueueDepthStats};
 pub use metrics::{Histogram, Metrics, Summary};
 pub use net::{LatencyModel, LinkModel, NetworkConfig};
 pub use process::{NodeId, Payload, Process};
+pub use ring::RingLog;
 pub use time::{SimDuration, SimTime};
 pub use world::{Ctx, World};

@@ -28,7 +28,11 @@ impl fmt::Display for NodeId {
 ///
 /// `wire_len` feeds the per-byte component of link latency; returning 0 (the
 /// default) disables size-dependent delay for that message type.
-pub trait Payload: 'static {
+///
+/// `Clone` is required because queued payloads are shared behind `Arc`:
+/// a multicast's fan-out deliveries all point at one allocation, and
+/// every delivery but the last clones the payload out for the handler.
+pub trait Payload: Clone + 'static {
     /// Approximate encoded size in bytes.
     fn wire_len(&self) -> usize {
         0

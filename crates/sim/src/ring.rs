@@ -1,0 +1,112 @@
+//! A bounded append-only log for test harnesses and soak probes.
+//!
+//! Harness processes used to collect every received message or timer
+//! tick into an unbounded `Vec`, which grows without limit in soak and
+//! churn runs.  [`RingLog`] keeps only the newest `capacity` entries
+//! while remembering how many were ever pushed, and indexes by
+//! *logical* position so short-run assertions read exactly like they
+//! did against a `Vec`.
+
+use std::collections::VecDeque;
+
+/// A capacity-bounded log that drops its oldest entries.
+#[derive(Clone, Debug)]
+pub struct RingLog<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingLog<T> {
+    /// Creates a log retaining at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingLog {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends `item`, evicting the oldest entry when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Total number of entries ever pushed (retained or evicted).
+    pub fn total(&self) -> u64 {
+        self.dropped + self.buf.len() as u64
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was ever pushed *and retained*.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Entry at logical position `i` (0 = first ever pushed), or `None`
+    /// if it was evicted or never written.
+    pub fn get(&self, i: u64) -> Option<&T> {
+        i.checked_sub(self.dropped)
+            .and_then(|off| self.buf.get(off as usize))
+    }
+
+    /// The most recent entry.
+    pub fn last(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Iterates over the retained window, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_vec_below_capacity() {
+        let mut log = RingLog::new(8);
+        for i in 0..5 {
+            log.push(i);
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.get(0), Some(&0));
+        assert_eq!(log.get(4), Some(&4));
+        assert_eq!(log.last(), Some(&4));
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn evicts_oldest_and_keeps_logical_indexing() {
+        let mut log = RingLog::new(3);
+        for i in 0..10 {
+            log.push(i);
+        }
+        assert_eq!(log.len(), 3, "bounded");
+        assert_eq!(log.total(), 10);
+        assert_eq!(log.get(0), None, "evicted");
+        assert_eq!(log.get(7), Some(&7));
+        assert_eq!(log.get(9), Some(&9));
+        assert_eq!(log.get(10), None, "never written");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut log = RingLog::new(0);
+        log.push(1u32);
+        log.push(2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.last(), Some(&2));
+    }
+}

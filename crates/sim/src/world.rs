@@ -1,7 +1,7 @@
 //! The simulation world: event loop, routing, CPU accounting, faults.
 
 use crate::cost::CostModel;
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue, QueueDepthStats};
 use crate::metrics::Metrics;
 use crate::net::NetworkConfig;
 use crate::process::{NodeId, Payload, Process};
@@ -9,7 +9,13 @@ use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
-use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Buffered fan-out of one payload: unicast or multicast.
+enum Fanout {
+    One(NodeId),
+    Many(Vec<NodeId>),
+}
 
 /// Handler-side view of the world, passed to every [`Process`] callback.
 ///
@@ -24,7 +30,7 @@ pub struct Ctx<'a, M: Payload> {
     now: SimTime,
     self_id: NodeId,
     charged: SimDuration,
-    sends: Vec<(NodeId, M, SimDuration)>,
+    sends: Vec<(Fanout, Arc<M>, SimDuration)>,
     timers: Vec<(SimTime, u64, u64)>,
     cancels: Vec<u64>,
     rng: &'a mut SmallRng,
@@ -46,7 +52,22 @@ impl<'a, M: Payload> Ctx<'a, M> {
 
     /// Sends `msg` to `to`; it departs after the work charged so far.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.sends.push((to, msg, self.charged));
+        self.sends
+            .push((Fanout::One(to), Arc::new(msg), self.charged));
+    }
+
+    /// Sends one shared payload to every node in `to`, in order.
+    ///
+    /// The event queue holds N pointers to a single allocation instead
+    /// of N deep clones; each delivery but the last clones the payload
+    /// out for its handler.  Delivery order and latency sampling are
+    /// identical to N consecutive [`Ctx::send`] calls.
+    pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+        self.sends.push((
+            Fanout::Many(to.into_iter().collect()),
+            Arc::new(msg),
+            self.charged,
+        ));
     }
 
     /// Arms a timer firing `delay` from now; returns an id for cancellation.
@@ -117,10 +138,11 @@ pub struct World<M: Payload> {
     rngs: Vec<SmallRng>,
     metrics: Metrics,
     costs: CostModel,
-    cancelled: HashSet<u64>,
     next_timer_id: u64,
     seed: u64,
     events_processed: u64,
+    msg_bytes_logical: u64,
+    msg_bytes_resident: u64,
 }
 
 impl<M: Payload> World<M> {
@@ -136,10 +158,11 @@ impl<M: Payload> World<M> {
             rngs: Vec::new(),
             metrics: Metrics::new(),
             costs,
-            cancelled: HashSet::new(),
             next_timer_id: 0,
             seed,
             events_processed: 0,
+            msg_bytes_logical: 0,
+            msg_bytes_resident: 0,
         }
     }
 
@@ -216,7 +239,12 @@ impl<M: Payload> World<M> {
     /// Schedules a message delivery from the outside world (test harness).
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
         let at = self.time;
-        self.route(from, to, at, msg);
+        let msg = Arc::new(msg);
+        let size = msg.wire_len() as u64;
+        if self.route(from, to, at, msg) {
+            self.msg_bytes_logical += size;
+            self.msg_bytes_resident += size;
+        }
     }
 
     /// Schedules a crash of `node` at time `at`.
@@ -287,6 +315,24 @@ impl<M: Payload> World<M> {
         self.events_processed
     }
 
+    /// Event-queue depth and slab telemetry.
+    pub fn queue_depth(&self) -> QueueDepthStats {
+        self.queue.depth_stats()
+    }
+
+    /// Sum of wire sizes over every enqueued delivery — the bytes the
+    /// queue would hold if each delivery carried its own copy.
+    pub fn msg_bytes_logical(&self) -> u64 {
+        self.msg_bytes_logical
+    }
+
+    /// Wire bytes of unique payload allocations enqueued: a multicast's
+    /// fan-out counts once here but N times in the logical figure, so
+    /// `logical / resident` is the payload-sharing ratio.
+    pub fn msg_bytes_resident(&self) -> u64 {
+        self.msg_bytes_resident
+    }
+
     /// Processes one event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Event { at, kind, .. }) = self.queue.pop() else {
@@ -309,12 +355,13 @@ impl<M: Payload> World<M> {
                     self.queue.push(free, EventKind::Deliver { to, from, msg });
                     return true;
                 }
+                // Hand the payload to the handler by value: the last
+                // holder of a shared payload takes it without copying.
+                let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                 self.dispatch(to, at, |p, ctx| p.on_message(ctx, from, msg));
             }
             EventKind::Timer { node, tag, id } => {
-                if self.cancelled.remove(&id) {
-                    return true;
-                }
+                let _ = id;
                 let meta = &self.meta[node.index()];
                 if meta.crashed {
                     return true;
@@ -381,22 +428,36 @@ impl<M: Payload> World<M> {
         self.meta[node.index()].cpu_free_at = at + charged;
         self.meta[node.index()].busy_total += charged;
 
-        for (to, msg, offset) in sends {
-            self.route(node, to, at + offset, msg);
+        for (targets, msg, offset) in sends {
+            let depart = at + offset;
+            let size = msg.wire_len() as u64;
+            let enqueued = match targets {
+                Fanout::One(to) => u64::from(self.route(node, to, depart, msg)),
+                Fanout::Many(tos) => tos
+                    .into_iter()
+                    .map(|to| u64::from(self.route(node, to, depart, Arc::clone(&msg))))
+                    .sum(),
+            };
+            if enqueued > 0 {
+                self.msg_bytes_logical += size * enqueued;
+                self.msg_bytes_resident += size;
+            }
         }
         for (fire_at, tag, id) in timers {
             self.queue.push(fire_at, EventKind::Timer { node, tag, id });
         }
         for id in cancels {
-            self.cancelled.insert(id);
+            self.queue.cancel_timer(id);
         }
     }
 
-    fn route(&mut self, from: NodeId, to: NodeId, depart: SimTime, msg: M) {
+    /// Enqueues one delivery; returns whether it survived partitions
+    /// and loss (i.e. whether the queue now holds a reference to `msg`).
+    fn route(&mut self, from: NodeId, to: NodeId, depart: SimTime, msg: Arc<M>) -> bool {
         if to == from {
             // Local delivery bypasses the network.
             self.queue.push(depart, EventKind::Deliver { to, from, msg });
-            return;
+            return true;
         }
         let (fi, ti) = (
             self.meta[from.index()].island,
@@ -404,12 +465,12 @@ impl<M: Payload> World<M> {
         );
         if fi != ti {
             self.metrics.inc("sim.partitioned_drops");
-            return;
+            return false;
         }
         let link = *self.net.link(from, to);
         if link.loss > 0.0 && self.net_rng.gen::<f64>() < link.loss {
             self.metrics.inc("sim.lost_messages");
-            return;
+            return false;
         }
         let mut latency = link.latency.sample(&mut self.net_rng);
         let size = msg.wire_len();
@@ -419,6 +480,7 @@ impl<M: Payload> World<M> {
         self.metrics.inc("sim.messages_sent");
         self.queue
             .push(depart + latency, EventKind::Deliver { to, from, msg });
+        true
     }
 }
 
@@ -426,11 +488,15 @@ impl<M: Payload> World<M> {
 mod tests {
     use super::*;
     use crate::net::LinkModel;
+    use crate::ring::RingLog;
+
+    /// Harness logs stay bounded so soak runs can't grow without limit.
+    const LOG_CAP: usize = 1_024;
 
     /// Echoes every message back to its sender after charging `work`.
     struct Echo {
         work: SimDuration,
-        received: Vec<(SimTime, u64)>,
+        received: RingLog<(SimTime, u64)>,
     }
 
     impl Process<u64> for Echo {
@@ -449,7 +515,7 @@ mod tests {
     /// Fires a periodic timer, counting invocations.
     struct Ticker {
         period: SimDuration,
-        fired: Vec<SimTime>,
+        fired: RingLog<SimTime>,
     }
 
     impl Process<u64> for Ticker {
@@ -478,25 +544,25 @@ mod tests {
             "a",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         let b = w.spawn(
             "b",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         w.inject(a, b, 0);
         w.run_until(SimTime::from_millis(100));
         // b receives 0 at 10ms, a receives 1 at 20ms, ...
         w.with_process::<Echo, _>(b, |p| {
-            assert_eq!(p.received[0], (SimTime::from_millis(10), 0));
-            assert_eq!(p.received[1], (SimTime::from_millis(30), 2));
+            assert_eq!(p.received.get(0), Some(&(SimTime::from_millis(10), 0)));
+            assert_eq!(p.received.get(1), Some(&(SimTime::from_millis(30), 2)));
         });
         w.with_process::<Echo, _>(a, |p| {
-            assert_eq!(p.received[0], (SimTime::from_millis(20), 1));
+            assert_eq!(p.received.get(0), Some(&(SimTime::from_millis(20), 1)));
         });
     }
 
@@ -507,13 +573,13 @@ mod tests {
             "tick",
             Box::new(Ticker {
                 period: SimDuration::from_millis(7),
-                fired: vec![],
+                fired: RingLog::new(LOG_CAP),
             }),
         );
         w.run_until(SimTime::from_millis(30));
         w.with_process::<Ticker, _>(t, |p| {
             assert_eq!(
-                p.fired,
+                p.fired.iter().copied().collect::<Vec<_>>(),
                 vec![
                     SimTime::from_millis(7),
                     SimTime::from_millis(14),
@@ -531,14 +597,14 @@ mod tests {
             "src",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         let b = w.spawn(
             "busy",
             Box::new(Echo {
                 work: SimDuration::from_millis(50),
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         // Two back-to-back messages; both arrive at t=10ms, but the second
@@ -547,8 +613,8 @@ mod tests {
         w.inject(a, b, 300);
         w.run_until(SimTime::from_millis(200));
         w.with_process::<Echo, _>(b, |p| {
-            assert_eq!(p.received[0].0, SimTime::from_millis(10));
-            assert_eq!(p.received[1].0, SimTime::from_millis(60));
+            assert_eq!(p.received.get(0).unwrap().0, SimTime::from_millis(10));
+            assert_eq!(p.received.get(1).unwrap().0, SimTime::from_millis(60));
         });
         assert_eq!(w.busy_total(b), SimDuration::from_millis(100));
     }
@@ -560,14 +626,14 @@ mod tests {
             "a",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         let b = w.spawn(
             "b",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         w.schedule_crash(SimTime::from_millis(1), b);
@@ -581,7 +647,7 @@ mod tests {
         w.run_until(SimTime::from_millis(30));
         w.with_process::<Echo, _>(b, |p| {
             assert_eq!(p.received.len(), 1);
-            assert_eq!(p.received[0].1, 300);
+            assert_eq!(p.received.get(0).unwrap().1, 300);
         });
         assert_eq!(w.metrics().counter("sim.dropped_to_crashed"), 1);
     }
@@ -593,14 +659,14 @@ mod tests {
             "a",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         let b = w.spawn(
             "b",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         w.set_island(b, 1);
@@ -616,7 +682,7 @@ mod tests {
         // that the first delivered message is the post-heal one.
         w.with_process::<Echo, _>(b, |p| {
             assert!(!p.received.is_empty());
-            assert_eq!(p.received[0].1, 2);
+            assert_eq!(p.received.get(0).unwrap().1, 2);
         });
     }
 
@@ -657,21 +723,21 @@ mod tests {
                 "a",
                 Box::new(Echo {
                     work: SimDuration::ZERO,
-                    received: vec![],
+                    received: RingLog::new(LOG_CAP),
                 }),
             );
             let b = w.spawn(
                 "b",
                 Box::new(Echo {
                     work: SimDuration::from_micros(100),
-                    received: vec![],
+                    received: RingLog::new(LOG_CAP),
                 }),
             );
             for i in 0..20 {
                 w.inject(a, b, i);
             }
             w.run_until(SimTime::from_secs(5));
-            w.with_process::<Echo, _>(b, |p| p.received.clone())
+            w.with_process::<Echo, _>(b, |p| p.received.iter().copied().collect::<Vec<_>>())
         }
         assert_eq!(trace(123), trace(123));
         assert_ne!(trace(123), trace(456));
@@ -684,7 +750,7 @@ mod tests {
             "busy",
             Box::new(Echo {
                 work: SimDuration::from_millis(10),
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         w.inject(b, b, 200); // Self-send: immediate delivery.
@@ -700,14 +766,14 @@ mod tests {
             "a",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         let b = w.spawn(
             "b",
             Box::new(Echo {
                 work: SimDuration::ZERO,
-                received: vec![],
+                received: RingLog::new(LOG_CAP),
             }),
         );
         w.inject(a, b, 95); // Echo chain stops at 100.

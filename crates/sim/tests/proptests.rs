@@ -1,8 +1,34 @@
 //! Property-based tests for the simulator substrate.
 
 use proptest::prelude::*;
-use sdr_sim::event::{EventKind, EventQueue};
+use sdr_sim::event::{BaselineHeap, EventKind, EventQueue};
 use sdr_sim::{LatencyModel, Metrics, NodeId, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// One step of an arbitrary scheduler workload (see the oracle test).
+#[derive(Clone, Debug)]
+enum QueueOp {
+    /// Push a deliver event at now + delay.
+    Push(u64),
+    /// Push a timer at now + delay.
+    PushTimer(u64),
+    /// Cancel the n-th armed timer (mod the number armed so far).
+    Cancel(usize),
+    /// Pop the earliest event (advances "now").
+    Pop,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        // Delays span all three tiers: current window (µs), the near
+        // wheel (ms), and the far heap (seconds).
+        (0u64..2_000_000).prop_map(QueueOp::Push),
+        (0u64..2_000_000).prop_map(QueueOp::PushTimer),
+        proptest::arbitrary::any::<usize>().prop_map(QueueOp::Cancel),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+    ]
+}
 
 proptest! {
     /// The event queue is a stable priority queue: pops come out in
@@ -18,14 +44,14 @@ proptest! {
                 EventKind::Deliver {
                     to: NodeId(0),
                     from: NodeId(0),
-                    msg: i as u64,
+                    msg: Arc::new(i as u64),
                 },
             );
         }
         let mut popped: Vec<(u64, u64)> = Vec::new();
         while let Some(ev) = q.pop() {
             let EventKind::Deliver { msg, .. } = ev.kind else { unreachable!() };
-            popped.push((ev.at.0, msg));
+            popped.push((ev.at.0, *msg));
         }
         prop_assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
@@ -34,6 +60,94 @@ proptest! {
                 prop_assert!(w[0].1 < w[1].1, "insertion order violated on tie");
             }
         }
+    }
+
+    /// Differential oracle: for arbitrary interleavings of pushes,
+    /// timer cancellations, and pops, the bucket queue yields exactly
+    /// the `(time, seq)` sequence of the seed `BinaryHeap` scheduler
+    /// (cancelled timers modelled there as a lazy tombstone set, as the
+    /// seed world did).
+    #[test]
+    fn bucket_queue_matches_baseline_heap_with_cancels(
+        ops in proptest::collection::vec(queue_op(), 1..400),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut heap: BaselineHeap<Option<u64>> = BaselineHeap::new();
+        let mut cancelled: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut armed: Vec<u64> = Vec::new();
+        let mut next_timer = 0u64;
+        let mut now = 0u64;
+        let mut got: Vec<(u64, u64)> = Vec::new();
+        let mut want: Vec<(u64, u64)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                QueueOp::Push(delay) => {
+                    let at = SimTime(now + delay);
+                    q.push(at, EventKind::Deliver {
+                        to: NodeId(0),
+                        from: NodeId(0),
+                        msg: Arc::new(0),
+                    });
+                    heap.push(at, None);
+                }
+                QueueOp::PushTimer(delay) => {
+                    let at = SimTime(now + delay);
+                    let id = next_timer;
+                    next_timer += 1;
+                    armed.push(id);
+                    q.push(at, EventKind::Timer { node: NodeId(0), tag: 0, id });
+                    heap.push(at, Some(id));
+                }
+                QueueOp::Cancel(n) => {
+                    if !armed.is_empty() {
+                        let id = armed[n % armed.len()];
+                        q.cancel_timer(id);
+                        cancelled.insert(id);
+                    }
+                }
+                QueueOp::Pop => {
+                    // The baseline pops tombstones silently, exactly as
+                    // the seed world's cancelled-set check did.
+                    let base = loop {
+                        match heap.pop() {
+                            Some((_, _, Some(id))) if cancelled.contains(&id) => continue,
+                            other => break other,
+                        }
+                    };
+                    let ours = q.pop();
+                    match (ours, base) {
+                        (Some(ev), Some((at, seq, _))) => {
+                            prop_assert_eq!(ev.at, at, "time mismatch");
+                            prop_assert_eq!(ev.seq, seq, "seq mismatch");
+                            now = ev.at.0;
+                            got.push((ev.at.0, ev.seq));
+                            want.push((at.0, seq));
+                        }
+                        (None, None) => {}
+                        (a, b) => prop_assert!(false, "pop divergence: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+        // Drain both to the end.
+        loop {
+            let base = loop {
+                match heap.pop() {
+                    Some((_, _, Some(id))) if cancelled.contains(&id) => continue,
+                    other => break other,
+                }
+            };
+            match (q.pop(), base) {
+                (Some(ev), Some((at, seq, _))) => {
+                    got.push((ev.at.0, ev.seq));
+                    want.push((at.0, seq));
+                }
+                (None, None) => break,
+                (a, b) => prop_assert!(false, "drain divergence: {a:?} vs {b:?}"),
+            }
+        }
+        prop_assert_eq!(got, want);
     }
 
     /// Uniform latency samples always stay within their bounds, and
