@@ -9,9 +9,10 @@
 //! unrecognisable output fails the whole run — this is the report-schema
 //! regression gate CI relies on), and the combined output is one JSON
 //! array of the reports.  The `sharded_commit`, `batched_commit`,
-//! `cdn_media`, and `churn_100k` scenarios have no dedicated binaries,
-//! so they run in-process here and their reports are validated (and,
-//! with `--json`, emitted) exactly like the children's.
+//! `cdn_media`, `churn_100k`, and `flash_crowd` scenarios have no
+//! dedicated binaries, so they run in-process here and their reports
+//! are validated (and, with `--json`, emitted) exactly like the
+//! children's.
 
 use sdr_bench::BenchCli;
 use sdr_core::scenario::{registry, Runner};
@@ -130,6 +131,7 @@ fn main() {
         ("batched_commit", "batch"),
         ("cdn_media", "shared lines"),
         ("churn_100k", ""),
+        ("flash_crowd", "skew"),
     ] {
         if !json {
             println!("\n================ {scenario} ================");
@@ -159,6 +161,14 @@ fn main() {
                                         cell.mean("reads_accepted"),
                                         cell.mean("sim_queue_peak"),
                                         cell.mean("msg_sharing_ratio"),
+                                    );
+                                } else if scenario == "flash_crowd" {
+                                    println!(
+                                        "{coord}={x:<5} proof_cache_hit_rate={:.3} \
+                                         stamp hits={:.0} wrong accepts={:.0}",
+                                        cell.mean("proof_cache_hit_rate"),
+                                        cell.mean("stamp_cache_hits"),
+                                        cell.mean("wrong_accepted"),
                                     );
                                 } else if scenario == "cdn_media" {
                                     println!(

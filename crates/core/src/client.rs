@@ -38,9 +38,9 @@ use crate::shard::ShardMap;
 use crate::verify::{self, ReadStrategy, RejectReason, VerifyEnv};
 use crate::workload::Workload;
 use rand::Rng;
-use sdr_crypto::{CertRole, PublicKey};
+use sdr_crypto::{CertRole, Certificate, Digest as _, PublicKey, Sha256};
 use sdr_sim::{Ctx, NodeId, Process, SimDuration, SimTime};
-use sdr_store::{ProofError, Query, QueryResult, StateProof, StreamProof, UpdateOp};
+use sdr_store::{LruByteCache, ProofError, Query, QueryResult, StateProof, StreamProof, UpdateOp};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 const K_BOOT: u64 = 1;
@@ -194,6 +194,19 @@ pub struct ClientProcess {
     /// and unallocated per-entry — at `max_write_batch = 1`.
     deferred_writes: Vec<VecDeque<Vec<UpdateOp>>>,
 
+    /// Stamp-verification cache: digests of `(master key, stamp
+    /// statement)` pairs whose signature already verified.  A repeat
+    /// read anchored in the same stamp skips the signature check — the
+    /// dominant cost of a verified hot read — while freshness is still
+    /// re-checked on every reply and the Merkle fold always runs.
+    /// Entry weight is 1, so the byte budget doubles as an entry count.
+    stamp_cache: LruByteCache<()>,
+    /// Verified-certificate set: `scoped_cache_key` digests of
+    /// certificates that passed `verify_scoped` for a given issuer,
+    /// role, and shard.  Re-setups after churn re-admit the same
+    /// replica roster with a table lookup per certificate.
+    cert_cache: LruByteCache<()>,
+
     /// `(slave, accepted result-hash bytes)` — joined post-run against
     /// slave lie logs to count wrong answers that slipped through.
     acceptances: Vec<(NodeId, Vec<u8>)>,
@@ -226,6 +239,8 @@ impl ClientProcess {
         let map = ShardMap::new(cfg.n_shards, &workload.dataset);
         let cfg_shards = cfg.n_shards.max(1);
         let shards = vec![ShardView::default(); cfg_shards];
+        let stamp_cache = LruByteCache::new(cfg.stamp_cache_entries);
+        let cert_cache = LruByteCache::new(cfg.cert_cache_entries);
         ClientProcess {
             cfg,
             workload,
@@ -247,6 +262,8 @@ impl ClientProcess {
             pending: HashMap::new(),
             pending_writes: HashMap::new(),
             deferred_writes: vec![VecDeque::new(); cfg_shards],
+            stamp_cache,
+            cert_cache,
             acceptances: Vec::new(),
             counters: ClientCounters::default(),
         }
@@ -603,6 +620,94 @@ impl ClientProcess {
         ctx.metrics().inc(reason.metric());
     }
 
+    /// Checks a digest stamp's master signature, memoized per statement.
+    ///
+    /// The cache key binds the *current* verification key of the
+    /// stamping master to the stamp's signing bytes, so a forged
+    /// statement, a different master, or a rotated key all hash to
+    /// fresh keys and take the full signature check — a hit proves
+    /// exactly "this statement verified under this key before".
+    /// Freshness is deliberately not part of the statement: the caller
+    /// re-checks it on every reply.
+    fn check_stamp_cached(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        shard: usize,
+        stamp: &StateDigestStamp,
+    ) -> Result<(), RejectReason> {
+        let mkey = {
+            let env = self.verify_env(shard, ctx.now());
+            env.master_key_of(stamp.master).copied()
+        };
+        let Some(mkey) = mkey else {
+            return Err(RejectReason::BadStampSignature);
+        };
+        if self.cfg.stamp_cache_entries == 0 {
+            ctx.charge(ctx.costs().verify);
+            return stamp
+                .verify(&mkey)
+                .map_err(|_| RejectReason::BadStampSignature);
+        }
+        let key = Sha256::digest_parts(&[
+            b"sdr/stamp-cache/v1",
+            &mkey.encode(),
+            &stamp.signing_bytes(),
+        ]);
+        if self.stamp_cache.get(&key).is_some() {
+            ctx.charge(ctx.costs().cache_lookup);
+            ctx.metrics().inc("client.stamp_cache_hit");
+            if self.cfg.cache_verify && stamp.verify(&mkey).is_err() {
+                ctx.metrics().inc("client.cache_divergence");
+            }
+            return Ok(());
+        }
+        ctx.metrics().inc("client.stamp_cache_miss");
+        ctx.charge(ctx.costs().verify);
+        match stamp.verify(&mkey) {
+            Ok(()) => {
+                self.stamp_cache.put(key, (), 1);
+                Ok(())
+            }
+            Err(_) => Err(RejectReason::BadStampSignature),
+        }
+    }
+
+    /// Checks one certificate's scoped signature, memoized in the
+    /// verified-certificate set.  The cache key already binds issuer
+    /// key, role, shard, and the full certificate statement
+    /// ([`Certificate::scoped_cache_key`]), so a hit cannot launder a
+    /// certificate across scopes.
+    fn verify_cert_cached(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        issuer: &PublicKey,
+        role: CertRole,
+        shard: u32,
+        cert: &Certificate,
+    ) -> bool {
+        if self.cfg.cert_cache_entries == 0 {
+            ctx.charge(ctx.costs().verify);
+            return cert.verify_scoped(issuer, role, shard).is_ok();
+        }
+        let key = cert.scoped_cache_key(issuer, role, shard);
+        if self.cert_cache.get(&key).is_some() {
+            ctx.charge(ctx.costs().cache_lookup);
+            ctx.metrics().inc("client.cert_cache_hit");
+            if self.cfg.cache_verify && cert.verify_scoped(issuer, role, shard).is_err() {
+                ctx.metrics().inc("client.cache_divergence");
+            }
+            return true;
+        }
+        ctx.metrics().inc("client.cert_cache_miss");
+        ctx.charge(ctx.costs().verify);
+        if cert.verify_scoped(issuer, role, shard).is_ok() {
+            self.cert_cache.put(key, (), 1);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Full verification of one pledged slave response (Section 3.2's
     /// client checks, shared with the proof pipeline via
     /// [`crate::verify`]).  Returns false when the response must be
@@ -650,13 +755,21 @@ impl ClientProcess {
         if p.strategy != ReadStrategy::Proof || !p.awaiting.contains(&from) {
             return; // Duplicate, unsolicited, or already fallen back.
         }
-        // Stamp signature + O(log n) path hashes.
-        ctx.charge(ctx.costs().verify);
+        let (shard, query) = (p.shard, p.query.clone());
+        // O(log n) path hashes: the fold always runs — it is what ties
+        // *this* result to the signed digest.  The stamp signature is
+        // the memoized part: a repeat read under the same anchor pays a
+        // cache lookup instead of a signature verification.
         ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
         ctx.charge(ctx.costs().hash_cost(result.size()));
-        let shard = p.shard;
-        let env = self.verify_env(shard, ctx.now());
-        let verdict = verify::verify_proof_read(&env, from, &p.query, &result, &proof, &stamp);
+        let verdict = if !self.verify_env(shard, ctx.now()).knows_slave(from) {
+            Err(RejectReason::UnknownSlave)
+        } else {
+            self.check_stamp_cached(ctx, shard, &stamp).and_then(|()| {
+                let env = self.verify_env(shard, ctx.now());
+                verify::verify_proof_read_stampless(&env, &query, &result, &proof, &stamp)
+            })
+        };
         match verdict {
             Ok(()) => {
                 let p = self.pending.remove(&req).expect("present");
@@ -749,12 +862,19 @@ impl ClientProcess {
         {
             return; // Duplicate, unsolicited, or already fallen back.
         }
-        // Stamp signature + O(log n) header fold.
-        ctx.charge(ctx.costs().verify);
+        let (shard, query) = (p.shard, p.query.clone());
+        // O(log n) header fold always runs; the stamp signature check
+        // is memoized, exactly as on the point-proof path.
         ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
-        let shard = p.shard;
-        let env = self.verify_env(shard, ctx.now());
-        if let Err(reason) = verify::verify_stream_header(&env, from, &p.query, &proof, &stamp) {
+        let verdict = if !self.verify_env(shard, ctx.now()).knows_slave(from) {
+            Err(RejectReason::UnknownSlave)
+        } else {
+            self.check_stamp_cached(ctx, shard, &stamp).and_then(|()| {
+                let env = self.verify_env(shard, ctx.now());
+                verify::verify_stream_header_stampless(&env, &query, &proof, &stamp)
+            })
+        };
+        if let Err(reason) = verdict {
             self.reject_proof_path(ctx, req, from, reason);
             return;
         }
@@ -953,10 +1073,9 @@ impl ClientProcess {
         self.shards[shard].slaves.retain(|(n, _)| *n != excluded);
         self.shards[shard].spares.retain(|(n, _)| *n != excluded);
         if let Some((node, cert)) = replacement {
-            ctx.charge(ctx.costs().verify);
             let master_key = self.shards[shard].master.map(|(_, k)| k);
             let valid = master_key.is_some_and(|k| {
-                cert.verify_scoped(&k, CertRole::Slave, shard as u32).is_ok()
+                self.verify_cert_cached(ctx, &k, CertRole::Slave, shard as u32, &cert)
             });
             if valid {
                 self.shards[shard].slaves.push((node, cert.body.subject_key));
@@ -1131,15 +1250,18 @@ impl Process<Msg> for ClientProcess {
                     return; // Unknown shard or duplicate response.
                 }
                 self.shards[shard].masters.clear();
+                let content_key = self.content_key;
                 for (cert, node) in certs.iter().zip(nodes.iter()) {
-                    ctx.charge(ctx.costs().verify);
                     // The certificate must grant the master role *for
                     // this shard* — a master certificate of another
                     // subgroup must not authenticate here.
-                    if cert
-                        .verify_scoped(&self.content_key, CertRole::Master, shard as u32)
-                        .is_ok()
-                    {
+                    if self.verify_cert_cached(
+                        ctx,
+                        &content_key,
+                        CertRole::Master,
+                        shard as u32,
+                        cert,
+                    ) {
                         self.shards[shard].masters.push((*node, cert.body.subject_key));
                     } else {
                         ctx.metrics().inc("client.bad_master_cert");
@@ -1199,8 +1321,7 @@ impl Process<Msg> for ClientProcess {
                 }
                 self.shards[shard].slaves.clear();
                 for (node, cert) in slaves {
-                    ctx.charge(ctx.costs().verify);
-                    if cert.verify_scoped(&mkey, CertRole::Slave, shard as u32).is_ok() {
+                    if self.verify_cert_cached(ctx, &mkey, CertRole::Slave, shard as u32, &cert) {
                         self.shards[shard].slaves.push((node, cert.body.subject_key));
                     } else {
                         ctx.metrics().inc("client.bad_slave_cert");
@@ -1216,8 +1337,7 @@ impl Process<Msg> for ClientProcess {
                 // proof path has no same-shard retry target).
                 self.shards[shard].spares.clear();
                 for (node, cert) in spares {
-                    ctx.charge(ctx.costs().verify);
-                    if cert.verify_scoped(&mkey, CertRole::Slave, shard as u32).is_ok() {
+                    if self.verify_cert_cached(ctx, &mkey, CertRole::Slave, shard as u32, &cert) {
                         self.shards[shard].spares.push((node, cert.body.subject_key));
                     } else {
                         ctx.metrics().inc("client.bad_slave_cert");
@@ -1260,11 +1380,31 @@ impl Process<Msg> for ClientProcess {
                 }
             }
             Msg::ProofReadReply {
-                req_id,
+                query,
                 result,
                 proof,
                 digest_stamp,
-            } => self.handle_proof_reply(ctx, from, req_id, result, *proof, digest_stamp),
+            } => {
+                // The reply is content-addressed (no request id), so one
+                // cached `Arc<Msg>` can answer every reader of a hot key.
+                // Route it to the lowest-numbered pending proof read for
+                // this exact query still awaiting this slave — lowest so
+                // duplicate replies resolve reads in issue order,
+                // deterministically.
+                let req = self
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| {
+                        p.strategy == ReadStrategy::Proof
+                            && p.awaiting.contains(&from)
+                            && p.query == *query
+                    })
+                    .map(|(r, _)| *r)
+                    .min();
+                if let Some(req) = req {
+                    self.handle_proof_reply(ctx, from, req, result, *proof, digest_stamp);
+                }
+            }
             Msg::StreamHeader {
                 req_id,
                 proof,

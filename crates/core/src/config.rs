@@ -108,6 +108,25 @@ pub struct SystemConfig {
     /// verifies deterministically, and the auditor never sees the read.
     /// When off, every read goes through pledge + audit.
     pub proof_reads: bool,
+    /// Byte budget of each slave's hot-read proof cache: assembled
+    /// `ProofReadReply` payloads and `StreamProof` headers memoized per
+    /// `(anchor stamp, query)` and wiped whenever the replica state or
+    /// anchor changes.  `0` disables the cache (every read rebuilds its
+    /// proof, the pre-cache pipeline).
+    pub proof_cache_bytes: usize,
+    /// Entries in each client's stamp-verification cache: accepted
+    /// `StateDigestStamp` statements remembered by digest so repeat
+    /// reads under one anchor skip the signature check.  `0` disables.
+    pub stamp_cache_entries: usize,
+    /// Entries in each client's verified-certificate set (memoized
+    /// `verify_scoped` outcomes).  `0` disables.
+    pub cert_cache_entries: usize,
+    /// Recheck mode: on every cache hit the host *also* recomputes the
+    /// value fresh and compares, counting any divergence in the
+    /// `slave.cache_divergence` / `client.cache_divergence` metrics.
+    /// Purely a host-side oracle — virtual charges, message bytes, and
+    /// the `RunReport` are byte-identical with it on or off.
+    pub cache_verify: bool,
     /// Fraction of reads that are security-sensitive (Section 4 variant;
     /// 0.0 = everything normal).
     pub sensitive_fraction: f64,
@@ -156,6 +175,10 @@ impl Default for SystemConfig {
             read_retries: 3,
             read_quorum: 1,
             proof_reads: true,
+            proof_cache_bytes: 1 << 20,
+            stamp_cache_entries: 64,
+            cert_cache_entries: 256,
+            cache_verify: false,
             sensitive_fraction: 0.0,
             greedy: GreedyConfig::default(),
             pledge_hash: HashAlgo::Sha1,

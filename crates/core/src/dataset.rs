@@ -25,6 +25,18 @@ pub struct DatasetSpec {
     /// (models shared assets — headers, boilerplate, common media
     /// segments — that the chunk store deduplicates across files).
     pub shared_block_lines: usize,
+    /// Fraction of the catalogue (and file set) forming the flash-crowd
+    /// hot set; point reads land there with probability [`skew`].  The
+    /// hot set is the lowest-numbered keys/ordinals, at least one entry.
+    ///
+    /// [`skew`]: DatasetSpec::skew
+    pub hot_fraction: f64,
+    /// Probability that a sampled point read (`GetRow`, `ReadFile`,
+    /// `ReadFileRange`) targets the hot set instead of drawing
+    /// uniformly.  `0.0` (the default) reproduces the pre-skew sampler
+    /// byte-identically; `1.0` sends every point read to the hot set —
+    /// the flash-crowd extreme.
+    pub skew: f64,
     /// Seed for the deterministic generator.
     pub seed: u64,
 }
@@ -37,6 +49,8 @@ impl Default for DatasetSpec {
             n_files: 40,
             lines_per_file: 30,
             shared_block_lines: 0,
+            hot_fraction: 0.01,
+            skew: 0.0,
             seed: 7,
         }
     }
@@ -211,6 +225,8 @@ mod tests {
             n_files: 3,
             lines_per_file: 5,
             shared_block_lines: 0,
+            hot_fraction: 0.01,
+            skew: 0.0,
             seed: 1,
         };
         let db = spec.build();

@@ -372,9 +372,18 @@ pub enum Msg {
     },
     /// Slave → client: result, Merkle path proof, and the master-signed
     /// digest stamp the proof folds up to.
+    ///
+    /// Content-addressed rather than request-addressed: the reply echoes
+    /// the *query* instead of a per-request id, so one cached reply
+    /// allocation serves every concurrent reader of the same hot key
+    /// (the slave's proof cache re-sends the identical `Arc<Msg>`).
+    /// Clients match it to their oldest pending proof read for that
+    /// query — the pairing is deterministic because a client never has
+    /// two distinguishable reads of the same query in flight.
     ProofReadReply {
-        /// Echoed request id.
-        req_id: u64,
+        /// The query this reply answers (echoed; boxed — see
+        /// [`Msg::ReadResponse`] on why wide payloads stay indirect).
+        query: Box<Query>,
         /// The (claimed) query result.
         result: QueryResult,
         /// O(log n) path proof from the result to the digest (boxed —
@@ -515,8 +524,8 @@ impl Payload for Msg {
             Msg::ReadResponse { result, pledge, .. } => 16 + result.size() + pledge.wire_len(),
             Msg::ReadRefused { .. } => 16,
             Msg::ProofRead { query, .. } => 16 + query.encode().len(),
-            Msg::ProofReadReply { result, proof, .. } => {
-                16 + result.size() + proof.wire_len() + 128
+            Msg::ProofReadReply { query, result, proof, .. } => {
+                8 + query.encode().len() + result.size() + proof.wire_len() + 128
             }
             Msg::StreamRead { query, .. } => 16 + query.encode().len(),
             // Header proof plus the digest stamp (~128) and stream bounds.

@@ -54,6 +54,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("batched_commit", batched_commit),
     ("cdn_media", cdn_media),
     ("churn_100k", churn_100k),
+    ("flash_crowd", flash_crowd),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -515,6 +516,8 @@ fn cdn_catalog() -> ScenarioSpec {
             n_files: 50,
             lines_per_file: 25,
             shared_block_lines: 0,
+            hot_fraction: 0.01,
+            skew: 0.0,
             seed: 7,
         },
         reads_per_sec: 6.0,
@@ -591,6 +594,8 @@ fn large_catalog() -> ScenarioSpec {
             n_files: 200,
             lines_per_file: 20,
             shared_block_lines: 0,
+            hot_fraction: 0.01,
+            skew: 0.0,
             seed: 4_242,
         },
         reads_per_sec: 3.0,
@@ -743,6 +748,8 @@ fn cdn_media() -> ScenarioSpec {
             n_files: 60,          // The media library.
             lines_per_file: 400,  // ~14 KiB per file: many chunks each.
             shared_block_lines: 0, // Swept below.
+            hot_fraction: 0.01,
+            skew: 0.0,
             seed: 5_150,
         },
         reads_per_sec: 8.0,
@@ -800,6 +807,8 @@ fn churn_100k() -> ScenarioSpec {
             n_files: 100,
             lines_per_file: 10,
             shared_block_lines: 0,
+            hot_fraction: 0.01,
+            skew: 0.0,
             seed: 100_000,
         },
         // Per-client rates are low — load comes from the population.
@@ -820,6 +829,63 @@ fn churn_100k() -> ScenarioSpec {
     };
     spec.duration = SimDuration::from_secs(60);
     spec.checkpoints = vec![SimDuration::from_secs(30)];
+    spec
+}
+
+fn flash_crowd() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "flash_crowd",
+        "A flash crowd hammers a handful of hot keys on one shard: two \
+         thousand clients, a 10k-row catalogue whose hot set is eight \
+         keys, and a sweep of the hot-read probability from uniform to \
+         extreme.  The target of the hot-read fast path: at high skew \
+         the slave answers almost every proof read from its reply cache \
+         (one proof build per anchor window, shared Arc payloads) and \
+         the client verifies each anchor's signature once, so repeat \
+         verified reads cost a cache lookup plus the Merkle fold",
+        SystemConfig {
+            n_shards: 1,
+            n_masters: 3,
+            n_slaves: 4,
+            n_clients: 2_000,
+            double_check_prob: 0.005,
+            audit_fraction: 0.25,
+            max_latency: SimDuration::from_millis(2_000),
+            seed: 20_003,
+            ..SystemConfig::default()
+        },
+    );
+    spec.workload = Workload {
+        dataset: DatasetSpec {
+            n_products: 10_000,
+            n_reviews: 5_000,
+            n_files: 50,
+            lines_per_file: 20,
+            shared_block_lines: 0,
+            hot_fraction: 0.0008, // ceil(10_000 × 0.0008) = 8 hot keys.
+            skew: 0.0,            // Swept below.
+            seed: 20_003,
+        },
+        // Per-client rates are modest; the crowd is the load.
+        reads_per_sec: 2.0,
+        writes_per_sec: 0.05, // Rare updates keep invalidation honest.
+        writer_fraction: 0.02,
+        // Nearly all point reads (the proof path the caches serve), a
+        // sliver of computed filters and verified chunk streams.
+        mix: QueryMix {
+            get: 80,
+            range: 0,
+            filter: 5,
+            aggregate: 0,
+            join: 0,
+            grep: 0,
+            read_file: 10,
+            stream: 5,
+        },
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(20);
+    spec.grid = Grid::sweep("skew", Param::Skew, &[0.0, 0.5, 0.9, 0.99]);
     spec
 }
 

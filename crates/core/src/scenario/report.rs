@@ -275,7 +275,12 @@ mod tests {
             "snapshot_nodes_owned":0,"snapshot_nodes_shared":0,
             "master_utilisation":[0.5],"slave_utilisation":[0.25],
             "per_client":[],
-            "writes_committed_per_shard":[0],"dir_lookups_per_shard":[0]
+            "writes_committed_per_shard":[0],"dir_lookups_per_shard":[0],
+            "proof_cache_hits":0,"proof_cache_misses":0,
+            "proof_cache_evictions":0,"proof_cache_invalidations":0,
+            "proof_cache_bytes":0,
+            "stamp_cache_hits":0,"stamp_cache_misses":0,
+            "cert_cache_hits":0,"cert_cache_misses":0
         }"#;
         json::from_str(text).expect("stats literal")
     }

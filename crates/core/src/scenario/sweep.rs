@@ -79,6 +79,11 @@ pub enum Param {
     /// prepended to every generated file (0 = all files unique).  Sweeps
     /// how much cross-file shared content the chunk store can dedup.
     SharedBlockLines,
+    /// `workload.dataset.skew`: probability in `[0,1]` that a point
+    /// read targets the dataset's hot set instead of drawing uniformly
+    /// (0 = the legacy uniform sampler, byte-identically; 1 = every
+    /// point read is a flash-crowd hot-key hit).
+    Skew,
 }
 
 impl Param {
@@ -152,6 +157,12 @@ impl Param {
                     return Err(format!("SharedBlockLines must be >= 0, got {v}"));
                 }
                 spec.workload.dataset.shared_block_lines = v as usize;
+            }
+            Param::Skew => {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("Skew must be in [0,1], got {v}"));
+                }
+                spec.workload.dataset.skew = v;
             }
         }
         Ok(())
@@ -483,6 +494,15 @@ mod tests {
         Param::SharedBlockLines.apply(&mut spec, 0.0).unwrap();
         assert_eq!(spec.workload.dataset.shared_block_lines, 0);
         assert!(Param::SharedBlockLines.apply(&mut spec, -1.0).is_err());
+    }
+
+    #[test]
+    fn skew_applies_and_rejects_out_of_range() {
+        let mut spec = base();
+        Param::Skew.apply(&mut spec, 0.9).unwrap();
+        assert_eq!(spec.workload.dataset.skew, 0.9);
+        assert!(Param::Skew.apply(&mut spec, 1.5).is_err());
+        assert!(Param::Skew.apply(&mut spec, -0.1).is_err());
     }
 
     #[test]

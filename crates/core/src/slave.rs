@@ -18,11 +18,14 @@
 use crate::config::SystemConfig;
 use crate::messages::{Msg, RefuseReason, StateDigestStamp, VersionStamp};
 use crate::pledge::{Pledge, ResultHash};
-use sdr_crypto::{PublicKey, Signer};
-use sdr_sim::{Ctx, NodeId, Process, SimTime};
+use sdr_crypto::{Digest, Hash256, PublicKey, Sha256, Signer};
+use sdr_sim::{Ctx, NodeId, Payload, Process, SimTime};
 use sdr_store::fsview::GrepMatch;
-use sdr_store::{execute, Database, Document, Query, QueryResult, UpdateOp, Value};
+use sdr_store::{
+    execute, Database, Document, LruByteCache, Query, QueryResult, StreamProof, UpdateOp, Value,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Wrong-answer machinery shared by the pledge and proof read paths: a
 /// liar corrupts the shipped result (and on the pledge path may also
@@ -187,6 +190,14 @@ pub struct SlaveProcess {
     /// oracle described in DESIGN.md).
     lies_told: HashSet<Vec<u8>>,
     reads_served: u64,
+    /// Hot-read fast path: honest `ProofReadReply` payloads memoized per
+    /// `(anchor stamp, query)` as shared allocations, so a flash crowd
+    /// reading one hot key costs one proof build plus N pointer bumps.
+    /// Wiped wholesale whenever the anchor or the replica state changes.
+    reply_cache: LruByteCache<Arc<Msg>>,
+    /// Same for `StreamProof` headers, keyed by `(anchor stamp, path)`
+    /// (chunk payloads are per-request and stay uncached).
+    stream_proof_cache: LruByteCache<StreamProof>,
 }
 
 impl SlaveProcess {
@@ -198,6 +209,7 @@ impl SlaveProcess {
         signer: Box<dyn Signer>,
         master_keys: HashMap<NodeId, PublicKey>,
     ) -> Self {
+        let budget = cfg.proof_cache_bytes;
         SlaveProcess {
             cfg,
             db,
@@ -213,6 +225,8 @@ impl SlaveProcess {
             dropped_up_to: 0,
             lies_told: HashSet::new(),
             reads_served: 0,
+            reply_cache: LruByteCache::new(budget),
+            stream_proof_cache: LruByteCache::new(budget),
         }
     }
 
@@ -244,6 +258,70 @@ impl SlaveProcess {
     /// Whether this slave has been excluded.
     pub fn is_excluded(&self) -> bool {
         self.excluded
+    }
+
+    /// Bytes currently held by the hot-read caches (stats gauge).
+    pub fn cache_bytes(&self) -> u64 {
+        (self.reply_cache.bytes() + self.stream_proof_cache.bytes()) as u64
+    }
+
+    /// Cache key of a memoized proof reply: the anchor stamp's version,
+    /// timestamp, *and* digest plus the query encoding.  Version alone
+    /// would suffice given wholesale invalidation; the timestamp makes a
+    /// keep-alive refresh (same version, newer stamp) miss by
+    /// construction, and the digest is belt-and-braces against any
+    /// anchor/state divergence.
+    fn proof_reply_key(anchor: &StateDigestStamp, query: &Query) -> Hash256 {
+        Sha256::digest_parts(&[
+            b"sdr/proof-reply/v1",
+            &anchor.version.to_be_bytes(),
+            &anchor.timestamp.as_micros().to_be_bytes(),
+            anchor.digest.as_ref(),
+            &query.encode(),
+        ])
+    }
+
+    /// Cache key of a memoized stream-proof header (same anchor binding
+    /// as [`Self::proof_reply_key`], path instead of query).
+    fn stream_proof_key(anchor: &StateDigestStamp, path: &str) -> Hash256 {
+        Sha256::digest_parts(&[
+            b"sdr/stream-proof/v1",
+            &anchor.version.to_be_bytes(),
+            &anchor.timestamp.as_micros().to_be_bytes(),
+            anchor.digest.as_ref(),
+            path.as_bytes(),
+        ])
+    }
+
+    /// Wipes both hot-read caches.  Called whenever the proof-read anchor
+    /// moves (any newer digest stamp, including same-version keep-alive
+    /// refreshes) *and* whenever the replica applies a write — the latter
+    /// covers the gap where the database advances but the accompanying
+    /// digest stamp is rejected, which would otherwise leave cached
+    /// replies proving a state the replica no longer has.
+    fn invalidate_caches(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.reply_cache.is_empty() || !self.stream_proof_cache.is_empty() {
+            ctx.metrics().inc("slave.proof_cache_invalidate");
+        }
+        self.reply_cache.clear();
+        self.stream_proof_cache.clear();
+    }
+
+    /// The proof-read anchor this replica currently serves under
+    /// (test/stats inspection).
+    pub fn digest_anchor(&self) -> Option<&StateDigestStamp> {
+        self.latest_digest_stamp.as_ref()
+    }
+
+    /// Test hook: plant an arbitrary payload in the proof-reply cache
+    /// under the current anchor — models a Byzantine slave poisoning its
+    /// own cache.  No-op while the slave has no anchor.
+    pub fn poison_reply_cache_for_test(&mut self, query: &Query, reply: Msg) {
+        if let Some(anchor) = self.latest_digest_stamp.clone() {
+            let key = Self::proof_reply_key(&anchor, query);
+            let bytes = reply.wire_len();
+            self.reply_cache.put(key, Arc::new(reply), bytes);
+        }
     }
 
     fn is_fresh(&self, now: SimTime) -> bool {
@@ -287,6 +365,10 @@ impl SlaveProcess {
             None => true,
         };
         if newer {
+            // The anchor moved (even a same-version keep-alive refresh):
+            // every cached reply carries the old stamp, so none may be
+            // served again.
+            self.invalidate_caches(ctx);
             self.latest_digest_stamp = Some(stamp);
         }
     }
@@ -322,6 +404,10 @@ impl SlaveProcess {
             ctx.charge(ctx.costs().serde_cost(bytes));
             if self.db.apply_write(&ops).is_ok() {
                 ctx.metrics().inc("slave.updates_applied");
+                // The replica state moved: cached proofs describe the old
+                // state even if the new digest stamp ends up rejected, so
+                // wipe before (not only when) the anchor adoption below.
+                self.invalidate_caches(ctx);
             }
             self.accept_stamp(stamp);
             if let Some(digest_stamp) = digest_stamp {
@@ -487,6 +573,76 @@ impl SlaveProcess {
                 return;
             }
         }
+        let anchor = self.latest_digest_stamp.clone().expect("checked fresh");
+
+        // Hot-read fast path: under one anchor, the honest reply for a
+        // query is immutable, so the first build is memoized and every
+        // repeat reader costs one cache probe.  RNG parity: execution
+        // and proving draw no randomness, so the hit and miss paths
+        // consume identical RNG streams (Refuser coin above, lie coin
+        // below) and a run's trace never depends on cache contents.
+        let cached = if self.cfg.proof_cache_bytes > 0 {
+            ctx.charge(ctx.costs().cache_lookup);
+            let key = Self::proof_reply_key(&anchor, &query);
+            let hit = self.reply_cache.get(&key).cloned();
+            match &hit {
+                Some(_) => ctx.metrics().inc("slave.proof_cache_hit"),
+                None => ctx.metrics().inc("slave.proof_cache_miss"),
+            }
+            hit
+        } else {
+            None
+        };
+
+        if let Some(reply) = cached {
+            if self.cfg.cache_verify {
+                // Host-side oracle: rebuild fresh and compare.  No
+                // charges — virtual time must not see the recheck.
+                let fresh = self.build_proof_reply(&query, &anchor);
+                if fresh.as_ref().map(|m| format!("{m:?}")) != Some(format!("{:?}", *reply)) {
+                    ctx.metrics().inc("slave.cache_divergence");
+                }
+            }
+            self.reads_served += 1;
+            ctx.metrics().inc("slave.reads");
+            ctx.metrics().inc("slave.proof_reads");
+            // Liars corrupt the shipped *result* even on a hit (fresh
+            // allocation; the cache always holds the honest reply).
+            let lie = match &*reply {
+                Msg::ProofReadReply { result, .. } => {
+                    apply_lie_behavior(self.behavior, ctx, result)
+                }
+                _ => None, // Poisoned by the test hook with junk.
+            };
+            match lie {
+                Some(bad) => {
+                    ctx.metrics().inc("slave.lies");
+                    self.lies_told
+                        .insert(ResultHash::of(&bad, self.cfg.pledge_hash).bytes().to_vec());
+                    let Msg::ProofReadReply {
+                        query,
+                        proof,
+                        digest_stamp,
+                        ..
+                    } = (*reply).clone()
+                    else {
+                        unreachable!("lie derives from a ProofReadReply");
+                    };
+                    ctx.send(
+                        client,
+                        Msg::ProofReadReply {
+                            query,
+                            result: bad,
+                            proof,
+                            digest_stamp,
+                        },
+                    );
+                }
+                None => ctx.send_cached(client, reply),
+            }
+            return;
+        }
+
         let Ok((result, qcost)) = execute(&self.db, &query) else {
             ctx.metrics().inc("slave.query_errors");
             refuse(ctx, RefuseReason::OutOfSync);
@@ -505,29 +661,55 @@ impl SlaveProcess {
         ctx.metrics().inc("slave.reads");
         ctx.metrics().inc("slave.proof_reads");
 
-        // Liars can corrupt the *result*, but the proof stays honest —
-        // forging one against the signed digest would need a hash
-        // collision.  The lie is therefore caught by the client's own
-        // verification, not by an auditor hours later.
-        let shipped = match apply_lie_behavior(self.behavior, ctx, &result) {
+        // The honest reply is assembled (and cached) regardless of
+        // behaviour; liars corrupt a per-request copy of the result.
+        // Forging the *proof* against the signed digest would need a
+        // hash collision, so lies die at the client's verification.
+        let honest = Arc::new(Msg::ProofReadReply {
+            query: Box::new(query.clone()),
+            result: result.clone(),
+            proof: Box::new(proof),
+            digest_stamp: anchor.clone(),
+        });
+        if self.cfg.proof_cache_bytes > 0 {
+            let key = Self::proof_reply_key(&anchor, &query);
+            let bytes = honest.wire_len();
+            let evicted = self.reply_cache.put(key, Arc::clone(&honest), bytes);
+            ctx.metrics().add("slave.proof_cache_evict", evicted);
+        }
+        match apply_lie_behavior(self.behavior, ctx, &result) {
             Some(bad) => {
                 ctx.metrics().inc("slave.lies");
                 self.lies_told
                     .insert(ResultHash::of(&bad, self.cfg.pledge_hash).bytes().to_vec());
-                bad
+                let Msg::ProofReadReply { query, proof, .. } = (*honest).clone() else {
+                    unreachable!("just built");
+                };
+                ctx.send(
+                    client,
+                    Msg::ProofReadReply {
+                        query,
+                        result: bad,
+                        proof,
+                        digest_stamp: anchor,
+                    },
+                );
             }
-            None => result,
-        };
-        let digest_stamp = self.latest_digest_stamp.clone().expect("checked fresh");
-        ctx.send(
-            client,
-            Msg::ProofReadReply {
-                req_id,
-                result: shipped,
-                proof: Box::new(proof),
-                digest_stamp,
-            },
-        );
+            None => ctx.send_shared(client, honest),
+        }
+    }
+
+    /// Rebuilds the honest proof reply from scratch (the `cache_verify`
+    /// oracle); returns `None` when the query no longer executes/proves.
+    fn build_proof_reply(&self, query: &Query, anchor: &StateDigestStamp) -> Option<Msg> {
+        let (result, _) = execute(&self.db, query).ok()?;
+        let proof = self.db.prove_query(query)?.ok()?;
+        Some(Msg::ProofReadReply {
+            query: Box::new(query.clone()),
+            result,
+            proof: Box::new(proof),
+            digest_stamp: anchor.clone(),
+        })
     }
 
     /// Serves a `ReadFileRange` as a proof-anchored chunk stream: one
@@ -574,9 +756,39 @@ impl SlaveProcess {
             return;
         };
 
-        let proof = self.db.prove_stream(path);
-        // Header assembly re-hashes only the O(log n) path.
-        ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
+        let anchor = self.latest_digest_stamp.clone().expect("checked fresh");
+        // The header proof is immutable under one anchor: memoize it so
+        // repeat streams of a hot file skip the O(log n) path re-hash.
+        // Chunk collection below is per-request (the bytes really move).
+        let proof = if self.cfg.proof_cache_bytes > 0 {
+            ctx.charge(ctx.costs().cache_lookup);
+            let key = Self::stream_proof_key(&anchor, path);
+            match self.stream_proof_cache.get(&key).cloned() {
+                Some(p) => {
+                    ctx.metrics().inc("slave.proof_cache_hit");
+                    if self.cfg.cache_verify {
+                        let fresh = self.db.prove_stream(path);
+                        if format!("{fresh:?}") != format!("{p:?}") {
+                            ctx.metrics().inc("slave.cache_divergence");
+                        }
+                    }
+                    p
+                }
+                None => {
+                    ctx.metrics().inc("slave.proof_cache_miss");
+                    let p = self.db.prove_stream(path);
+                    // Header assembly re-hashes only the O(log n) path.
+                    ctx.charge(ctx.costs().hash_cost(64) * (1 + p.depth() as u64));
+                    let evicted = self.stream_proof_cache.put(key, p.clone(), p.wire_len());
+                    ctx.metrics().add("slave.proof_cache_evict", evicted);
+                    p
+                }
+            }
+        } else {
+            let p = self.db.prove_stream(path);
+            ctx.charge(ctx.costs().hash_cost(64) * (1 + p.depth() as u64));
+            p
+        };
         let (first, end) = proof
             .manifest
             .as_ref()
@@ -621,13 +833,12 @@ impl SlaveProcess {
             }
         }
 
-        let digest_stamp = self.latest_digest_stamp.clone().expect("checked fresh");
         ctx.send(
             client,
             Msg::StreamHeader {
                 req_id,
                 proof: Box::new(proof),
-                digest_stamp,
+                digest_stamp: anchor,
                 first_chunk: first as u32,
                 chunk_count: (end - first) as u32,
             },

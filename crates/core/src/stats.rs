@@ -141,6 +141,27 @@ pub struct SystemStats {
     /// Wire bytes of unique payload allocations enqueued; a multicast
     /// counts once here, so `logical / resident` is the sharing ratio.
     pub sim_msg_bytes_resident: u64,
+    /// Slave proof-cache hits: proof reads answered from a memoized
+    /// reply (point proofs and stream headers alike).
+    pub proof_cache_hits: u64,
+    /// Slave proof-cache misses (the reply was built and cached).
+    pub proof_cache_misses: u64,
+    /// Entries evicted from slave proof caches by the LRU byte budget.
+    pub proof_cache_evictions: u64,
+    /// Wholesale slave proof-cache invalidations (new anchor stamp or
+    /// an applied write wiped a non-empty cache).
+    pub proof_cache_invalidations: u64,
+    /// Bytes resident in slave proof caches at collection time, summed
+    /// over every slave.
+    pub proof_cache_bytes: u64,
+    /// Client stamp-verification cache hits (anchor signature skipped).
+    pub stamp_cache_hits: u64,
+    /// Client stamp-verification cache misses (full signature check).
+    pub stamp_cache_misses: u64,
+    /// Client verified-certificate cache hits.
+    pub cert_cache_hits: u64,
+    /// Client verified-certificate cache misses.
+    pub cert_cache_misses: u64,
 }
 
 impl SystemStats {
@@ -195,6 +216,13 @@ impl SystemStats {
             chunk_stats.chunks_deduped += cs.chunks_deduped;
             chunk_stats.logical_bytes += cs.logical_bytes;
             chunk_stats.physical_bytes += cs.physical_bytes;
+        }
+
+        // Slave proof-cache residency: per-slave state, summed over the
+        // whole replica population.
+        let mut proof_cache_bytes = 0u64;
+        for i in 0..sys.slaves.len() {
+            proof_cache_bytes += sys.with_slave(i, |s| s.cache_bytes());
         }
 
         let master_utilisation: Vec<f64> = sys
@@ -287,6 +315,15 @@ impl SystemStats {
             sim_timers_cancelled: queue_depth.drained_cancelled,
             sim_msg_bytes_logical,
             sim_msg_bytes_resident,
+            proof_cache_hits: m.counter("slave.proof_cache_hit"),
+            proof_cache_misses: m.counter("slave.proof_cache_miss"),
+            proof_cache_evictions: m.counter("slave.proof_cache_evict"),
+            proof_cache_invalidations: m.counter("slave.proof_cache_invalidate"),
+            proof_cache_bytes,
+            stamp_cache_hits: m.counter("client.stamp_cache_hit"),
+            stamp_cache_misses: m.counter("client.stamp_cache_miss"),
+            cert_cache_hits: m.counter("client.cert_cache_hit"),
+            cert_cache_misses: m.counter("client.cert_cache_miss"),
         }
         .fill_auditor(sys)
     }
@@ -326,6 +363,28 @@ impl SystemStats {
             1.0
         } else {
             self.sim_msg_bytes_logical as f64 / self.sim_msg_bytes_resident as f64
+        }
+    }
+
+    /// Fraction of proof reads the slaves answered from their reply
+    /// caches (hits over hits+misses; 0 when no proof read probed one).
+    pub fn proof_cache_hit_rate(&self) -> f64 {
+        let total = self.proof_cache_hits + self.proof_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.proof_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of anchor-signature checks the clients answered from
+    /// their stamp-verification caches.
+    pub fn stamp_cache_hit_rate(&self) -> f64 {
+        let total = self.stamp_cache_hits + self.stamp_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stamp_cache_hits as f64 / total as f64
         }
     }
 
@@ -408,6 +467,20 @@ impl SystemStats {
             ("sim_msg_bytes_logical", self.sim_msg_bytes_logical as f64),
             ("sim_msg_bytes_resident", self.sim_msg_bytes_resident as f64),
             ("msg_sharing_ratio", self.msg_sharing_ratio()),
+            ("proof_cache_hits", self.proof_cache_hits as f64),
+            ("proof_cache_misses", self.proof_cache_misses as f64),
+            ("proof_cache_evictions", self.proof_cache_evictions as f64),
+            (
+                "proof_cache_invalidations",
+                self.proof_cache_invalidations as f64,
+            ),
+            ("proof_cache_bytes", self.proof_cache_bytes as f64),
+            ("proof_cache_hit_rate", self.proof_cache_hit_rate()),
+            ("stamp_cache_hits", self.stamp_cache_hits as f64),
+            ("stamp_cache_misses", self.stamp_cache_misses as f64),
+            ("stamp_cache_hit_rate", self.stamp_cache_hit_rate()),
+            ("cert_cache_hits", self.cert_cache_hits as f64),
+            ("cert_cache_misses", self.cert_cache_misses as f64),
         ];
         let s = &self.read_latency;
         out.extend([
@@ -454,6 +527,8 @@ impl SystemStats {
              double-check: sent={} mismatch={} throttled={}\n\
              discovery: immediate={} delayed={} exclusions={} reassignments={}\n\
              audit: submitted={} checked={} cache_hits={} mismatch={} backlog={}\n\
+             caches: proof hit={} miss={} (rate={:.3}) evict={} inval={} bytes={} \
+             stamp hit={} miss={} cert hit={} miss={}\n\
              sim: events={} queue_peak={} slots={} cancelled={} \
              msg_logical={}B msg_resident={}B sharing={:.2}x\n\
              read latency: p50={}us p90={}us p99={}us",
@@ -497,6 +572,16 @@ impl SystemStats {
             self.audit_cache_hits,
             self.audit_mismatch,
             self.audit_backlog,
+            self.proof_cache_hits,
+            self.proof_cache_misses,
+            self.proof_cache_hit_rate(),
+            self.proof_cache_evictions,
+            self.proof_cache_invalidations,
+            self.proof_cache_bytes,
+            self.stamp_cache_hits,
+            self.stamp_cache_misses,
+            self.cert_cache_hits,
+            self.cert_cache_misses,
             self.sim_events,
             self.sim_queue_peak,
             self.sim_queue_slots,

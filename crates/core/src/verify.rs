@@ -116,6 +116,20 @@ impl VerifyEnv<'_> {
             .find(|(n, _)| *n == slave)
             .map(|(_, k)| k)
     }
+
+    /// Current verification key of `master`, if it belongs to this
+    /// shard's subgroup.  Exposed for the client's stamp-verification
+    /// cache, whose entries bind the statement to the exact key it
+    /// verified under (a key rotation therefore misses, never hits).
+    pub fn master_key_of(&self, master: NodeId) -> Option<&PublicKey> {
+        self.master_key(master)
+    }
+
+    /// Whether `slave` is an acceptable proof responder here (an
+    /// assigned replica or a setup-issued spare of the shard).
+    pub fn knows_slave(&self, slave: NodeId) -> bool {
+        self.slave_key(slave).is_some()
+    }
 }
 
 /// Step: the delivered result hashes to the pledged value.
@@ -200,6 +214,47 @@ pub fn verify_proof_read(
     check_freshness(env, stamp.timestamp)?;
     proof
         .verify_result(&stamp.digest, stamp.version, query, result)
+        .map_err(RejectReason::BadProof)
+}
+
+/// Proof-read verification tail for a stamp whose master signature is
+/// already trusted (the client's stamp-verification cache memoizes the
+/// expensive signature check per statement).  The caller has verified
+/// the responder and the stamp signature; freshness is **not** cached —
+/// the same stamp statement goes stale as time passes, so it re-checks
+/// on every reply — and the Merkle fold always runs, because it is what
+/// ties *this* result to the signed digest.
+pub fn verify_proof_read_stampless(
+    env: &VerifyEnv<'_>,
+    query: &Query,
+    result: &QueryResult,
+    proof: &StateProof,
+    stamp: &StateDigestStamp,
+) -> Result<(), RejectReason> {
+    check_freshness(env, stamp.timestamp)?;
+    proof
+        .verify_result(&stamp.digest, stamp.version, query, result)
+        .map_err(RejectReason::BadProof)
+}
+
+/// Stream-header verification tail for an already-trusted stamp
+/// signature: path shape, freshness, and the manifest fold (the
+/// counterpart of [`verify_proof_read_stampless`] for streams).
+pub fn verify_stream_header_stampless(
+    env: &VerifyEnv<'_>,
+    query: &Query,
+    proof: &StreamProof,
+    stamp: &StateDigestStamp,
+) -> Result<(), RejectReason> {
+    let Query::ReadFileRange { path, .. } = query else {
+        return Err(RejectReason::BadProof(ProofError::ShapeMismatch));
+    };
+    if proof.path != *path {
+        return Err(RejectReason::BadProof(ProofError::ShapeMismatch));
+    }
+    check_freshness(env, stamp.timestamp)?;
+    proof
+        .verify_header(&stamp.digest, stamp.version)
         .map_err(RejectReason::BadProof)
 }
 

@@ -94,7 +94,7 @@ impl QueryMix {
         if take(self.get) {
             Query::GetRow {
                 table: "products".into(),
-                key: 1 + rng.gen_range(0..n),
+                key: 1 + sample_skewed(rng, spec, n),
             }
         } else if take(self.range) {
             let low = 1 + rng.gen_range(0..n);
@@ -157,7 +157,10 @@ impl QueryMix {
             }
         } else if take(self.read_file) {
             Query::ReadFile {
-                path: format!("/docs/file-{:03}.log", rng.gen_range(0..spec.n_files.max(1))),
+                path: format!(
+                    "/docs/file-{:03}.log",
+                    sample_skewed(rng, spec, spec.n_files.max(1) as u64)
+                ),
             }
         } else {
             // Byte-range read somewhere inside the file (generated lines
@@ -165,11 +168,29 @@ impl QueryMix {
             let approx_len = (spec.lines_per_file.max(1) as u64) * 36;
             let offset = rng.gen_range(0..approx_len.max(2) / 2);
             Query::ReadFileRange {
-                path: format!("/docs/file-{:03}.log", rng.gen_range(0..spec.n_files.max(1))),
+                path: format!(
+                    "/docs/file-{:03}.log",
+                    sample_skewed(rng, spec, spec.n_files.max(1) as u64)
+                ),
                 offset,
                 len: rng.gen_range(512..8192),
             }
         }
+    }
+}
+
+/// Draws an index in `0..n`, biased toward the dataset's hot set: with
+/// probability `spec.skew` the draw lands uniformly inside the first
+/// `ceil(n × hot_fraction)` entries (at least one), otherwise uniformly
+/// over all of `0..n`.  The bias coin is only flipped when `skew > 0`,
+/// so legacy workloads (`skew = 0`) consume exactly the pre-skew RNG
+/// stream and stay byte-identical.
+fn sample_skewed<R: Rng>(rng: &mut R, spec: &DatasetSpec, n: u64) -> u64 {
+    if spec.skew > 0.0 && rng.gen::<f64>() < spec.skew {
+        let hot = ((n as f64 * spec.hot_fraction).ceil() as u64).clamp(1, n);
+        rng.gen_range(0..hot)
+    } else {
+        rng.gen_range(0..n)
     }
 }
 
@@ -293,6 +314,18 @@ impl Workload {
                 self.writes_per_sec
             ));
         }
+        if !(0.0..=1.0).contains(&self.dataset.skew) {
+            return Err(format!(
+                "workload.dataset.skew must be in [0,1], got {}",
+                self.dataset.skew
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.dataset.hot_fraction) {
+            return Err(format!(
+                "workload.dataset.hot_fraction must be in [0,1], got {}",
+                self.dataset.hot_fraction
+            ));
+        }
         for &(_, p) in &self.greedy_clients {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!(
@@ -400,6 +433,72 @@ mod tests {
         }
         // stream weight is 50/100: roughly half the samples.
         assert!((100..300).contains(&streams), "streams {streams}");
+    }
+
+    #[test]
+    fn zero_skew_is_byte_identical_to_legacy_sampler() {
+        // The skew coin must not be flipped at skew = 0: the same seed
+        // yields the same query stream as a spec without the knob.
+        let mix = QueryMix::catalogue();
+        let plain = DatasetSpec::default();
+        assert_eq!(plain.skew, 0.0);
+        let hot_but_off = DatasetSpec {
+            hot_fraction: 0.5,
+            ..plain
+        };
+        let draw = |spec: &DatasetSpec| {
+            let mut rng = SmallRng::seed_from_u64(11);
+            (0..200).map(|_| mix.sample(&mut rng, spec)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(&plain), draw(&hot_but_off));
+    }
+
+    #[test]
+    fn high_skew_concentrates_point_reads() {
+        let mix = QueryMix {
+            get: 100,
+            range: 0,
+            filter: 0,
+            aggregate: 0,
+            join: 0,
+            grep: 0,
+            read_file: 0,
+            stream: 0,
+        };
+        let spec = DatasetSpec {
+            n_products: 10_000,
+            hot_fraction: 0.001, // 10-key hot set
+            skew: 0.95,
+            ..DatasetSpec::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut hot = 0;
+        for _ in 0..1_000 {
+            match mix.sample(&mut rng, &spec) {
+                Query::GetRow { key, .. } => {
+                    if key <= 10 {
+                        hot += 1;
+                    }
+                }
+                q => panic!("unexpected {q:?}"),
+            }
+        }
+        assert!(hot > 900, "hot draws {hot}/1000 at skew 0.95");
+    }
+
+    #[test]
+    fn skew_bounds_are_validated() {
+        for (skew, hot) in [(1.5, 0.01), (-0.1, 0.01), (0.5, 2.0)] {
+            let w = Workload {
+                dataset: DatasetSpec {
+                    skew,
+                    hot_fraction: hot,
+                    ..DatasetSpec::default()
+                },
+                ..Workload::default()
+            };
+            assert!(w.validate().is_err(), "skew {skew} hot {hot}");
+        }
     }
 
     #[test]

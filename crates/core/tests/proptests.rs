@@ -147,3 +147,58 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // End-to-end cache oracle runs are expensive; a handful of random
+    // interleavings per CI run is plenty (PROPTEST_CASES raises it
+    // locally).
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Cached-vs-fresh oracle: across random write/read interleavings
+    /// (seed, skew, and write rate all drawn), every cache hit rebuilds
+    /// the reply host-side and byte-compares it against the cached copy
+    /// (`cache_verify`).  Zero divergence means cached replies are
+    /// byte-identical to freshly built ones; zero proof rejections means
+    /// no stale cached proof ever outlived a version bump.
+    #[test]
+    fn cached_replies_byte_identical_to_fresh_under_random_interleavings(
+        seed in 1u64..1_000,
+        skew in 0.0f64..1.0,
+        writes_per_sec in 0.0f64..2.0,
+    ) {
+        use sdr_core::{SlaveBehavior, SystemBuilder, SystemConfig, Workload};
+
+        let cfg = SystemConfig {
+            n_masters: 3,
+            n_slaves: 3,
+            n_clients: 4,
+            seed,
+            cache_verify: true,
+            ..SystemConfig::default()
+        };
+        let mut w = Workload::default();
+        w.dataset.n_products = 40;
+        w.dataset.hot_fraction = 0.05;
+        w.dataset.skew = skew;
+        w.reads_per_sec = 30.0;
+        w.writes_per_sec = writes_per_sec;
+        w.writer_fraction = 0.5;
+        w.mix.get = 80;
+        w.mix.grep = 0;
+        w.mix.join = 0;
+        w.mix.aggregate = 0;
+        let n = cfg.n_slaves;
+        let mut sys = SystemBuilder::new(cfg)
+            .behaviors(vec![SlaveBehavior::Honest; n])
+            .workload(w)
+            .build();
+        sys.run_for(sdr_sim::SimDuration::from_secs(4));
+
+        let stats = sys.stats();
+        prop_assert_eq!(stats.wrong_accepted, 0);
+        prop_assert_eq!(stats.proof_reads_rejected, 0, "stale cached proof served");
+        let m = sys.world.metrics();
+        prop_assert_eq!(m.counter("slave.cache_divergence"), 0);
+        prop_assert_eq!(m.counter("client.cache_divergence"), 0);
+    }
+}

@@ -97,6 +97,8 @@ fn write_log_replay_over_cow_handles_reproduces_snapshots() {
         n_files: 10,
         lines_per_file: 5,
         shared_block_lines: 0,
+        hot_fraction: 0.01,
+        skew: 0.0,
         seed: 3,
     }
     .build();

@@ -125,6 +125,23 @@ impl Certificate {
         }
         Ok(())
     }
+
+    /// Memoization key for a successful [`Certificate::verify_scoped`]
+    /// check: it binds the issuer key, the expected role and shard, and
+    /// the full signed body encoding.  The signature is deliberately
+    /// excluded — the key identifies the *statement* that was verified,
+    /// and any forged body hashes to a different key, so remembering
+    /// "this key accepted this statement" is sound even if an attacker
+    /// later replays the body with a mangled signature.
+    pub fn scoped_cache_key(&self, issuer_key: &PublicKey, role: CertRole, shard: u32) -> Hash256 {
+        Sha256::digest_parts(&[
+            b"sdr/cert-cache/v1",
+            &issuer_key.encode(),
+            &[role.tag()],
+            &shard.to_be_bytes(),
+            &self.body.encode(),
+        ])
+    }
 }
 
 /// Derives a content identifier from the content public key, following the
@@ -214,6 +231,26 @@ mod tests {
         let mut forged = cert;
         forged.body.shard = 0;
         assert!(forged.verify(&owner_pk).is_err());
+    }
+
+    #[test]
+    fn scoped_cache_key_binds_statement_not_signature() {
+        let mut owner = HmacSigner::from_seed_label(1, b"owner");
+        let owner_pk = owner.public_key();
+        let other_pk = HmacSigner::from_seed_label(2, b"other").public_key();
+        let cert = Certificate::issue(body(1, &owner_pk), &mut owner).unwrap();
+        let k = cert.scoped_cache_key(&owner_pk, CertRole::Master, 0);
+        // Stable for the same statement, even with a mangled signature.
+        let mut mangled = cert.clone();
+        mangled.signature = owner.sign(b"junk").unwrap();
+        assert_eq!(k, mangled.scoped_cache_key(&owner_pk, CertRole::Master, 0));
+        // Any change to issuer, role, shard, or body moves the key.
+        assert_ne!(k, cert.scoped_cache_key(&other_pk, CertRole::Master, 0));
+        assert_ne!(k, cert.scoped_cache_key(&owner_pk, CertRole::Slave, 0));
+        assert_ne!(k, cert.scoped_cache_key(&owner_pk, CertRole::Master, 1));
+        let mut b2 = cert.clone();
+        b2.body.serial = 2;
+        assert_ne!(k, b2.scoped_cache_key(&owner_pk, CertRole::Master, 0));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub struct Ctx<'a, M: Payload> {
     now: SimTime,
     self_id: NodeId,
     charged: SimDuration,
-    sends: Vec<(Fanout, Arc<M>, SimDuration)>,
+    sends: Vec<(Fanout, Arc<M>, SimDuration, bool)>,
     timers: Vec<(SimTime, u64, u64)>,
     cancels: Vec<u64>,
     rng: &'a mut SmallRng,
@@ -53,7 +53,7 @@ impl<'a, M: Payload> Ctx<'a, M> {
     /// Sends `msg` to `to`; it departs after the work charged so far.
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.sends
-            .push((Fanout::One(to), Arc::new(msg), self.charged));
+            .push((Fanout::One(to), Arc::new(msg), self.charged, true));
     }
 
     /// Sends one shared payload to every node in `to`, in order.
@@ -67,7 +67,23 @@ impl<'a, M: Payload> Ctx<'a, M> {
             Fanout::Many(to.into_iter().collect()),
             Arc::new(msg),
             self.charged,
+            true,
         ));
+    }
+
+    /// Sends an already-shared payload to `to`, counting its allocation
+    /// as resident (the sender built it fresh but keeps a handle, e.g. in
+    /// a cache it now owns).
+    pub fn send_shared(&mut self, to: NodeId, msg: Arc<M>) {
+        self.sends.push((Fanout::One(to), msg, self.charged, true));
+    }
+
+    /// Sends a payload whose allocation was already accounted for (a
+    /// cache hit re-serving a previously built reply): logical bytes
+    /// grow, resident bytes do not, so `msg_sharing_ratio` counts the
+    /// re-serve as sharing.
+    pub fn send_cached(&mut self, to: NodeId, msg: Arc<M>) {
+        self.sends.push((Fanout::One(to), msg, self.charged, false));
     }
 
     /// Arms a timer firing `delay` from now; returns an id for cancellation.
@@ -428,7 +444,7 @@ impl<M: Payload> World<M> {
         self.meta[node.index()].cpu_free_at = at + charged;
         self.meta[node.index()].busy_total += charged;
 
-        for (targets, msg, offset) in sends {
+        for (targets, msg, offset, resident) in sends {
             let depart = at + offset;
             let size = msg.wire_len() as u64;
             let enqueued = match targets {
@@ -440,7 +456,9 @@ impl<M: Payload> World<M> {
             };
             if enqueued > 0 {
                 self.msg_bytes_logical += size * enqueued;
-                self.msg_bytes_resident += size;
+                if resident {
+                    self.msg_bytes_resident += size;
+                }
             }
         }
         for (fire_at, tag, id) in timers {

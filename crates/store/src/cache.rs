@@ -1,10 +1,19 @@
-//! Query-result cache keyed by `(content_version, query)`.
+//! Read-side caches: the auditor's query-result cache and the slave's
+//! byte-budgeted proof/reply cache.
 //!
 //! Section 3.4: the auditor "can, for certain types of applications …
 //! employ query optimization mechanisms (cache results in the simplest
 //! case)".  Because the auditor replays *every* pledged read, and popular
 //! reads repeat, caching per version is highly effective; experiment E7
 //! quantifies the effect.
+//!
+//! [`LruByteCache`] extends the same idea to the hot-read fast path: a
+//! slave serving a flash crowd memoizes the *assembled* proof reply per
+//! `(anchor, query)` so N readers of one hot key cost one O(log n) proof
+//! build plus N pointer bumps.  Correctness never depends on the cache —
+//! it stores only values the slave just computed, keys include the
+//! anchoring stamp (version **and** timestamp), and the owner wipes it
+//! wholesale whenever its replica state or anchor changes.
 
 use crate::query::{Query, QueryResult};
 use sdr_crypto::{Digest, Hash256, Sha256};
@@ -108,6 +117,140 @@ impl QueryCache {
     }
 }
 
+/// A byte-budgeted LRU cache keyed by [`Hash256`].
+///
+/// Values carry an explicit byte weight supplied at insert time (the
+/// store cannot size arbitrary `V`s itself); the cache evicts
+/// least-recently-used entries until the total weight fits the budget.
+/// Recency is a monotonic tick bumped on every get/put — eviction scans
+/// for the minimum tick, which is O(entries) but entries are few (a
+/// 1 MiB budget holds ~hundreds of proof replies) and eviction is rare
+/// outside sustained cold scans.
+///
+/// `clear()` drops all entries and counts one invalidation; hit/miss/
+/// eviction counters survive so end-of-run telemetry sees the whole
+/// history.
+#[derive(Clone, Debug)]
+pub struct LruByteCache<V> {
+    map: HashMap<Hash256, (V, usize, u64)>,
+    budget: usize,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl<V> LruByteCache<V> {
+    /// Creates a cache holding at most `budget` bytes of values.
+    pub fn new(budget: usize) -> Self {
+        LruByteCache {
+            map: HashMap::new(),
+            budget,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency; counts a hit or miss.
+    pub fn get(&mut self, key: &Hash256) -> Option<&V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((v, _, t)) => {
+                *t = self.tick;
+                self.hits += 1;
+                Some(&*v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` weighing `bytes`, evicting LRU entries until the
+    /// budget holds; returns how many entries were evicted.  A value
+    /// bigger than the whole budget is not inserted (returns 0 evictions
+    /// and leaves the cache untouched).
+    pub fn put(&mut self, key: Hash256, value: V, bytes: usize) -> u64 {
+        if bytes > self.budget {
+            return 0;
+        }
+        self.tick += 1;
+        if let Some((_, old_bytes, _)) = self.map.remove(&key) {
+            self.bytes -= old_bytes;
+        }
+        let mut evicted = 0;
+        while self.bytes + bytes > self.budget {
+            let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            if let Some((_, b, _)) = self.map.remove(&lru) {
+                self.bytes -= b;
+            }
+            evicted += 1;
+        }
+        self.map.insert(key, (value, bytes, self.tick));
+        self.bytes += bytes;
+        self.evictions += evicted;
+        evicted
+    }
+
+    /// Drops all entries; counts one invalidation, keeps counters.
+    pub fn clear(&mut self) {
+        if !self.map.is_empty() {
+            self.invalidations += 1;
+        }
+        self.map.clear();
+        self.bytes = 0;
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current total byte weight of cached values.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted by the byte budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Wholesale `clear()`s so far (only non-empty clears count).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +313,62 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.hits(), 1);
+    }
+
+    fn h(n: u8) -> Hash256 {
+        Sha256::digest(&[n])
+    }
+
+    #[test]
+    fn lru_hit_miss_and_bytes() {
+        let mut c = LruByteCache::new(100);
+        assert!(c.get(&h(1)).is_none());
+        assert_eq!(c.put(h(1), "a", 40), 0);
+        assert_eq!(c.get(&h(1)), Some(&"a"));
+        assert_eq!((c.hits(), c.misses(), c.bytes()), (1, 1, 40));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruByteCache::new(100);
+        c.put(h(1), 1u32, 40);
+        c.put(h(2), 2u32, 40);
+        let _ = c.get(&h(1)); // 1 is now fresher than 2.
+        assert_eq!(c.put(h(3), 3u32, 40), 1); // Evicts 2.
+        assert!(c.get(&h(2)).is_none());
+        assert_eq!(c.get(&h(1)), Some(&1));
+        assert_eq!(c.get(&h(3)), Some(&3));
+        assert_eq!(c.evictions(), 1);
+        assert!(c.bytes() <= 100);
+    }
+
+    #[test]
+    fn lru_oversized_value_is_skipped() {
+        let mut c = LruByteCache::new(100);
+        c.put(h(1), 1u32, 40);
+        assert_eq!(c.put(h(2), 2u32, 101), 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&h(1)), Some(&1));
+    }
+
+    #[test]
+    fn lru_replace_updates_weight() {
+        let mut c = LruByteCache::new(100);
+        c.put(h(1), 1u32, 90);
+        c.put(h(1), 2u32, 10);
+        assert_eq!((c.bytes(), c.len()), (10, 1));
+        assert_eq!(c.get(&h(1)), Some(&2));
+    }
+
+    #[test]
+    fn lru_clear_counts_invalidation_once_and_keeps_counters() {
+        let mut c = LruByteCache::new(100);
+        c.put(h(1), 1u32, 10);
+        let _ = c.get(&h(1));
+        c.clear();
+        c.clear(); // Empty clear is not an invalidation.
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert_eq!((c.hits(), c.invalidations()), (1, 1));
     }
 }

@@ -132,7 +132,7 @@ pub mod table;
 pub mod update;
 pub mod value;
 
-pub use cache::QueryCache;
+pub use cache::{LruByteCache, QueryCache};
 pub use chunk::{ChunkId, ChunkStats, ChunkStore, FileManifest, ManifestEntry};
 pub use database::{digest_from_parts, Database};
 pub use document::Document;
