@@ -363,6 +363,84 @@ fn bench_chunks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Verified range reads on the 10k-row dataset: one O(log n + k) range
+/// proof for a 256-row page vs the strawman of 256 point proofs, and
+/// the manifest-slice stream header vs shipping the whole chunk table
+/// of a 1 MiB file.
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_10k");
+    let db = large_dataset();
+    let digest = db.state_digest(); // Warm the subtree-hash caches once.
+    let version = db.version();
+    let (start, end) = (4_000u64, 4_256u64);
+    let query = Query::ScanRange {
+        table: "products".into(),
+        start,
+        end,
+    };
+    let (result, _) = execute(&db, &query).expect("scan");
+    let range_proof = db.prove_scan("products", start, end).expect("table");
+    let point_proofs: Vec<_> = (start..end)
+        .map(|k| {
+            let q = Query::GetRow {
+                table: "products".into(),
+                key: k,
+            };
+            let (r, _) = execute(&db, &q).expect("row");
+            (q, r, db.prove_row("products", k).expect("table"))
+        })
+        .collect();
+
+    // The headline wire saving: one log-depth skeleton amortised over
+    // the whole page vs 256 full paths.  Enforced here so a regression
+    // fails the bench run instead of silently drifting in
+    // BENCH_store.json.
+    let range_bytes = range_proof.wire_len();
+    let point_bytes: usize = point_proofs.iter().map(|(_, _, p)| p.wire_len()).sum();
+    assert!(
+        range_bytes * 5 <= point_bytes,
+        "range proof must be >= 5x smaller on the wire: {range_bytes} vs {point_bytes}"
+    );
+
+    group.bench_function("prove_scan_256", |b| {
+        b.iter(|| black_box(db.prove_scan("products", start, end).expect("table")))
+    });
+    group.bench_function("verify_scan_256", |b| {
+        b.iter(|| {
+            range_proof
+                .verify_result(black_box(&digest), version, &query, &result)
+                .expect("verifies")
+        })
+    });
+    group.bench_function("verify_256_point_proofs", |b| {
+        b.iter(|| {
+            for (q, r, p) in &point_proofs {
+                p.verify_result(black_box(&digest), version, q, r).expect("verifies")
+            }
+        })
+    });
+
+    // Manifest slice vs whole chunk table on a 1 MiB file: the stream
+    // header for a 4 KiB read ships only the covering chunk entries.
+    let mut media = Database::new();
+    let line = "0123456789abcdef".repeat(4);
+    let contents: String = (0..16_384).map(|i| format!("{line}{i:06}\n")).collect();
+    assert!(contents.len() > 1 << 20, "media file must exceed 1 MiB");
+    media
+        .apply_write(&[UpdateOp::WriteFile {
+            path: "/media/big.bin".into(),
+            contents,
+        }])
+        .expect("write applies");
+    group.bench_function("slice_header_1mib", |b| {
+        b.iter(|| black_box(media.prove_stream("/media/big.bin", 512 * 1024, 4_096)))
+    });
+    group.bench_function("whole_manifest_header_1mib", |b| {
+        b.iter(|| black_box(media.prove_stream("/media/big.bin", 0, u64::MAX)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_queries,
@@ -370,6 +448,7 @@ criterion_group!(
     bench_cow_store,
     bench_proofs,
     bench_hot_read,
-    bench_chunks
+    bench_chunks,
+    bench_range
 );
 criterion_main!(benches);

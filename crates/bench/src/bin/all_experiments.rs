@@ -9,8 +9,9 @@
 //! unrecognisable output fails the whole run — this is the report-schema
 //! regression gate CI relies on), and the combined output is one JSON
 //! array of the reports.  The `sharded_commit`, `batched_commit`,
-//! `cdn_media`, `churn_100k`, and `flash_crowd` scenarios have no
-//! dedicated binaries, so they run in-process here and their reports
+//! `cdn_media`, `churn_100k`, `flash_crowd`, and `range_scan` scenarios
+//! have no dedicated binaries, so they run in-process here and their
+//! reports
 //! are validated (and, with `--json`, emitted) exactly like the
 //! children's.
 
@@ -132,6 +133,7 @@ fn main() {
         ("cdn_media", "shared lines"),
         ("churn_100k", ""),
         ("flash_crowd", "skew"),
+        ("range_scan", "scan rows"),
     ] {
         if !json {
             println!("\n================ {scenario} ================");
@@ -168,6 +170,15 @@ fn main() {
                                          stamp hits={:.0} wrong accepts={:.0}",
                                         cell.mean("proof_cache_hit_rate"),
                                         cell.mean("stamp_cache_hits"),
+                                        cell.mean("wrong_accepted"),
+                                    );
+                                } else if scenario == "range_scan" {
+                                    println!(
+                                        "{coord}={x:<4} rows_verified={:.0} \
+                                         range proof bytes (mean) = {:.0} \
+                                         wrong accepts={:.0}",
+                                        cell.mean("range_rows_verified"),
+                                        cell.mean("range_proof_bytes"),
                                         cell.mean("wrong_accepted"),
                                     );
                                 } else if scenario == "cdn_media" {

@@ -111,6 +111,29 @@ struct PendingRead {
     /// until the header opens the window, then replayed; bounded so a
     /// flood before any header cannot grow client memory.
     early_chunks: Vec<(NodeId, u32, Vec<u8>)>,
+    /// Set when this read is one per-shard sub-scan of a scattered
+    /// cross-shard `ScanRange`: the parent scan's id.  Sub-scans accept
+    /// into the parent's stitcher instead of counting their own read,
+    /// and never fall back to the pledged path — a stitched scan is
+    /// only as strong as its weakest piece.
+    parent_scan: Option<u64>,
+}
+
+/// One scattered cross-shard range scan: the parent of `parts.len()`
+/// per-shard sub-scans, each a normal proof-path [`PendingRead`].  The
+/// parent accepts only when every part verified against its own shard's
+/// signed digest *and* the parts tile the scanned interval exactly —
+/// gap, overlap, or any per-shard proof failure rejects the whole scan.
+struct ScanState {
+    /// Scanned half-open key interval.
+    start: u64,
+    end: u64,
+    issued_at: SimTime,
+    /// `(sub_start, sub_end, verified_rows)` per part, ascending;
+    /// `None` = still in flight.
+    parts: Vec<(u64, u64, Option<u64>)>,
+    /// Sub-request id → index into `parts`.
+    by_req: HashMap<u64, usize>,
 }
 
 /// Progress of one verified chunk stream.
@@ -186,6 +209,8 @@ pub struct ClientProcess {
 
     next_req: u64,
     pending: HashMap<u64, PendingRead>,
+    /// In-flight scattered cross-shard scans, by parent id.
+    scans: HashMap<u64, ScanState>,
     pending_writes: HashMap<u64, (SimTime, usize)>,
     /// Per-shard overflow of sampled-but-unsent writes: with
     /// `max_write_batch > 1` the client keeps up to a batch of writes
@@ -260,6 +285,7 @@ impl ClientProcess {
             blacklist: HashSet::new(),
             next_req: 1,
             pending: HashMap::new(),
+            scans: HashMap::new(),
             pending_writes: HashMap::new(),
             deferred_writes: vec![VecDeque::new(); cfg_shards],
             stamp_cache,
@@ -373,6 +399,7 @@ impl ClientProcess {
     fn go_offline(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.phase = Phase::Offline;
         self.pending.clear();
+        self.scans.clear();
         self.pending_writes.clear();
         for q in &mut self.deferred_writes {
             q.clear();
@@ -468,6 +495,18 @@ impl ClientProcess {
             return;
         }
         let query = self.workload.mix.sample(ctx.rng(), &self.workload.dataset);
+        // A `ScanRange` crossing shard boundaries scatters: one
+        // proof-path sub-scan per owning shard, stitched client-side.
+        // Single-shard scans fall through to the ordinary proof path.
+        if let Query::ScanRange { start, end, .. } = &query {
+            if self.cfg.proof_reads {
+                let parts = self.map.split_scan(*start, *end);
+                if parts.len() > 1 {
+                    self.issue_scatter_scan(ctx, query, parts);
+                    return;
+                }
+            }
+        }
         let shard = self.map.shard_of_query(&query);
         if self.shards[shard].slaves.is_empty() {
             return;
@@ -538,18 +577,146 @@ impl ClientProcess {
                 mismatch_check_sent: false,
                 stream: None,
                 early_chunks: Vec::new(),
+                parent_scan: None,
             },
         );
         ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
+    }
+
+    /// Scatters one cross-shard `ScanRange` into per-shard sub-scans:
+    /// each part is an ordinary proof-path read of its owning shard
+    /// (verified against *that shard's* signed digest), registered under
+    /// a parent [`ScanState`] that stitches the verified pieces.  The
+    /// parent counts as one issued read; the fan-out is bookkeeping.
+    fn issue_scatter_scan(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        query: Query,
+        parts: Vec<(usize, u64, u64)>,
+    ) {
+        if parts.iter().any(|(s, _, _)| self.shards[*s].slaves.is_empty()) {
+            return; // Some target shard is mid-reassignment; skip the tick.
+        }
+        let Query::ScanRange { table, start, end } = query else {
+            unreachable!("caller matched ScanRange");
+        };
+        let parent = self.next_req;
+        self.next_req += 1;
+        self.counters.reads_issued += 1;
+        self.counters.proof_reads_issued += 1;
+        ctx.metrics().inc("read.issued");
+        ctx.metrics().inc("read.proof_issued");
+        ctx.metrics().inc("read.range_scattered");
+        let mut scan = ScanState {
+            start,
+            end,
+            issued_at: ctx.now(),
+            parts: Vec::with_capacity(parts.len()),
+            by_req: HashMap::new(),
+        };
+        for (i, (shard, lo, hi)) in parts.into_iter().enumerate() {
+            let req = self.next_req;
+            self.next_req += 1;
+            let sub = Query::ScanRange {
+                table: table.clone(),
+                start: lo,
+                end: hi,
+            };
+            let s = self
+                .proof_target(shard, req, 0)
+                .expect("checked non-empty above");
+            ctx.send(s, Self::proof_read_msg(req, sub.clone()));
+            let mut awaiting = HashSet::new();
+            awaiting.insert(s);
+            scan.parts.push((lo, hi, None));
+            scan.by_req.insert(req, i);
+            self.pending.insert(
+                req,
+                PendingRead {
+                    query: sub,
+                    shard,
+                    sensitive: false,
+                    strategy: ReadStrategy::Proof,
+                    proof_retried: false,
+                    attempts: 0,
+                    issued_at: ctx.now(),
+                    awaiting,
+                    responses: Vec::new(),
+                    mismatch_check_sent: false,
+                    stream: None,
+                    early_chunks: Vec::new(),
+                    parent_scan: Some(parent),
+                },
+            );
+            ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
+        }
+        self.scans.insert(parent, scan);
+    }
+
+    /// Fails a scattered scan: the parent and every sibling sub-scan die
+    /// together (a stitched result with a missing piece is no result).
+    fn fail_scan(&mut self, ctx: &mut Ctx<'_, Msg>, parent: u64) {
+        let Some(scan) = self.scans.remove(&parent) else { return };
+        for req in scan.by_req.keys() {
+            self.pending.remove(req);
+        }
+        self.counters.reads_failed += 1;
+        ctx.metrics().inc("read.failed");
+        ctx.metrics().inc("read.range_failed");
+    }
+
+    /// Records one verified sub-scan; when the last part lands, runs the
+    /// stitch check — the parts must tile `[start, end)` exactly — and
+    /// accepts the parent scan.
+    fn scan_part_done(&mut self, ctx: &mut Ctx<'_, Msg>, parent: u64, req: u64, rows: u64) {
+        let Some(scan) = self.scans.get_mut(&parent) else { return };
+        let Some(&idx) = scan.by_req.get(&req) else { return };
+        scan.parts[idx].2 = Some(rows);
+        if scan.parts.iter().any(|(_, _, r)| r.is_none()) {
+            return;
+        }
+        let scan = self.scans.remove(&parent).expect("present");
+        // Every part carries its own shard's range proof, so each piece
+        // is complete *within its bounds*; the stitch check makes the
+        // bounds themselves airtight: ascending, gapless, covering.
+        let mut cursor = scan.start;
+        let mut exact = true;
+        for (lo, hi, _) in &scan.parts {
+            exact &= *lo == cursor && *hi > *lo;
+            cursor = *hi;
+        }
+        exact &= cursor == scan.end;
+        if !exact {
+            ctx.metrics().inc("read.range_stitch_rejected");
+            self.counters.reads_failed += 1;
+            ctx.metrics().inc("read.failed");
+            return;
+        }
+        let total: u64 = scan.parts.iter().filter_map(|(_, _, r)| *r).sum();
+        self.counters.reads_accepted += 1;
+        self.counters.proof_reads_accepted += 1;
+        ctx.metrics().inc("read.accepted");
+        ctx.metrics().inc("read.proof_accepted");
+        ctx.metrics().inc("read.range_stitched");
+        ctx.metrics().observe("range.scan_rows", total);
+        let latency = ctx.now().since(scan.issued_at);
+        ctx.metrics().observe("read.latency_us", latency.as_micros());
+        ctx.metrics()
+            .observe("read.proof_latency_us", latency.as_micros());
     }
 
     fn retry_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: u64) {
         let Some(p) = self.pending.get_mut(&req) else { return };
         p.attempts += 1;
         if p.attempts > self.cfg.read_retries {
-            self.pending.remove(&req);
-            self.counters.reads_failed += 1;
-            ctx.metrics().inc("read.failed");
+            let parent = self.pending.remove(&req).expect("present").parent_scan;
+            match parent {
+                Some(par) => self.fail_scan(ctx, par),
+                None => {
+                    self.counters.reads_failed += 1;
+                    ctx.metrics().inc("read.failed");
+                }
+            }
             return;
         }
         ctx.metrics().inc("read.retry");
@@ -779,13 +946,25 @@ impl ClientProcess {
                         .bytes()
                         .to_vec(),
                 ));
+                ctx.metrics()
+                    .observe("proof.bytes", proof.wire_len() as u64);
+                ctx.metrics().observe("proof.depth", proof.depth() as u64);
+                if matches!(query, Query::ScanRange { .. }) {
+                    ctx.metrics()
+                        .observe("range.proof_bytes", proof.wire_len() as u64);
+                    ctx.metrics()
+                        .add("range.rows_verified", result.row_count() as u64);
+                }
+                if let Some(parent) = p.parent_scan {
+                    // One verified piece of a scattered scan: report to
+                    // the parent's stitcher instead of accepting a read.
+                    self.scan_part_done(ctx, parent, req, result.row_count() as u64);
+                    return;
+                }
                 self.counters.reads_accepted += 1;
                 self.counters.proof_reads_accepted += 1;
                 ctx.metrics().inc("read.accepted");
                 ctx.metrics().inc("read.proof_accepted");
-                ctx.metrics()
-                    .observe("proof.bytes", proof.wire_len() as u64);
-                ctx.metrics().observe("proof.depth", proof.depth() as u64);
                 let latency = ctx.now().since(p.issued_at);
                 ctx.metrics().observe("read.latency_us", latency.as_micros());
                 ctx.metrics()
@@ -834,6 +1013,14 @@ impl ClientProcess {
                 ctx.set_timer(self.cfg.read_timeout, tag(K_READ_TIMEOUT, req));
             }
             None => {
+                if let Some(parent) = p.parent_scan {
+                    // No pledged fallback for sub-scans: a stitched scan
+                    // is only as strong as its weakest piece, so a part
+                    // whose proof path is exhausted fails the whole scan.
+                    self.pending.remove(&req);
+                    self.fail_scan(ctx, parent);
+                    return;
+                }
                 // Fall back to the pledged pipeline for the
                 // remaining retries.
                 ctx.metrics().inc("read.proof_fallback");
@@ -880,10 +1067,15 @@ impl ClientProcess {
         }
         ctx.metrics().observe("proof.bytes", proof.wire_len() as u64);
         ctx.metrics().observe("proof.depth", proof.depth() as u64);
-        // The announced window must lie within the verified manifest —
-        // a slave cannot promise chunks the manifest does not commit to.
-        let n_chunks = proof.manifest.as_ref().map_or(0, |m| m.chunks.len());
-        if first_chunk as usize + chunk_count as usize > n_chunks {
+        // The announced window must lie within the verified manifest
+        // slice — a slave cannot promise chunks the slice's proof does
+        // not commit to.
+        let (slice_lo, slice_hi) = proof.slice.as_ref().map_or((0, 0), |s| {
+            (s.first as usize, s.first as usize + s.entries.len())
+        });
+        if (first_chunk as usize) < slice_lo
+            || first_chunk as usize + chunk_count as usize > slice_hi
+        {
             self.reject_proof_path(
                 ctx,
                 req,
@@ -1384,13 +1576,19 @@ impl Process<Msg> for ClientProcess {
                 result,
                 proof,
                 digest_stamp,
+            }
+            | Msg::RangeReadReply {
+                query,
+                result,
+                proof,
+                digest_stamp,
             } => {
                 // The reply is content-addressed (no request id), so one
-                // cached `Arc<Msg>` can answer every reader of a hot key.
-                // Route it to the lowest-numbered pending proof read for
-                // this exact query still awaiting this slave — lowest so
-                // duplicate replies resolve reads in issue order,
-                // deterministically.
+                // cached `Arc<Msg>` can answer every reader of a hot key
+                // or hot range.  Route it to the lowest-numbered pending
+                // proof read for this exact query still awaiting this
+                // slave — lowest so duplicate replies resolve reads in
+                // issue order, deterministically.
                 let req = self
                     .pending
                     .iter()

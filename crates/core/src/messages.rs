@@ -392,6 +392,26 @@ pub enum Msg {
         /// Master-signed state digest the proof anchors in.
         digest_stamp: StateDigestStamp,
     },
+    /// Slave → client: a verified range scan — the rows in key order, an
+    /// O(log n + k) range proof covering *and completing* them (no row
+    /// in the scanned interval can be omitted), and the master-signed
+    /// digest stamp the proof folds up to.
+    ///
+    /// Content-addressed exactly like [`Msg::ProofReadReply`]: the reply
+    /// echoes the query, so one cached allocation serves every
+    /// concurrent scanner of the same hot range.
+    RangeReadReply {
+        /// The `ScanRange` query this reply answers (echoed; boxed — see
+        /// [`Msg::ReadResponse`] on why wide payloads stay indirect).
+        query: Box<Query>,
+        /// The (claimed) rows, ascending by key.
+        result: QueryResult,
+        /// Range proof from the rows to the digest (boxed — see
+        /// [`Msg::ReadResponse`]).
+        proof: Box<StateProof>,
+        /// Master-signed state digest the proof anchors in.
+        digest_stamp: StateDigestStamp,
+    },
     /// Client → slave: stream this file range chunk-by-chunk, with a
     /// manifest proof header (the `ReadFileRange` analogue of
     /// [`Msg::ProofRead`]).
@@ -524,7 +544,8 @@ impl Payload for Msg {
             Msg::ReadResponse { result, pledge, .. } => 16 + result.size() + pledge.wire_len(),
             Msg::ReadRefused { .. } => 16,
             Msg::ProofRead { query, .. } => 16 + query.encode().len(),
-            Msg::ProofReadReply { query, result, proof, .. } => {
+            Msg::ProofReadReply { query, result, proof, .. }
+            | Msg::RangeReadReply { query, result, proof, .. } => {
                 8 + query.encode().len() + result.size() + proof.wire_len() + 128
             }
             Msg::StreamRead { query, .. } => 16 + query.encode().len(),

@@ -55,6 +55,7 @@ const BUILDERS: &[(&str, Builder)] = &[
     ("cdn_media", cdn_media),
     ("churn_100k", churn_100k),
     ("flash_crowd", flash_crowd),
+    ("range_scan", range_scan),
 ];
 
 fn read_only(reads_per_sec: f64) -> Workload {
@@ -881,11 +882,71 @@ fn flash_crowd() -> ScenarioSpec {
             grep: 0,
             read_file: 10,
             stream: 5,
+            scan: 0,
+            scan_len: 0,
         },
         ..Workload::default()
     };
     spec.duration = SimDuration::from_secs(20);
     spec.grid = Grid::sweep("skew", Param::Skew, &[0.0, 0.5, 0.9, 0.99]);
+    spec
+}
+
+fn range_scan() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "range_scan",
+        "Verified range reads on a 10k-row catalogue: every read is a \
+         half-open ScanRange answered under a single O(log n + k) treap \
+         range proof, swept from single-row scans to 256-row pages.  The \
+         proof attests both membership and completeness (no row in the \
+         range omitted), so the interesting curve is proof bytes and \
+         verify cost per row as k grows: the log-depth skeleton is \
+         amortised across the page, and wide scans approach one hash \
+         per row where per-row point proofs would pay the full path \
+         each time",
+        SystemConfig {
+            n_shards: 1,
+            n_masters: 3,
+            n_slaves: 3,
+            n_clients: 40,
+            double_check_prob: 0.01,
+            audit_fraction: 0.25,
+            seed: 21_001,
+            ..SystemConfig::default()
+        },
+    );
+    spec.workload = Workload {
+        dataset: DatasetSpec {
+            n_products: 10_000,
+            n_reviews: 2_000,
+            n_files: 20,
+            lines_per_file: 20,
+            shared_block_lines: 0,
+            hot_fraction: 0.0,
+            skew: 0.0,
+            seed: 21_001,
+        },
+        reads_per_sec: 4.0,
+        writes_per_sec: 0.1, // Writes move the anchor under live scans.
+        writer_fraction: 0.1,
+        // Scans only, plus a sliver of point gets so both proof shapes
+        // share the run (and the reply cache) at every swept length.
+        mix: QueryMix {
+            get: 10,
+            range: 0,
+            filter: 0,
+            aggregate: 0,
+            join: 0,
+            grep: 0,
+            read_file: 0,
+            stream: 0,
+            scan: 90,
+            scan_len: 0, // Swept below.
+        },
+        ..Workload::default()
+    };
+    spec.duration = SimDuration::from_secs(20);
+    spec.grid = Grid::sweep("scan rows", Param::RangeLen, &[1.0, 16.0, 256.0]);
     spec
 }
 

@@ -252,6 +252,9 @@ mod tests {
             "proof_unsupported":0,"proof_retries":0,
             "stream_reads_issued":0,"stream_reads_accepted":0,
             "stream_chunks_verified":0,"stream_chunk_rejects":0,
+            "range_proof_bytes":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},
+            "range_rows_verified":0,
+            "range_scans_scattered":0,"range_stitch_rejects":0,
             "chunks_stored":0,"chunks_deduped":0,
             "chunk_logical_bytes":0,"chunk_physical_bytes":0,
             "proof_bytes":{"count":0,"mean":0,"min":0,"p50":0,"p90":0,"p99":0,"max":0},

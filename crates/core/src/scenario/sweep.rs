@@ -84,6 +84,10 @@ pub enum Param {
     /// (0 = the legacy uniform sampler, byte-identically; 1 = every
     /// point read is a flash-crowd hot-key hit).
     Skew,
+    /// `workload.mix.scan_len`: rows per sampled `ScanRange`, i.e. the
+    /// page size `k` each single range proof must cover.  Sweeps the
+    /// O(log n + k) curve from point-like scans to wide pages.
+    RangeLen,
 }
 
 impl Param {
@@ -164,6 +168,12 @@ impl Param {
                 }
                 spec.workload.dataset.skew = v;
             }
+            Param::RangeLen => {
+                if v < 1.0 {
+                    return Err(format!("RangeLen must be >= 1, got {v}"));
+                }
+                spec.workload.mix.scan_len = v as u32;
+            }
         }
         Ok(())
     }
@@ -210,6 +220,8 @@ fn static_fraction_mix(fraction: f64) -> crate::workload::QueryMix {
         join,
         grep,
         stream: 0,
+        scan: 0,
+        scan_len: 0,
     }
 }
 

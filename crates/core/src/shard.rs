@@ -120,6 +120,37 @@ impl ShardMap {
         self.contiguous(key.saturating_sub(1), self.row_span)
     }
 
+    /// First primary key owned by shard `s` (keys are 1-based).  Shards
+    /// past the last return `u64::MAX`, making it a convenient exclusive
+    /// upper bound for the last shard's slice.
+    pub fn first_row(&self, s: usize) -> u64 {
+        if s == 0 {
+            return 1;
+        }
+        if s >= self.n_shards {
+            return u64::MAX;
+        }
+        ((s as u128 * self.row_span as u128).div_ceil(self.n_shards as u128)) as u64 + 1
+    }
+
+    /// Splits a half-open key range `[start, end)` at shard boundaries
+    /// into per-shard sub-ranges `(shard, sub_start, sub_end)`, ascending
+    /// in both shard and key order.  The sub-ranges partition the input
+    /// exactly — no gaps, no overlaps — which is what lets a client
+    /// scatter a scan, verify each piece against its own shard's digest,
+    /// and stitch the results back into one verified answer.
+    pub fn split_scan(&self, start: u64, end: u64) -> Vec<(usize, u64, u64)> {
+        let mut out = Vec::new();
+        let mut lo = start;
+        while lo < end {
+            let s = self.shard_of_row(lo);
+            let hi = end.min(self.first_row(s + 1));
+            out.push((s, lo, hi));
+            lo = hi;
+        }
+        out
+    }
+
     /// Owning shard of a file path.
     pub fn shard_of_path(&self, path: &str) -> usize {
         match path_ordinal(path) {
@@ -141,6 +172,10 @@ impl ShardMap {
         match q {
             Query::GetRow { key, .. } => self.shard_of_row(*key),
             Query::Range { low, .. } => self.shard_of_row(*low),
+            // A `ScanRange` reaching a single shard is owned by its lower
+            // bound; clients split multi-shard scans with
+            // [`ShardMap::split_scan`] before routing.
+            Query::ScanRange { start, .. } => self.shard_of_row(*start),
             Query::ReadFile { path } | Query::ReadFileRange { path, .. } => {
                 self.shard_of_path(path)
             }
@@ -229,6 +264,49 @@ mod tests {
         let s = m.shard_of_path("/readme");
         assert!(s < 4);
         assert_eq!(s, m.shard_of_path("/readme"));
+    }
+
+    #[test]
+    fn split_scan_partitions_exactly_at_shard_boundaries() {
+        for n in [1usize, 2, 3, 4, 7, 8] {
+            let m = map(n);
+            // first_row agrees with shard_of_row as an oracle.
+            for s in 0..n {
+                let f = m.first_row(s);
+                assert_eq!(m.shard_of_row(f), s);
+                if f > 1 {
+                    assert_eq!(m.shard_of_row(f - 1), s - 1);
+                }
+            }
+            assert_eq!(m.first_row(n), u64::MAX);
+            for (start, end) in [(1u64, 501), (0, 10), (120, 130), (100, 400), (7, 7), (490, 600)] {
+                let parts = m.split_scan(start, end);
+                // Exact partition: contiguous, ordered, covering.
+                let mut cursor = start;
+                for &(s, lo, hi) in &parts {
+                    assert_eq!(lo, cursor);
+                    assert!(hi > lo);
+                    cursor = hi;
+                    // Every key in the sub-range routes to its shard.
+                    assert_eq!(m.shard_of_row(lo), s);
+                    assert_eq!(m.shard_of_row(hi - 1), s);
+                }
+                if start >= end {
+                    assert!(parts.is_empty());
+                } else {
+                    assert_eq!(cursor, end);
+                }
+                // Routing of a single-shard sub-scan agrees with the map.
+                for &(s, lo, hi) in &parts {
+                    let q = Query::ScanRange {
+                        table: "products".into(),
+                        start: lo,
+                        end: hi,
+                    };
+                    assert_eq!(m.shard_of_query(&q), s);
+                }
+            }
+        }
     }
 
     #[test]

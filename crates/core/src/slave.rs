@@ -22,7 +22,8 @@ use sdr_crypto::{Digest, Hash256, PublicKey, Sha256, Signer};
 use sdr_sim::{Ctx, NodeId, Payload, Process, SimTime};
 use sdr_store::fsview::GrepMatch;
 use sdr_store::{
-    execute, Database, Document, LruByteCache, Query, QueryResult, StreamProof, UpdateOp, Value,
+    execute, Database, Document, LruByteCache, Query, QueryResult, StateProof, StreamProof,
+    UpdateOp, Value,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -282,13 +283,20 @@ impl SlaveProcess {
     }
 
     /// Cache key of a memoized stream-proof header (same anchor binding
-    /// as [`Self::proof_reply_key`], path instead of query).
-    fn stream_proof_key(anchor: &StateDigestStamp, path: &str) -> Hash256 {
+    /// as [`Self::proof_reply_key`], path plus *chunk window* instead of
+    /// a query).  A slice header depends only on which chunk-table rows
+    /// the byte range overlaps, so keying on the window — not the raw
+    /// `(offset, len)` — lets every read landing in the same chunks
+    /// share one cached header.  `(u64::MAX, u64::MAX)` keys the
+    /// absent-file header.
+    fn stream_proof_key(anchor: &StateDigestStamp, path: &str, window: (u64, u64)) -> Hash256 {
         Sha256::digest_parts(&[
-            b"sdr/stream-proof/v1",
+            b"sdr/stream-proof/v2",
             &anchor.version.to_be_bytes(),
             &anchor.timestamp.as_micros().to_be_bytes(),
             anchor.digest.as_ref(),
+            &window.0.to_be_bytes(),
+            &window.1.to_be_bytes(),
             path.as_bytes(),
         ])
     }
@@ -609,7 +617,7 @@ impl SlaveProcess {
             // Liars corrupt the shipped *result* even on a hit (fresh
             // allocation; the cache always holds the honest reply).
             let lie = match &*reply {
-                Msg::ProofReadReply { result, .. } => {
+                Msg::ProofReadReply { result, .. } | Msg::RangeReadReply { result, .. } => {
                     apply_lie_behavior(self.behavior, ctx, result)
                 }
                 _ => None, // Poisoned by the test hook with junk.
@@ -619,23 +627,24 @@ impl SlaveProcess {
                     ctx.metrics().inc("slave.lies");
                     self.lies_told
                         .insert(ResultHash::of(&bad, self.cfg.pledge_hash).bytes().to_vec());
-                    let Msg::ProofReadReply {
+                    let (Msg::ProofReadReply {
                         query,
                         proof,
                         digest_stamp,
                         ..
-                    } = (*reply).clone()
+                    }
+                    | Msg::RangeReadReply {
+                        query,
+                        proof,
+                        digest_stamp,
+                        ..
+                    }) = (*reply).clone()
                     else {
-                        unreachable!("lie derives from a ProofReadReply");
+                        unreachable!("lie derives from a proof-read reply");
                     };
                     ctx.send(
                         client,
-                        Msg::ProofReadReply {
-                            query,
-                            result: bad,
-                            proof,
-                            digest_stamp,
-                        },
+                        Self::proof_reply_msg(query, bad, proof, digest_stamp),
                     );
                 }
                 None => ctx.send_cached(client, reply),
@@ -655,22 +664,25 @@ impl SlaveProcess {
             refuse(ctx, RefuseReason::OutOfSync);
             return;
         };
-        // Proof assembly re-hashes only the O(log n) path.
+        // Proof assembly re-hashes only the O(log n + k) path.
         ctx.charge(ctx.costs().hash_cost(64) * (1 + proof.depth() as u64));
         self.reads_served += 1;
         ctx.metrics().inc("slave.reads");
         ctx.metrics().inc("slave.proof_reads");
+        if matches!(query, Query::ScanRange { .. }) {
+            ctx.metrics().inc("slave.range_reads");
+        }
 
         // The honest reply is assembled (and cached) regardless of
         // behaviour; liars corrupt a per-request copy of the result.
         // Forging the *proof* against the signed digest would need a
         // hash collision, so lies die at the client's verification.
-        let honest = Arc::new(Msg::ProofReadReply {
-            query: Box::new(query.clone()),
-            result: result.clone(),
-            proof: Box::new(proof),
-            digest_stamp: anchor.clone(),
-        });
+        let honest = Arc::new(Self::proof_reply_msg(
+            Box::new(query.clone()),
+            result.clone(),
+            Box::new(proof),
+            anchor.clone(),
+        ));
         if self.cfg.proof_cache_bytes > 0 {
             let key = Self::proof_reply_key(&anchor, &query);
             let bytes = honest.wire_len();
@@ -682,20 +694,40 @@ impl SlaveProcess {
                 ctx.metrics().inc("slave.lies");
                 self.lies_told
                     .insert(ResultHash::of(&bad, self.cfg.pledge_hash).bytes().to_vec());
-                let Msg::ProofReadReply { query, proof, .. } = (*honest).clone() else {
+                let (Msg::ProofReadReply { query, proof, .. }
+                | Msg::RangeReadReply { query, proof, .. }) = (*honest).clone()
+                else {
                     unreachable!("just built");
                 };
-                ctx.send(
-                    client,
-                    Msg::ProofReadReply {
-                        query,
-                        result: bad,
-                        proof,
-                        digest_stamp: anchor,
-                    },
-                );
+                ctx.send(client, Self::proof_reply_msg(query, bad, proof, anchor));
             }
             None => ctx.send_shared(client, honest),
+        }
+    }
+
+    /// Picks the reply variant for a proof-anchored read: scans travel
+    /// as [`Msg::RangeReadReply`], point reads as [`Msg::ProofReadReply`].
+    /// Both are content-addressed and share one reply cache.
+    fn proof_reply_msg(
+        query: Box<Query>,
+        result: QueryResult,
+        proof: Box<StateProof>,
+        digest_stamp: StateDigestStamp,
+    ) -> Msg {
+        if matches!(&*query, Query::ScanRange { .. }) {
+            Msg::RangeReadReply {
+                query,
+                result,
+                proof,
+                digest_stamp,
+            }
+        } else {
+            Msg::ProofReadReply {
+                query,
+                result,
+                proof,
+                digest_stamp,
+            }
         }
     }
 
@@ -704,12 +736,12 @@ impl SlaveProcess {
     fn build_proof_reply(&self, query: &Query, anchor: &StateDigestStamp) -> Option<Msg> {
         let (result, _) = execute(&self.db, query).ok()?;
         let proof = self.db.prove_query(query)?.ok()?;
-        Some(Msg::ProofReadReply {
-            query: Box::new(query.clone()),
+        Some(Self::proof_reply_msg(
+            Box::new(query.clone()),
             result,
-            proof: Box::new(proof),
-            digest_stamp: anchor.clone(),
-        })
+            Box::new(proof),
+            anchor.clone(),
+        ))
     }
 
     /// Serves a `ReadFileRange` as a proof-anchored chunk stream: one
@@ -758,16 +790,27 @@ impl SlaveProcess {
 
         let anchor = self.latest_digest_stamp.clone().expect("checked fresh");
         // The header proof is immutable under one anchor: memoize it so
-        // repeat streams of a hot file skip the O(log n) path re-hash.
-        // Chunk collection below is per-request (the bytes really move).
+        // repeat streams of a hot range skip the O(log n) path re-hash.
+        // The key carries the byte range — a slice header proves only
+        // the chunk-table rows that overlap it, so different ranges of
+        // one file are different cache entries.  Chunk collection below
+        // is per-request (the bytes really move).
         let proof = if self.cfg.proof_cache_bytes > 0 {
             ctx.charge(ctx.costs().cache_lookup);
-            let key = Self::stream_proof_key(&anchor, path);
+            let window = self
+                .db
+                .fs()
+                .manifest(path)
+                .map_or((u64::MAX, u64::MAX), |m| {
+                    let (a, b) = m.chunk_range(*offset, *len);
+                    (a as u64, b as u64)
+                });
+            let key = Self::stream_proof_key(&anchor, path, window);
             match self.stream_proof_cache.get(&key).cloned() {
                 Some(p) => {
                     ctx.metrics().inc("slave.proof_cache_hit");
                     if self.cfg.cache_verify {
-                        let fresh = self.db.prove_stream(path);
+                        let fresh = self.db.prove_stream(path, *offset, *len);
                         if format!("{fresh:?}") != format!("{p:?}") {
                             ctx.metrics().inc("slave.cache_divergence");
                         }
@@ -776,7 +819,7 @@ impl SlaveProcess {
                 }
                 None => {
                     ctx.metrics().inc("slave.proof_cache_miss");
-                    let p = self.db.prove_stream(path);
+                    let p = self.db.prove_stream(path, *offset, *len);
                     // Header assembly re-hashes only the O(log n) path.
                     ctx.charge(ctx.costs().hash_cost(64) * (1 + p.depth() as u64));
                     let evicted = self.stream_proof_cache.put(key, p.clone(), p.wire_len());
@@ -785,19 +828,25 @@ impl SlaveProcess {
                 }
             }
         } else {
-            let p = self.db.prove_stream(path);
+            let p = self.db.prove_stream(path, *offset, *len);
             ctx.charge(ctx.costs().hash_cost(64) * (1 + p.depth() as u64));
             p
         };
-        let (first, end) = proof
-            .manifest
+        // The slice already covers exactly the chunks overlapping the
+        // requested byte range; stream them at their absolute indexes.
+        let (first, end) = proof.slice.as_ref().map_or((0, 0), |s| {
+            (s.first as usize, s.first as usize + s.entries.len())
+        });
+        let chunks: Vec<(u32, Vec<u8>)> = proof
+            .slice
             .as_ref()
-            .map_or((0, 0), |m| m.chunk_range(*offset, *len));
-        let chunks: Vec<(u32, Vec<u8>)> = (first..end)
-            .filter_map(|i| {
-                let id = proof.manifest.as_ref()?.chunks.get(i)?.id;
-                let data = self.db.fs().chunk_bytes(&id)?.to_vec();
-                Some((i as u32, data))
+            .map(|s| s.entries.as_slice())
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+            .filter_map(|(rel, entry)| {
+                let data = self.db.fs().chunk_bytes(&entry.id)?.to_vec();
+                Some(((first + rel) as u32, data))
             })
             .collect();
         if chunks.len() != end - first {

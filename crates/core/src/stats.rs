@@ -121,6 +121,18 @@ pub struct SystemStats {
     pub stream_chunks_verified: u64,
     /// Streams rejected at a corrupted chunk.
     pub stream_chunk_rejects: u64,
+    /// Range-proof size on the wire, bytes (per verified `ScanRange`
+    /// reply — one proof covers every row in the page).
+    pub range_proof_bytes: Summary,
+    /// Rows delivered under a verified range proof, summed over all
+    /// accepted `ScanRange` replies.
+    pub range_rows_verified: u64,
+    /// `ScanRange` reads scattered across shard boundaries (the parent
+    /// counts once; per-shard sub-scans are bookkeeping).
+    pub range_scans_scattered: u64,
+    /// Scattered scans whose verified per-shard pieces failed the
+    /// stitch check (gap, overlap, or short coverage) and were refused.
+    pub range_stitch_rejects: u64,
     /// Client churn rejoins completed (each redoes the setup phase).
     pub churn_joins: u64,
     /// Client churn departures.
@@ -306,6 +318,10 @@ impl SystemStats {
             stream_reads_accepted: m.counter("read.stream_accepted"),
             stream_chunks_verified: m.counter("read.stream_chunks_verified"),
             stream_chunk_rejects: m.counter("read.stream_chunk_rejected"),
+            range_proof_bytes: m.summary("range.proof_bytes"),
+            range_rows_verified: m.counter("range.rows_verified"),
+            range_scans_scattered: m.counter("read.range_scattered"),
+            range_stitch_rejects: m.counter("read.range_stitch_rejected"),
             churn_joins: m.counter("client.churn_join"),
             churn_leaves: m.counter("client.churn_leave"),
             sim_events,
@@ -457,6 +473,10 @@ impl SystemStats {
             ("stream_reads_accepted", self.stream_reads_accepted as f64),
             ("stream_chunks_verified", self.stream_chunks_verified as f64),
             ("stream_chunk_rejects", self.stream_chunk_rejects as f64),
+            ("range_proof_bytes", self.range_proof_bytes.mean),
+            ("range_rows_verified", self.range_rows_verified as f64),
+            ("range_scans_scattered", self.range_scans_scattered as f64),
+            ("range_stitch_rejects", self.range_stitch_rejects as f64),
             ("churn_joins", self.churn_joins as f64),
             ("churn_leaves", self.churn_leaves as f64),
             ("sim_events", self.sim_events as f64),
@@ -521,6 +541,7 @@ impl SystemStats {
              proofs: issued={} accepted={} rejected={} retries={} fallbacks={} \
              unsupported={} bytes_p50={} depth_p50={}\n\
              streams: issued={} accepted={} chunks_verified={} chunk_rejects={}\n\
+             ranges: rows_verified={} proof_bytes_p50={} scattered={} stitch_rejects={}\n\
              chunks: stored={} deduped={} logical={}B physical={}B dedup_ratio={:.3}\n\
              writes: committed={} denied={} per_round_mean={:.2}\n\
              lies: told={} wrong_accepted={} ({:.4}%)\n\
@@ -549,6 +570,10 @@ impl SystemStats {
             self.stream_reads_accepted,
             self.stream_chunks_verified,
             self.stream_chunk_rejects,
+            self.range_rows_verified,
+            self.range_proof_bytes.p50,
+            self.range_scans_scattered,
+            self.range_stitch_rejects,
             self.chunks_stored,
             self.chunks_deduped,
             self.chunk_logical_bytes,

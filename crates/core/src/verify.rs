@@ -69,13 +69,17 @@ pub enum ReadStrategy {
     Proof,
 }
 
-/// Picks the read strategy for a query: static point lookups (and
-/// streamed file ranges, which verify chunk-by-chunk against the
-/// manifest proof) take the proof path when it is enabled; everything
+/// Picks the read strategy for a query: static point lookups, streamed
+/// file ranges (which verify chunk-by-chunk against the manifest slice
+/// proof), and key-range scans (which verify against an O(log n + k)
+/// range proof) take the proof path when it is enabled; everything
 /// computed stays pledged.
 pub fn strategy_for(query: &Query, proof_reads_enabled: bool) -> ReadStrategy {
     match query {
-        Query::GetRow { .. } | Query::ReadFile { .. } | Query::ReadFileRange { .. }
+        Query::GetRow { .. }
+        | Query::ReadFile { .. }
+        | Query::ReadFileRange { .. }
+        | Query::ScanRange { .. }
             if proof_reads_enabled =>
         {
             ReadStrategy::Proof
@@ -364,6 +368,79 @@ mod tests {
         };
         assert_eq!(strategy_for(&range, true), ReadStrategy::Proof);
         assert_eq!(strategy_for(&range, false), ReadStrategy::Pledged);
+        let scan = Query::ScanRange {
+            table: "t".into(),
+            start: 1,
+            end: 100,
+        };
+        assert_eq!(strategy_for(&scan, true), ReadStrategy::Proof);
+        assert_eq!(strategy_for(&scan, false), ReadStrategy::Pledged);
+        // The legacy limit-truncatable Range stays pledged: truncation
+        // makes its answer a computed result, not a provable slice.
+        let legacy = Query::Range {
+            table: "t".into(),
+            low: 1,
+            high: 100,
+            limit: Some(10),
+        };
+        assert_eq!(strategy_for(&legacy, true), ReadStrategy::Pledged);
+    }
+
+    #[test]
+    fn range_scan_pipeline_accepts_complete_answers_and_kills_omissions() {
+        let mut f = fixture();
+        let mut db = db();
+        let ops: Vec<UpdateOp> = (10..30)
+            .map(|k| UpdateOp::Insert {
+                table: "t".into(),
+                key: k,
+                doc: Document::new().with("v", k as i64),
+            })
+            .collect();
+        db.apply_write(&ops).unwrap();
+        let query = Query::ScanRange {
+            table: "t".into(),
+            start: 12,
+            end: 25,
+        };
+        let (result, _) = sdr_store::execute(&db, &query).unwrap();
+        let proof = db.prove_scan("t", 12, 25).unwrap();
+        let stamp = StateDigestStamp::build(
+            db.version(),
+            db.state_digest(),
+            SimTime::from_millis(100),
+            NodeId(0),
+            &mut f.master,
+        )
+        .unwrap();
+
+        verify_proof_read(&env(&f, 200), NodeId(5), &query, &result, &proof, &stamp).unwrap();
+
+        // Omitting a row from the middle of the scan is caught — range
+        // proofs prove completeness, not just membership.
+        let QueryResult::Rows(rows) = &result else { panic!("rows") };
+        let mut omitted = rows.clone();
+        omitted.remove(5);
+        assert!(matches!(
+            verify_proof_read(
+                &env(&f, 200),
+                NodeId(5),
+                &query,
+                &QueryResult::Rows(omitted),
+                &proof,
+                &stamp
+            ),
+            Err(RejectReason::BadProof(_))
+        ));
+        // Same gates as point proofs: staleness and unknown responder.
+        assert_eq!(
+            verify_proof_read(&env(&f, 2_000), NodeId(5), &query, &result, &proof, &stamp),
+            Err(RejectReason::Stale)
+        );
+        assert_eq!(
+            verify_proof_read(&env(&f, 200), NodeId(99), &query, &result, &proof, &stamp),
+            Err(RejectReason::UnknownSlave)
+        );
     }
 
     #[test]
@@ -381,7 +458,7 @@ mod tests {
             offset: 0,
             len: contents.len() as u64,
         };
-        let proof = db.prove_stream("/big");
+        let proof = db.prove_stream("/big", 0, contents.len() as u64);
         let stamp = StateDigestStamp::build(
             db.version(),
             db.state_digest(),
@@ -392,10 +469,10 @@ mod tests {
         .unwrap();
 
         verify_stream_header(&env(&f, 200), NodeId(5), &query, &proof, &stamp).unwrap();
-        // Chunks then verify individually against the manifest.
-        let manifest = proof.manifest.as_ref().unwrap();
+        // Chunks then verify individually against the manifest slice.
+        let slice = proof.slice.as_ref().unwrap();
         let mut off = 0usize;
-        for (i, e) in manifest.chunks.iter().enumerate() {
+        for (i, e) in slice.entries.iter().enumerate() {
             proof
                 .verify_chunk(i, &contents.as_bytes()[off..off + e.len as usize])
                 .unwrap();

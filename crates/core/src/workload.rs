@@ -26,6 +26,12 @@ pub struct QueryMix {
     pub read_file: u32,
     /// Byte-range file reads, streamed chunk-by-chunk on the proof path.
     pub stream: u32,
+    /// Proof-verified half-open key scans (`ScanRange`): one
+    /// O(log n + k) range proof authenticates the whole answer,
+    /// scattered across shards when the range crosses a boundary.
+    pub scan: u32,
+    /// Rows per sampled `ScanRange` (`0` means 16).
+    pub scan_len: u32,
 }
 
 impl QueryMix {
@@ -41,6 +47,8 @@ impl QueryMix {
             grep: 7,
             read_file: 3,
             stream: 0,
+            scan: 0,
+            scan_len: 0,
         }
     }
 
@@ -55,6 +63,8 @@ impl QueryMix {
             grep: 25,
             read_file: 5,
             stream: 0,
+            scan: 0,
+            scan_len: 0,
         }
     }
 
@@ -70,6 +80,8 @@ impl QueryMix {
             grep: 5,
             read_file: 10,
             stream: 50,
+            scan: 0,
+            scan_len: 0,
         }
     }
 
@@ -77,6 +89,7 @@ impl QueryMix {
         self.get + self.range + self.filter + self.aggregate + self.join + self.grep
             + self.read_file
             + self.stream
+            + self.scan
     }
 
     /// Samples a query against the generated dataset.
@@ -161,6 +174,16 @@ impl QueryMix {
                     "/docs/file-{:03}.log",
                     sample_skewed(rng, spec, spec.n_files.max(1) as u64)
                 ),
+            }
+        } else if take(self.scan) {
+            // Half-open primary-key scan, answered under one range proof.
+            let len = if self.scan_len == 0 { 16 } else { self.scan_len } as u64;
+            let len = len.min(n);
+            let start = 1 + sample_skewed(rng, spec, (n - len).max(1));
+            Query::ScanRange {
+                table: "products".into(),
+                start,
+                end: start + len,
             }
         } else {
             // Byte-range read somewhere inside the file (generated lines
@@ -464,6 +487,8 @@ mod tests {
             grep: 0,
             read_file: 0,
             stream: 0,
+            scan: 0,
+            scan_len: 0,
         };
         let spec = DatasetSpec {
             n_products: 10_000,

@@ -167,6 +167,52 @@ fn disabled_caches_accept_the_same_reads_correctly() {
     }
 }
 
+/// Assembled `RangeReadReply`s are memoized under the same
+/// `(anchor, query)` key as point-proof replies, and every anchor move
+/// or applied write wipes them wholesale — so a scan-heavy run with
+/// writes interleaved must show cache hits AND zero proof rejections.
+/// A cached range reply surviving a version bump would be served under
+/// a dead anchor and die at the client as `proof_reads_rejected`.
+#[test]
+fn cached_range_replies_hit_and_are_never_served_stale() {
+    let cfg = small_config(15);
+    let n = cfg.n_slaves;
+    let mut w = hot_workload(40.0);
+    w.writes_per_sec = 1.0;
+    w.writer_fraction = 0.25;
+    w.mix.get = 0;
+    w.mix.scan = 100;
+    w.mix.scan_len = 8;
+    let mut sys = build(cfg, vec![SlaveBehavior::Honest; n], w);
+    sys.run_for(SimDuration::from_secs(20));
+    let stats = sys.stats();
+    let m = sys.world.metrics();
+
+    assert!(m.counter("slave.range_reads") > 0, "no scans served");
+    assert!(
+        stats.range_rows_verified > 0,
+        "no rows verified under range proofs: {}",
+        stats.render()
+    );
+    assert!(
+        stats.proof_cache_hits > 0,
+        "range replies never hit the cache: {}",
+        stats.render()
+    );
+    assert!(
+        stats.proof_cache_invalidations > 0,
+        "writes never invalidated the reply cache: {}",
+        stats.render()
+    );
+    assert_eq!(
+        stats.proof_reads_rejected, 0,
+        "a cached range reply was served stale: {}",
+        stats.render()
+    );
+    assert_eq!(stats.wrong_accepted, 0);
+    assert!(stats.reads_accepted > 100, "accepted only {}", stats.reads_accepted);
+}
+
 /// A Byzantine slave that poisons its own reply cache — planting a
 /// forged result under the *genuine* signed anchor with an honest-shaped
 /// proof — still cannot get a wrong answer accepted: the Merkle fold

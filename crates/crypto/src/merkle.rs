@@ -232,6 +232,120 @@ impl MerkleTree {
     pub fn height(&self) -> usize {
         self.levels.len() - 1
     }
+
+    /// Produces one authentication object for the contiguous leaf range
+    /// `[first, end)` — O(log n) sibling hashes total, instead of one
+    /// full path per leaf.
+    pub fn prove_range(&self, first: usize, end: usize) -> Result<MerkleRangeProof, CryptoError> {
+        if first >= end || end > self.leaf_count() {
+            return Err(CryptoError::Malformed("leaf range out of bounds"));
+        }
+        let mut siblings = Vec::new();
+        let (mut a, mut b) = (first, end);
+        for level in &self.levels[..self.levels.len() - 1] {
+            if a % 2 == 1 {
+                siblings.push(level[a - 1]);
+                a -= 1;
+            }
+            if b % 2 == 1 && b < level.len() {
+                siblings.push(level[b]);
+            }
+            a /= 2;
+            b = b.div_ceil(2);
+        }
+        Ok(MerkleRangeProof {
+            first: first as u64,
+            siblings,
+        })
+    }
+}
+
+/// An authentication object for a *contiguous* range of leaves.
+///
+/// Where [`MerkleProof`] ships one sibling path per leaf (O(k log n)
+/// hashes for k leaves), a range proof ships only the boundary siblings:
+/// the verifier folds the claimed leaves pairwise level by level, pulling
+/// a sibling from the proof only where the known segment starts at an odd
+/// index or ends before an odd boundary — O(log n) hashes total.
+///
+/// The verifier must know the tree's total leaf count from a trusted
+/// channel (here: the manifest encoding the outer fold commits to), so
+/// the odd-node duplication rule cannot be abused to append phantom
+/// copies of the last leaf.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleRangeProof {
+    /// Index of the first proven leaf.
+    pub first: u64,
+    /// Boundary sibling hashes, leaf level upward; within one level the
+    /// left sibling (if any) precedes the right.
+    pub siblings: Vec<Hash256>,
+}
+
+impl MerkleRangeProof {
+    /// Folds the claimed `leaves` (the range's leaf hashes, in order) up
+    /// to the implied root of a tree with `leaf_count` total leaves.
+    ///
+    /// Errors when the range is out of bounds or the proof has the wrong
+    /// number of siblings for this geometry.
+    pub fn fold(&self, leaf_count: usize, leaves: &[Hash256]) -> Result<Hash256, CryptoError> {
+        let first = self.first as usize;
+        let end = first.checked_add(leaves.len()).ok_or(CryptoError::Malformed("range overflow"))?;
+        if leaves.is_empty() || end > leaf_count {
+            return Err(CryptoError::Malformed("leaf range out of bounds"));
+        }
+        let mut segment: Vec<Hash256> = leaves.to_vec();
+        let (mut a, mut b) = (first, end);
+        let mut level_len = leaf_count;
+        let mut used = 0usize;
+        while level_len > 1 {
+            if a % 2 == 1 {
+                let sib = *self.siblings.get(used).ok_or(CryptoError::InvalidProof)?;
+                used += 1;
+                segment.insert(0, sib);
+                a -= 1;
+            }
+            if b % 2 == 1 {
+                if b < level_len {
+                    let sib = *self.siblings.get(used).ok_or(CryptoError::InvalidProof)?;
+                    used += 1;
+                    segment.push(sib);
+                } else {
+                    // Odd tail: the last node pairs with itself.
+                    segment.push(*segment.last().expect("segment non-empty"));
+                }
+            }
+            segment = segment
+                .chunks(2)
+                .map(|pair| node_hash(&pair[0], &pair[1]))
+                .collect();
+            a /= 2;
+            b = b.div_ceil(2);
+            level_len = level_len.div_ceil(2);
+        }
+        if used != self.siblings.len() || segment.len() != 1 {
+            return Err(CryptoError::InvalidProof);
+        }
+        Ok(segment[0])
+    }
+
+    /// Verifies the claimed leaf range against a trusted root.
+    pub fn verify(
+        &self,
+        root: &Hash256,
+        leaf_count: usize,
+        leaves: &[Hash256],
+    ) -> Result<(), CryptoError> {
+        if self.fold(leaf_count, leaves)? == *root {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidProof)
+        }
+    }
+
+    /// Approximate wire size in bytes (index + sibling hashes).
+    pub fn wire_len(&self) -> usize {
+        8 + self.siblings.len() * 32
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +445,73 @@ mod tests {
         let a = MerkleTree::from_data(&[b"a", b"b"]).unwrap();
         let b = MerkleTree::from_data(&[b"a", b"c"]).unwrap();
         assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn range_proofs_verify_for_all_sizes_and_ranges() {
+        for n in 1..=17 {
+            let l = leaves(n);
+            let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+            for first in 0..n {
+                for end in (first + 1)..=n {
+                    let proof = tree.prove_range(first, end).unwrap();
+                    proof
+                        .verify(&tree.root(), n, &l[first..end])
+                        .unwrap_or_else(|e| panic!("n={n} [{first},{end}): {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_proof_is_logarithmic_not_linear() {
+        let n = 1024;
+        let tree = MerkleTree::from_leaves(leaves(n)).unwrap();
+        let proof = tree.prove_range(100, 356).unwrap();
+        // 256 point proofs would carry 256 * 10 siblings; the range proof
+        // carries at most two boundary siblings per level.
+        assert!(proof.siblings.len() <= 2 * tree.height());
+    }
+
+    #[test]
+    fn range_proof_rejects_mutations() {
+        let n = 33;
+        let l = leaves(n);
+        let tree = MerkleTree::from_leaves(l.clone()).unwrap();
+        let proof = tree.prove_range(5, 21).unwrap();
+        let root = tree.root();
+
+        // Dropped leaf.
+        assert!(proof.verify(&root, n, &l[5..20]).is_err());
+        // Extra leaf.
+        assert!(proof.verify(&root, n, &l[5..22]).is_err());
+        // Swapped neighbours.
+        let mut swapped = l[5..21].to_vec();
+        swapped.swap(3, 4);
+        assert!(proof.verify(&root, n, &swapped).is_err());
+        // Shifted start index.
+        let mut shifted = proof.clone();
+        shifted.first = 6;
+        assert!(shifted.verify(&root, n, &l[5..21]).is_err());
+        // Tampered sibling.
+        let mut tampered = proof.clone();
+        tampered.siblings[0] = leaf_hash(b"evil");
+        assert!(tampered.verify(&root, n, &l[5..21]).is_err());
+        // Lying about the leaf count on a tail-touching range
+        // (phantom-duplicate defence: the odd tail pairs with itself,
+        // so a phantom 34th leaf changes the required sibling set).
+        let tail = tree.prove_range(28, 33).unwrap();
+        tail.verify(&root, n, &l[28..33]).unwrap();
+        assert!(tail.verify(&root, n + 1, &l[28..33]).is_err());
+        // Empty claim.
+        assert!(proof.verify(&root, n, &[]).is_err());
+    }
+
+    #[test]
+    fn range_proof_out_of_bounds_rejected() {
+        let tree = MerkleTree::from_leaves(leaves(8)).unwrap();
+        assert!(tree.prove_range(3, 3).is_err());
+        assert!(tree.prove_range(3, 9).is_err());
     }
 
     /// A three-node treap (b at the root, a left, c right) proved by hand.

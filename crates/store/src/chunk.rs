@@ -21,8 +21,9 @@
 //! from-scratch pass over the whole file would produce past the old
 //! tail boundary.
 
-use crate::pmap::{MerkleContent, PKey, PMap};
-use sdr_crypto::{chunk_hash, Hash256};
+use crate::pmap::{MerkleContent, PKey, PMap, ProofError};
+use sdr_crypto::merkle::leaf_hash;
+use sdr_crypto::{chunk_hash, Hash256, MerkleRangeProof, MerkleTree};
 use serde::{Deserialize, Serialize};
 
 /// No cut point is considered before a chunk reaches this many bytes.
@@ -176,20 +177,191 @@ impl FileManifest {
             .map(|e| u64::from(e.len))
             .sum()
     }
+
+    /// The Merkle root over the chunk-entry leaves (see [`entry_leaf`]).
+    ///
+    /// This is what [`FileManifest::content_encode`] commits to, so a
+    /// contiguous *slice* of the chunk table can be authenticated with a
+    /// [`MerkleRangeProof`] instead of shipping the whole table.
+    pub fn chunks_root(&self) -> Hash256 {
+        chunks_root_of(&self.chunks)
+    }
+
+    /// The slice of this manifest covering the byte range
+    /// `[offset, offset + len)`, with its range proof against
+    /// [`FileManifest::chunks_root`].  An empty overlap (or empty file)
+    /// yields an entry-less slice whose header still binds the file's
+    /// length and chunk count.
+    pub fn slice(&self, offset: u64, len: u64) -> ManifestSlice {
+        let (first, end) = self.chunk_range(offset, len);
+        let proof = if first < end {
+            let tree = MerkleTree::from_leaves(self.entry_leaves())
+                .expect("non-empty chunk range implies non-empty tree");
+            tree.prove_range(first, end)
+                .expect("chunk_range is in bounds")
+        } else {
+            MerkleRangeProof {
+                first: 0,
+                siblings: Vec::new(),
+            }
+        };
+        ManifestSlice {
+            total_len: self.total_len,
+            chunk_count: self.chunks.len() as u32,
+            chunks_root: self.chunks_root(),
+            first: first as u32,
+            start: self.chunk_offset(first),
+            entries: self.chunks[first..end].to_vec(),
+            proof,
+        }
+    }
+
+    fn entry_leaves(&self) -> Vec<Hash256> {
+        let mut start = 0u64;
+        self.chunks
+            .iter()
+            .map(|e| {
+                let leaf = entry_leaf(start, e);
+                start += u64::from(e.len);
+                leaf
+            })
+            .collect()
+    }
+}
+
+/// Leaf commitment of one chunk-table entry: its starting byte offset,
+/// chunk id, and length.  Binding the *offset* into the leaf is what
+/// lets a verifier place a slice's bytes in the file without the
+/// preceding entries: a slave cannot shift a slice sideways.
+fn entry_leaf(start: u64, entry: &ManifestEntry) -> Hash256 {
+    let mut buf = Vec::with_capacity(44);
+    buf.extend_from_slice(&start.to_be_bytes());
+    buf.extend_from_slice(entry.id.0.as_ref());
+    buf.extend_from_slice(&entry.len.to_be_bytes());
+    leaf_hash(&buf)
+}
+
+fn chunks_root_of(chunks: &[ManifestEntry]) -> Hash256 {
+    if chunks.is_empty() {
+        return leaf_hash(b"sdr/manifest/v2/empty");
+    }
+    let mut start = 0u64;
+    let leaves = chunks
+        .iter()
+        .map(|e| {
+            let leaf = entry_leaf(start, e);
+            start += u64::from(e.len);
+            leaf
+        })
+        .collect();
+    MerkleTree::from_leaves(leaves)
+        .expect("non-empty leaves")
+        .root()
 }
 
 impl MerkleContent for FileManifest {
     fn content_encode(&self, out: &mut Vec<u8>) {
         // A dedicated domain keeps manifest commitments disjoint from the
-        // raw-contents leaves of the pre-chunking store: an old
-        // single-leaf encoding can never verify as a manifest.
-        out.extend_from_slice(b"sdr/manifest/v1");
+        // raw-contents leaves of the pre-chunking store.  v2 commits to
+        // the chunk table through its Merkle root (rather than inline),
+        // so stream headers can carry an authenticated *slice* of the
+        // table: O(slice + log chunks) header bytes instead of O(chunks).
+        out.extend_from_slice(b"sdr/manifest/v2");
         out.extend_from_slice(&self.total_len.to_be_bytes());
         out.extend_from_slice(&(self.chunks.len() as u32).to_be_bytes());
-        for entry in &self.chunks {
-            out.extend_from_slice(entry.id.0.as_ref());
-            out.extend_from_slice(&entry.len.to_be_bytes());
+        out.extend_from_slice(self.chunks_root().as_ref());
+    }
+}
+
+/// An authenticated contiguous slice of one file's chunk table — what a
+/// `ReadFileRange` stream header carries instead of the whole
+/// [`FileManifest`].
+///
+/// The header fields (`total_len`, `chunk_count`, `chunks_root`) rebuild
+/// the manifest's canonical encoding for the outer state-digest fold;
+/// `proof` ties `entries` (chunks `[first, first + entries.len())`,
+/// starting at byte `start`) to `chunks_root`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestSlice {
+    /// Total file length in bytes.
+    pub total_len: u64,
+    /// Total number of chunks in the file.
+    pub chunk_count: u32,
+    /// Merkle root of the full chunk table.
+    pub chunks_root: Hash256,
+    /// Absolute index of the first entry in this slice.
+    pub first: u32,
+    /// Byte offset where the first entry starts.
+    pub start: u64,
+    /// The chunk entries covering the requested byte range.
+    pub entries: Vec<ManifestEntry>,
+    /// Range proof of the entries against `chunks_root` (unused when
+    /// `entries` is empty — the header fields alone carry the claim).
+    pub proof: MerkleRangeProof,
+}
+
+impl ManifestSlice {
+    /// Checks the slice's internal consistency — the entries (with their
+    /// implied byte offsets) fold to `chunks_root` at `[first, ..)` —
+    /// and returns the manifest's canonical v2 encoding for the outer
+    /// state-digest fold.  An entry-less slice is consistent by itself;
+    /// its header claims are bound by the outer fold alone.
+    pub fn verified_encoding(&self) -> Result<Vec<u8>, ProofError> {
+        if !self.entries.is_empty() {
+            let end = (self.first as usize)
+                .checked_add(self.entries.len())
+                .ok_or(ProofError::ShapeMismatch)?;
+            if end > self.chunk_count as usize || self.proof.first != u64::from(self.first) {
+                return Err(ProofError::ShapeMismatch);
+            }
+            let mut start = self.start;
+            let leaves: Vec<Hash256> = self
+                .entries
+                .iter()
+                .map(|e| {
+                    let leaf = entry_leaf(start, e);
+                    start += u64::from(e.len);
+                    leaf
+                })
+                .collect();
+            self.proof
+                .verify(&self.chunks_root, self.chunk_count as usize, &leaves)
+                .map_err(|_| ProofError::RootMismatch)?;
         }
+        let mut out = Vec::with_capacity(47 + 32);
+        out.extend_from_slice(b"sdr/manifest/v2");
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.chunk_count.to_be_bytes());
+        out.extend_from_slice(self.chunks_root.as_ref());
+        Ok(out)
+    }
+
+    /// The entry for absolute chunk index `index`, when in the slice.
+    pub fn entry(&self, index: usize) -> Option<&ManifestEntry> {
+        index
+            .checked_sub(self.first as usize)
+            .and_then(|i| self.entries.get(i))
+    }
+
+    /// Byte offset where absolute chunk `index` starts (when in slice).
+    pub fn entry_start(&self, index: usize) -> Option<u64> {
+        let rel = index.checked_sub(self.first as usize)?;
+        if rel > self.entries.len() {
+            return None;
+        }
+        Some(
+            self.start
+                + self.entries[..rel]
+                    .iter()
+                    .map(|e| u64::from(e.len))
+                    .sum::<u64>(),
+        )
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        // total_len + chunk_count + chunks_root + first + start
+        8 + 4 + 32 + 4 + 8 + self.entries.len() * 36 + self.proof.wire_len()
     }
 }
 
@@ -488,6 +660,83 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert_eq!(store.len(), 2);
         assert_eq!(snap.stats().physical_bytes, 6);
+    }
+
+    #[test]
+    fn manifest_slices_verify_and_bind_position() {
+        let data = sample(40_000, 13);
+        let m = FileManifest::of(&data);
+        assert!(m.chunks.len() >= 8);
+        let mut whole_enc = Vec::new();
+        m.content_encode(&mut whole_enc);
+
+        for (offset, len) in [(0u64, 40_000u64), (0, 1), (10_000, 5_000), (39_999, 1), (12_345, 0), (50_000, 10)] {
+            let slice = m.slice(offset, len);
+            let enc = slice.verified_encoding().unwrap_or_else(|e| {
+                panic!("slice [{offset}, +{len}) rejected: {e}")
+            });
+            // The slice rebuilds the exact whole-manifest encoding.
+            assert_eq!(enc, whole_enc);
+            let (first, end) = m.chunk_range(offset, len);
+            assert_eq!(slice.first as usize, first);
+            assert_eq!(slice.entries.len(), end - first);
+            assert_eq!(slice.start, m.chunk_offset(first));
+            for i in first..end {
+                assert_eq!(slice.entry(i), Some(&m.chunks[i]));
+                assert_eq!(slice.entry_start(i), Some(m.chunk_offset(i)));
+            }
+            // A slice header is O(slice), not O(chunks).
+            if end - first <= 2 {
+                assert!(slice.wire_len() < m.chunks.len() * 36);
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_slice_tampering_rejected() {
+        let data = sample(40_000, 17);
+        let m = FileManifest::of(&data);
+        let slice = m.slice(10_000, 5_000);
+        slice.verified_encoding().unwrap();
+
+        // Shifting the slice sideways (lying about the byte offset).
+        let mut shifted = slice.clone();
+        shifted.start += 1;
+        assert!(shifted.verified_encoding().is_err());
+        // Lying about the first index.
+        let mut moved = slice.clone();
+        moved.first += 1;
+        moved.proof.first += 1;
+        assert!(moved.verified_encoding().is_err());
+        // Corrupting an entry's chunk id.
+        let mut forged = slice.clone();
+        forged.entries[0].id = ChunkId::of(b"evil");
+        assert!(forged.verified_encoding().is_err());
+        // Dropping an entry.
+        let mut dropped = slice.clone();
+        dropped.entries.pop();
+        assert!(dropped.verified_encoding().is_err());
+        // Claiming a different chunk count changes the encoding, so a
+        // consistent-but-lying header can never match the outer fold.
+        let mut counted = slice.clone();
+        counted.chunk_count += 1;
+        let enc = counted.verified_encoding();
+        if let Ok(enc) = enc {
+            let mut real = Vec::new();
+            m.content_encode(&mut real);
+            assert_ne!(enc, real);
+        }
+    }
+
+    #[test]
+    fn empty_file_manifest_slice() {
+        let m = FileManifest::of(b"");
+        assert_eq!(m.chunks_root(), leaf_hash(b"sdr/manifest/v2/empty"));
+        let slice = m.slice(0, 100);
+        assert!(slice.entries.is_empty());
+        let mut enc = Vec::new();
+        m.content_encode(&mut enc);
+        assert_eq!(slice.verified_encoding().unwrap(), enc);
     }
 
     #[test]

@@ -181,6 +181,15 @@ pub fn execute(db: &Database, query: &Query) -> Result<(QueryResult, QueryCost),
             cost.bytes_processed += contents.as_ref().map_or(0, |c| c.len() as u64);
             QueryResult::Text(contents)
         }
+        Query::ScanRange { table, start, end } => {
+            let t = db.table(table)?;
+            let mut rows = Vec::new();
+            for (k, d) in t.scan(*start, *end) {
+                cost.rows_scanned += 1;
+                rows.push((k, d.clone()));
+            }
+            QueryResult::Rows(rows)
+        }
     };
     cost.rows_returned = result.row_count() as u64;
     Ok((result, cost))
@@ -381,6 +390,37 @@ mod tests {
         .unwrap();
         assert_eq!(r.row_count(), 2);
         assert_eq!(c.rows_scanned, 5);
+    }
+
+    #[test]
+    fn scan_range_is_half_open_and_unlimited() {
+        let db = db();
+        let (r, c) = execute(
+            &db,
+            &Query::ScanRange {
+                table: "products".into(),
+                start: 2,
+                end: 5,
+            },
+        )
+        .unwrap();
+        let QueryResult::Rows(rows) = &r else {
+            panic!("scan returns rows")
+        };
+        let keys: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 3, 4]);
+        assert_eq!(c.rows_scanned, 3);
+        // Empty and out-of-range scans return no rows.
+        let (r, _) = execute(
+            &db,
+            &Query::ScanRange {
+                table: "products".into(),
+                start: 5,
+                end: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.row_count(), 0);
     }
 
     #[test]

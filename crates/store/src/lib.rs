@@ -82,6 +82,27 @@
 //! | `prove_row` / `prove_file`       | O(log n) (cached subtree hashes)|
 //! | proof verification (client side) | O(log n) hashes                 |
 //!
+//! Range reads (`ScanRange`, half-open `[start, end)` over `k` rows)
+//! ride the same digest under one [`proof::RangeScanProof`]: a pruned
+//! treap skeleton whose out-of-range subtrees collapse to cached
+//! hashes and whose in-range rows are rebuilt from the claimed answer,
+//! so the proof attests membership *and* completeness — omitting any
+//! row changes the recomputed root:
+//!
+//! | operation                           | cost                              |
+//! |-------------------------------------|-----------------------------------|
+//! | `k` point reads, proved one by one  | O(k log n) hashes, ~`k·depth×65` B|
+//! | `prove_scan` / range verify         | O(log n + k) hashes               |
+//! | range proof on the wire             | O(log n) skeleton + O(k) rows     |
+//! | cross-shard stitched scan (s shards)| s range proofs, one per sub-range |
+//!
+//! A scan crossing shard boundaries is split at them by the client,
+//! each piece verified against its own shard's signed digest stamp,
+//! and stitched only if the verified pieces tile `[start, end)`
+//! exactly — so a stitched scan is exactly as strong as its weakest
+//! piece, and one Byzantine shard replica cannot corrupt, truncate, or
+//! pad the merged answer.
+//!
 //! File content is chunked (content-defined, ~1.25 KiB average) into a
 //! shared content-addressed store; with `c` chunks per file and `b`
 //! bytes written:
@@ -91,7 +112,8 @@
 //! | chunked `WriteFile`                | O(b) hash + O(log n) tree copies  |
 //! | chunked `AppendFile`               | O(appended + tail chunk), not O(b)|
 //! | duplicate content across files     | stored once (refcounted)          |
-//! | `prove_stream` (header)            | O(log n) path + O(c) manifest     |
+//! | `prove_stream` (header)            | O(c) build; wire is the *slice*:  |
+//! |                                    | covering entries + O(log c) path  |
 //! | stream verify (client, per chunk)  | O(chunk) hash, O(1) memory        |
 //!
 //! # Batched commits
@@ -140,7 +162,7 @@ pub use error::StoreError;
 pub use exec::{execute, QueryCost};
 pub use fsview::FsView;
 pub use pattern::Pattern;
-pub use pmap::{InclusionProof, NodeStats, PMap, ProofError};
+pub use pmap::{InclusionProof, MerkleContent, NodeStats, PMap, ProofError, RangeProof};
 pub use predicate::{CmpOp, Predicate};
 pub use proof::{FileProof, RowProof, StateProof, StreamProof};
 pub use query::{Aggregate, Query, QueryResult};

@@ -363,6 +363,75 @@ impl<K: PKey, V: Clone + MerkleContent> PMap<K, V> {
             }
         }
     }
+
+    /// Produces one O(log n + k) proof for every entry in `[start, end)`
+    /// against [`PMap::root_hash`] — including *completeness*: a verifier
+    /// that accepts the proof knows no in-range entry was omitted.
+    ///
+    /// The proof is the tree skeleton around the range: the two boundary
+    /// search paths (out-of-range ancestors carry their value
+    /// commitments, out-of-range subtrees collapse to one cached subtree
+    /// hash each), with every maximal fully-in-range subtree collapsed to
+    /// a bare entry count.  Verification rebuilds those subtrees from the
+    /// claimed rows alone — the treap is deterministic, so a key set has
+    /// exactly one shape — and accepts only if the fold matches the root.
+    /// Completeness follows because a pruned subtree hash is only legal
+    /// where the BST bounds prove the subtree cannot intersect the range.
+    pub fn prove_range(&self, start: &K, end: &K) -> RangeProof<K> {
+        RangeProof {
+            root: range_node(&self.root, start, end, None, None),
+        }
+    }
+}
+
+/// Collapses an out-of-range subtree to its cached digest.
+fn prune<K: PKey, V: Clone + MerkleContent>(link: &Link<K, V>) -> RangeNode<K> {
+    match link {
+        None => RangeNode::Empty,
+        Some(_) => RangeNode::Pruned(link_hash(link)),
+    }
+}
+
+fn range_node<K: PKey, V: Clone + MerkleContent>(
+    link: &Link<K, V>,
+    start: &K,
+    end: &K,
+    lo: Option<&K>,
+    hi: Option<&K>,
+) -> RangeNode<K> {
+    let Some(n) = link.as_deref() else {
+        return RangeNode::Empty;
+    };
+    // The subtree's keys all lie in the open interval (lo, hi); when that
+    // interval sits inside [start, end), the verifier can rebuild the
+    // whole subtree from the rows, so only the count travels.
+    if lo.is_some_and(|l| l >= start) && hi.is_some_and(|h| h <= end) {
+        return RangeNode::InRange {
+            count: n.len as u32,
+        };
+    }
+    if n.key < *start {
+        RangeNode::Path {
+            key: n.key.clone(),
+            value_commitment: Some(value_commitment(&n.value)),
+            left: Box::new(prune(&n.left)),
+            right: Box::new(range_node(&n.right, start, end, Some(&n.key), hi)),
+        }
+    } else if n.key >= *end {
+        RangeNode::Path {
+            key: n.key.clone(),
+            value_commitment: Some(value_commitment(&n.value)),
+            left: Box::new(range_node(&n.left, start, end, lo, Some(&n.key))),
+            right: Box::new(prune(&n.right)),
+        }
+    } else {
+        RangeNode::Path {
+            key: n.key.clone(),
+            value_commitment: None,
+            left: Box::new(range_node(&n.left, start, end, lo, Some(&n.key))),
+            right: Box::new(range_node(&n.right, start, end, Some(&n.key), hi)),
+        }
+    }
 }
 
 /// Why a proof failed verification.
@@ -512,6 +581,248 @@ impl<K: PKey> InclusionProof<K> {
             })
             .sum();
         anchor + steps
+    }
+}
+
+/// One node of a [`RangeProof`]'s tree skeleton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RangeNode<K> {
+    /// An empty link.
+    Empty,
+    /// An out-of-range subtree, collapsed to its subtree digest.  Only
+    /// legal where the surrounding BST bounds prove the subtree is
+    /// disjoint from the queried range — that check is what makes
+    /// omission of in-range rows impossible.
+    Pruned(Hash256),
+    /// One node on a boundary search path.  Out-of-range path nodes
+    /// carry their value commitment; in-range path nodes take their
+    /// value from the claimed rows (`value_commitment: None`).
+    Path {
+        /// The path node's key (in the clear, for BST-order checks).
+        key: K,
+        /// `Some` commitment for out-of-range nodes, `None` in range.
+        value_commitment: Option<Hash256>,
+        /// Left child skeleton.
+        left: Box<RangeNode<K>>,
+        /// Right child skeleton.
+        right: Box<RangeNode<K>>,
+    },
+    /// A maximal subtree entirely inside `[start, end)`: its next
+    /// `count` entries come from the claimed rows, and the verifier
+    /// rebuilds the (unique, deterministic) treap over them.
+    InRange {
+        /// Number of rows this subtree consumes.
+        count: u32,
+    },
+}
+
+/// An O(log n + k) proof that `[start, end)` of a [`PMap`] contains
+/// exactly the k claimed rows — no more, no fewer — against
+/// [`PMap::root_hash`].  Built by [`PMap::prove_range`].
+///
+/// Cost intuition: a k-row scan proved with [`PMap::prove`] ships and
+/// folds k full root-to-entry paths (k·O(log n) hashes); a `RangeProof`
+/// ships the two boundary paths once and k entry commitments, so both
+/// wire bytes and verify hashing drop to O(log n + k).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeProof<K> {
+    /// Root of the pruned tree skeleton.
+    pub root: RangeNode<K>,
+}
+
+impl<K: PKey> RangeProof<K> {
+    /// Folds the proof and the claimed rows (`(key, canonical value
+    /// encoding)`, ascending) into the root digest they imply.
+    ///
+    /// Checks, structurally: every pruned subtree is provably disjoint
+    /// from `[start, end)` (completeness), every in-range skeleton node
+    /// matches the next claimed row, every `InRange` subtree's rows are
+    /// strictly ascending within its BST bounds, and the rows are
+    /// consumed exactly.  The caller compares the result against a
+    /// trusted digest (or uses [`RangeProof::verify`]).
+    pub fn computed_root(
+        &self,
+        start: &K,
+        end: &K,
+        rows: &[(K, Vec<u8>)],
+    ) -> Result<Hash256, ProofError> {
+        let metas: Vec<(u64, Hash256)> = rows
+            .iter()
+            .map(|(k, enc)| {
+                let mut buf = Vec::with_capacity(16);
+                k.encode_key(&mut buf);
+                (
+                    priority(&buf),
+                    entry_commitment(&key_commitment(k), &leaf_hash(enc)),
+                )
+            })
+            .collect();
+        let mut cursor = 0usize;
+        let hash = fold_range_node(&self.root, start, end, None, None, rows, &metas, &mut cursor)?;
+        if cursor != rows.len() {
+            return Err(ProofError::ShapeMismatch);
+        }
+        Ok(hash)
+    }
+
+    /// Verifies the proof against a trusted root digest.
+    pub fn verify(
+        &self,
+        root: &Hash256,
+        start: &K,
+        end: &K,
+        rows: &[(K, Vec<u8>)],
+    ) -> Result<(), ProofError> {
+        if self.computed_root(start, end, rows)? == *root {
+            Ok(())
+        } else {
+            Err(ProofError::RootMismatch)
+        }
+    }
+
+    /// Longest boundary-path chain in the skeleton.
+    pub fn depth(&self) -> usize {
+        range_node_depth(&self.root)
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        range_node_wire_len(&self.root)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fold_range_node<'p, K: PKey>(
+    node: &'p RangeNode<K>,
+    start: &K,
+    end: &K,
+    lo: Option<&'p K>,
+    hi: Option<&'p K>,
+    rows: &[(K, Vec<u8>)],
+    metas: &[(u64, Hash256)],
+    cursor: &mut usize,
+) -> Result<Hash256, ProofError> {
+    match node {
+        // An empty link is safe to claim anywhere: its digest is a
+        // distinct domain, so a lie cannot fold to the trusted root.
+        RangeNode::Empty => Ok(empty_hash()),
+        RangeNode::Pruned(h) => {
+            // Keys here lie in (lo, hi); the subtree may be collapsed
+            // only when that interval cannot intersect [start, end).
+            let disjoint = hi.is_some_and(|h2| *h2 <= *start) || lo.is_some_and(|l| *l >= *end);
+            if disjoint {
+                Ok(*h)
+            } else {
+                Err(ProofError::OrderViolation)
+            }
+        }
+        RangeNode::InRange { count } => {
+            let contained =
+                lo.is_some_and(|l| *l >= *start) && hi.is_some_and(|h2| *h2 <= *end);
+            if !contained {
+                return Err(ProofError::OrderViolation);
+            }
+            let count = *count as usize;
+            let slice_end = cursor.checked_add(count).ok_or(ProofError::ShapeMismatch)?;
+            if count == 0 || slice_end > rows.len() {
+                return Err(ProofError::ShapeMismatch);
+            }
+            let (l, h) = (lo.expect("checked above"), hi.expect("checked above"));
+            for i in *cursor..slice_end {
+                let k = &rows[i].0;
+                let above_floor = if i == *cursor { *k > *l } else { *k > rows[i - 1].0 };
+                if !above_floor || *k >= *h {
+                    return Err(ProofError::OrderViolation);
+                }
+            }
+            let hash = fold_in_range(rows, metas, *cursor, slice_end);
+            *cursor = slice_end;
+            Ok(hash)
+        }
+        RangeNode::Path {
+            key,
+            value_commitment,
+            left,
+            right,
+        } => {
+            if lo.is_some_and(|l| *key <= *l) || hi.is_some_and(|h2| *key >= *h2) {
+                return Err(ProofError::OrderViolation);
+            }
+            // In-order: the left subtree's rows precede this node's.
+            let left_hash =
+                fold_range_node(left, start, end, lo, Some(key), rows, metas, cursor)?;
+            let in_range = *key >= *start && *key < *end;
+            let entry = match (in_range, value_commitment) {
+                (true, None) => {
+                    let i = *cursor;
+                    if i >= rows.len() || rows[i].0 != *key {
+                        return Err(ProofError::ShapeMismatch);
+                    }
+                    *cursor = i + 1;
+                    metas[i].1
+                }
+                (false, Some(vc)) => entry_commitment(&key_commitment(key), vc),
+                _ => return Err(ProofError::ShapeMismatch),
+            };
+            let right_hash =
+                fold_range_node(right, start, end, Some(key), hi, rows, metas, cursor)?;
+            Ok(treap_node_hash(&left_hash, &entry, &right_hash))
+        }
+    }
+}
+
+/// Rebuilds the digest of the unique deterministic treap over
+/// `rows[a..b]` — the node with the maximal `(priority, key)` is the
+/// root, recursively.  Expected O(k log k) like any treap build.
+fn fold_in_range<K: PKey>(
+    rows: &[(K, Vec<u8>)],
+    metas: &[(u64, Hash256)],
+    a: usize,
+    b: usize,
+) -> Hash256 {
+    if a >= b {
+        return empty_hash();
+    }
+    let mut root = a;
+    for i in a + 1..b {
+        if heap_gt(metas[i].0, &rows[i].0, metas[root].0, &rows[root].0) {
+            root = i;
+        }
+    }
+    treap_node_hash(
+        &fold_in_range(rows, metas, a, root),
+        &metas[root].1,
+        &fold_in_range(rows, metas, root + 1, b),
+    )
+}
+
+fn range_node_depth<K>(node: &RangeNode<K>) -> usize {
+    match node {
+        RangeNode::Path { left, right, .. } => {
+            1 + range_node_depth(left).max(range_node_depth(right))
+        }
+        _ => 0,
+    }
+}
+
+fn range_node_wire_len<K: PKey>(node: &RangeNode<K>) -> usize {
+    match node {
+        RangeNode::Empty => 1,
+        RangeNode::Pruned(_) => 33,
+        RangeNode::InRange { .. } => 5,
+        RangeNode::Path {
+            key,
+            value_commitment,
+            left,
+            right,
+        } => {
+            let mut buf = Vec::with_capacity(16);
+            key.encode_key(&mut buf);
+            2 + buf.len()
+                + if value_commitment.is_some() { 32 } else { 0 }
+                + range_node_wire_len(left)
+                + range_node_wire_len(right)
+        }
     }
 }
 
@@ -1055,6 +1366,171 @@ mod tests {
         // linear worst case; generous bound to avoid flakiness.
         assert!(worst <= 40, "worst proof depth {worst}");
         assert!(m.prove(&0).wire_len() > 0);
+    }
+
+    /// The rows a correct slave would return for `[start, end)`.
+    fn rows_of(m: &PMap<u64, String>, start: u64, end: u64) -> Vec<(u64, Vec<u8>)> {
+        m.iter_from(&start)
+            .take_while(|(k, _)| **k < end)
+            .map(|(k, v)| (*k, enc(v)))
+            .collect()
+    }
+
+    #[test]
+    fn range_proofs_verify_and_match_iter_from() {
+        let m = map_of(&[2, 4, 6, 8, 10, 12, 14, 20, 30, 40]);
+        let root = m.root_hash();
+        for start in 0..=42u64 {
+            for end in start..=42 {
+                let rows = rows_of(&m, start, end);
+                let proof = m.prove_range(&start, &end);
+                proof
+                    .verify(&root, &start, &end, &rows)
+                    .unwrap_or_else(|e| panic!("[{start},{end}): {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn range_proof_covers_whole_map_and_empty_map() {
+        let m = map_of(&(0..100).collect::<Vec<_>>());
+        let rows = rows_of(&m, 0, 1000);
+        assert_eq!(rows.len(), 100);
+        let proof = m.prove_range(&0, &1000);
+        proof.verify(&m.root_hash(), &0, &1000, &rows).unwrap();
+
+        let empty: PMap<u64, String> = PMap::new();
+        let proof = empty.prove_range(&0, &1000);
+        proof.verify(&empty.root_hash(), &0, &1000, &[]).unwrap();
+    }
+
+    #[test]
+    fn range_proof_rejects_row_mutations() {
+        let m = map_of(&(0..64).collect::<Vec<_>>());
+        let root = m.root_hash();
+        let (start, end) = (10u64, 30u64);
+        let rows = rows_of(&m, start, end);
+        let proof = m.prove_range(&start, &end);
+        proof.verify(&root, &start, &end, &rows).unwrap();
+
+        // Dropping any single row is caught (completeness).
+        for i in 0..rows.len() {
+            let mut dropped = rows.clone();
+            dropped.remove(i);
+            assert!(
+                proof.verify(&root, &start, &end, &dropped).is_err(),
+                "dropping row {i} accepted"
+            );
+        }
+        // Inserting a phantom row is caught.
+        let mut extra = rows.clone();
+        extra.insert(5, (15, enc("phantom")));
+        assert!(proof.verify(&root, &start, &end, &extra).is_err());
+        // Reordering is caught.
+        let mut swapped = rows.clone();
+        swapped.swap(3, 4);
+        assert!(proof.verify(&root, &start, &end, &swapped).is_err());
+        // A wrong value is caught.
+        let mut forged = rows.clone();
+        forged[7].1 = enc("wrong");
+        assert_eq!(
+            proof.verify(&root, &start, &end, &forged),
+            Err(ProofError::RootMismatch)
+        );
+    }
+
+    /// Replaces the first `Pruned` hash found with a poisoned digest.
+    fn poison_first_pruned(node: &mut RangeNode<u64>) -> bool {
+        match node {
+            RangeNode::Pruned(h) => {
+                *h = leaf_hash(b"evil");
+                true
+            }
+            RangeNode::Path { left, right, .. } => {
+                poison_first_pruned(left) || poison_first_pruned(right)
+            }
+            _ => false,
+        }
+    }
+
+    /// Turns the first in-range subtree into a pruned hash — the classic
+    /// omission attack: hide rows behind an opaque digest.
+    fn hide_first_in_range(node: &mut RangeNode<u64>) -> bool {
+        match node {
+            RangeNode::InRange { .. } => {
+                *node = RangeNode::Pruned(leaf_hash(b"hidden"));
+                true
+            }
+            RangeNode::Path { left, right, .. } => {
+                hide_first_in_range(left) || hide_first_in_range(right)
+            }
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn range_proof_rejects_skeleton_tampering() {
+        let m = map_of(&(0..64).collect::<Vec<_>>());
+        let root = m.root_hash();
+        let (start, end) = (10u64, 30u64);
+        let rows = rows_of(&m, start, end);
+
+        let mut poisoned = m.prove_range(&start, &end);
+        assert!(poison_first_pruned(&mut poisoned.root));
+        assert_eq!(
+            poisoned.verify(&root, &start, &end, &rows),
+            Err(ProofError::RootMismatch)
+        );
+
+        // Omission: pruning an in-range subtree must fail the bounds
+        // check (OrderViolation) no matter what hash it claims, even
+        // when the rows are truncated to match.
+        let mut hiding = m.prove_range(&start, &end);
+        assert!(hide_first_in_range(&mut hiding.root));
+        assert!(matches!(
+            hiding.verify(&root, &start, &end, &rows),
+            Err(ProofError::OrderViolation | ProofError::ShapeMismatch)
+        ));
+        for cut in 0..rows.len() {
+            let truncated = &rows[..cut];
+            assert!(
+                hiding.verify(&root, &start, &end, truncated).is_err(),
+                "omission with {cut} rows accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn range_proof_is_stale_after_write() {
+        let mut m = map_of(&(0..32).collect::<Vec<_>>());
+        let rows = rows_of(&m, 5, 15);
+        let proof = m.prove_range(&5, &15);
+        let old_root = m.root_hash();
+        m.insert(7, "rewritten".to_string());
+        proof.verify(&old_root, &5, &15, &rows).unwrap();
+        assert_eq!(
+            proof.verify(&m.root_hash(), &5, &15, &rows),
+            Err(ProofError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn range_proof_wire_is_sublinear_in_map_size() {
+        let m = map_of(&(0..4096).collect::<Vec<_>>());
+        let (start, end) = (1000u64, 1256u64);
+        let rows = rows_of(&m, start, end);
+        assert_eq!(rows.len(), 256);
+        let range = m.prove_range(&start, &end);
+        range.verify(&m.root_hash(), &start, &end, &rows).unwrap();
+
+        let point_wire: usize = (start..end).map(|k| m.prove(&k).wire_len()).sum();
+        assert!(
+            range.wire_len() * 5 <= point_wire,
+            "range proof {} bytes vs {} for 256 point proofs",
+            range.wire_len(),
+            point_wire
+        );
+        assert!(range.depth() <= 80, "boundary depth {}", range.depth());
     }
 
     #[test]

@@ -134,6 +134,19 @@ pub enum Query {
         /// Number of bytes to read (clamped to the file length).
         len: u64,
     },
+    /// Fetch rows with primary keys in the half-open `[start, end)` —
+    /// the proof-supported scan shape: one `RangeProof` authenticates
+    /// the whole answer, completeness included (unlike [`Query::Range`],
+    /// whose `limit` makes the result prefix-truncatable and therefore
+    /// unprovable by a single range proof).
+    ScanRange {
+        /// Table name.
+        table: String,
+        /// Inclusive lower bound.
+        start: u64,
+        /// Exclusive upper bound.
+        end: u64,
+    },
 }
 
 impl Query {
@@ -239,6 +252,12 @@ impl Query {
                 out.extend_from_slice(&offset.to_be_bytes());
                 out.extend_from_slice(&len.to_be_bytes());
             }
+            Query::ScanRange { table, start, end } => {
+                out.push(9);
+                put_str(out, table);
+                out.extend_from_slice(&start.to_be_bytes());
+                out.extend_from_slice(&end.to_be_bytes());
+            }
         }
     }
 
@@ -261,6 +280,7 @@ impl Query {
             Query::Grep { .. } => "grep",
             Query::ListFiles { .. } => "list",
             Query::ReadFileRange { .. } => "stream",
+            Query::ScanRange { .. } => "scan",
         }
     }
 }

@@ -207,6 +207,22 @@ impl Table {
         self.rows.prove(&key)
     }
 
+    /// Rows with `start <= key < end`, ascending (the half-open scan a
+    /// [`Table::prove_scan`] proof covers).
+    pub fn scan(&self, start: u64, end: u64) -> impl Iterator<Item = (u64, &Document)> {
+        self.rows
+            .iter_from(&start)
+            .take_while(move |(&k, _)| k < end)
+            .map(|(&k, d)| (k, d))
+    }
+
+    /// One O(log n + k) proof for every row in `[start, end)` —
+    /// completeness included — against [`Table::rows_digest`]
+    /// (see [`PMap::prove_range`]).
+    pub fn prove_scan(&self, start: u64, end: u64) -> crate::pmap::RangeProof<u64> {
+        self.rows.prove_range(&start, &end)
+    }
+
     /// Shared-vs-owned node counts over rows and index buckets
     /// (memory telemetry).  `ancestor_shared` marks a table reached
     /// through an already-shared container node.

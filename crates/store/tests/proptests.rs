@@ -387,3 +387,76 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Range-proof oracle: for a random map and random `[start, end)`,
+    /// `prove_range` verifies against exactly the `iter_from`-truncated
+    /// contents, every row it covers also carries a valid point proof,
+    /// and any single mutation of the claimed rows — omission, forged
+    /// value, duplication, or key shift — is rejected.
+    #[test]
+    fn range_proof_matches_point_proofs_and_rejects_mutations(
+        pairs in proptest::collection::vec((0u64..64, "[a-z]{0,8}"), 0..40),
+        a in 0u64..70,
+        b in 0u64..70,
+    ) {
+        use sdr_store::{MerkleContent, PMap};
+
+        let (start, end) = if a <= b { (a, b) } else { (b, a) };
+        let entries: BTreeMap<u64, String> = pairs.into_iter().collect();
+        let mut m: PMap<u64, String> = PMap::new();
+        for (k, v) in &entries {
+            m.insert(*k, v.clone());
+        }
+        let root = m.root_hash();
+
+        // The honest answer: `iter_from` truncated at `end`.
+        let rows: Vec<(u64, Vec<u8>)> = m
+            .iter_from(&start)
+            .take_while(|(k, _)| **k < end)
+            .map(|(k, v)| {
+                let mut enc = Vec::new();
+                v.content_encode(&mut enc);
+                (*k, enc)
+            })
+            .collect();
+        let keys: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
+        let expect: Vec<u64> =
+            entries.keys().copied().filter(|k| (start..end).contains(k)).collect();
+        prop_assert_eq!(&keys, &expect, "iter_from truncation disagrees with the oracle");
+
+        let proof = m.prove_range(&start, &end);
+        prop_assert!(proof.verify(&root, &start, &end, &rows).is_ok());
+
+        // Every covered row's point proof verifies too (range ⇔ points).
+        for (k, enc) in &rows {
+            prop_assert!(m.prove(k).verify(&root, k, Some(enc)).is_ok());
+        }
+
+        if rows.is_empty() {
+            // Claiming a row where the range is provably empty must die.
+            if start < end {
+                let phantom = vec![(start, b"phantom".to_vec())];
+                prop_assert!(proof.verify(&root, &start, &end, &phantom).is_err());
+            }
+        } else {
+            let i = rows.len() / 2;
+            let mut dropped = rows.clone();
+            dropped.remove(i);
+            prop_assert!(
+                proof.verify(&root, &start, &end, &dropped).is_err(),
+                "omitting a row must break completeness"
+            );
+            let mut altered = rows.clone();
+            altered[i].1.push(0xFF);
+            prop_assert!(proof.verify(&root, &start, &end, &altered).is_err());
+            let mut doubled = rows.clone();
+            let dup = doubled[i].clone();
+            doubled.insert(i, dup);
+            prop_assert!(proof.verify(&root, &start, &end, &doubled).is_err());
+            let mut shifted = rows.clone();
+            shifted[i].0 = shifted[i].0.wrapping_add(1);
+            prop_assert!(proof.verify(&root, &start, &end, &shifted).is_err());
+        }
+    }
+}

@@ -2,11 +2,13 @@
 //! order with cross-shard concurrency, Byzantine isolation between
 //! shards, proof-path hardening, and single-shard determinism.
 
+use secure_replication::core::dataset::DatasetSpec;
 use secure_replication::core::scenario::{registry, Param, Runner};
 use secure_replication::core::{
-    Msg, SlaveBehavior, SystemBuilder, SystemConfig, QueryMix, Workload,
+    Msg, ShardMap, SlaveBehavior, SystemBuilder, SystemConfig, QueryMix, Workload,
 };
 use secure_replication::sim::{NodeId, SimDuration};
+use secure_replication::store::{execute, Query, QueryResult};
 
 fn write_heavy(n_shards: usize, seed: u64) -> SystemConfig {
     SystemConfig {
@@ -123,6 +125,8 @@ fn byzantine_shard_cannot_affect_other_shards_proof_reads() {
                 join: 0,
                 grep: 0,
                 stream: 0,
+                scan: 0,
+                scan_len: 0,
             },
             ..Workload::default()
         })
@@ -187,6 +191,8 @@ fn proof_retry_exhausted_falls_back_to_pledged() {
                 join: 0,
                 grep: 0,
                 stream: 0,
+                scan: 0,
+                scan_len: 0,
             },
             ..Workload::default()
         })
@@ -458,4 +464,128 @@ fn sharded_commit_sweep_scales_monotonically() {
         "every shard must commit: {:?}",
         last.writes_committed_per_shard
     );
+}
+
+/// (h) The scatter-gather invariant at the store level: splitting a
+/// scan at shard boundaries, proving each piece against its *own*
+/// shard's digest, and stitching yields exactly the rows of the
+/// unsharded scan — and a corrupted slice from any one shard dies in
+/// that shard's proof (the range proof's completeness check refuses
+/// dropped or forged rows, not just wrong values).
+#[test]
+fn cross_shard_scan_stitches_byte_identically_to_one_shard() {
+    let spec = DatasetSpec::default(); // 500 products.
+    let whole = spec.build();
+    let map = ShardMap::new(4, &spec);
+    let shards = spec.build_shards(&map);
+    let scan = |s: u64, e: u64| Query::ScanRange { table: "products".into(), start: s, end: e };
+
+    // [100, 420) crosses every boundary of the 125-row shards.
+    let (start, end) = (100u64, 420u64);
+    let (expect, _) = execute(&whole, &scan(start, end)).unwrap();
+    whole
+        .prove_scan("products", start, end)
+        .unwrap()
+        .verify_result(&whole.state_digest(), whole.version(), &scan(start, end), &expect)
+        .unwrap();
+
+    let parts = map.split_scan(start, end);
+    assert_eq!(parts.len(), 4, "range must span every shard: {parts:?}");
+    let mut stitched = Vec::new();
+    for &(s, lo, hi) in &parts {
+        let db = &shards[s];
+        let (result, _) = execute(db, &scan(lo, hi)).unwrap();
+        db.prove_scan("products", lo, hi)
+            .unwrap()
+            .verify_result(&db.state_digest(), db.version(), &scan(lo, hi), &result)
+            .unwrap_or_else(|e| panic!("shard {s} piece [{lo},{hi}) rejected: {e:?}"));
+        let QueryResult::Rows(rows) = result else { panic!("scan returns rows") };
+        stitched.extend(rows);
+    }
+    assert_eq!(QueryResult::Rows(stitched), expect, "stitched row set differs");
+
+    // A Byzantine slave corrupting one shard's slice (the liar's edit:
+    // drop the last row, append a forged one) is caught by that shard's
+    // own proof — no cross-shard information needed.
+    let (s, lo, hi) = parts[2];
+    let db = &shards[s];
+    let (result, _) = execute(db, &scan(lo, hi)).unwrap();
+    let proof = db.prove_scan("products", lo, hi).unwrap();
+    let bad = secure_replication::core::slave::corrupt(&result, 0);
+    assert!(
+        proof
+            .verify_result(&db.state_digest(), db.version(), &scan(lo, hi), &bad)
+            .is_err(),
+        "corrupted slice must not verify"
+    );
+}
+
+/// (i) End-to-end scatter-gather under attack: a consistent liar owning
+/// one replica of shard 1 corrupts its slice of every scan it serves.
+/// The per-shard proof kills each forgery at the client, the sub-scan
+/// retries the shard's honest replica (never the pledged fallback), and
+/// no stitched scan ever accepts a wrong row.
+#[test]
+fn stitched_scans_reject_a_byzantine_shard_slice() {
+    let cfg = SystemConfig {
+        n_shards: 4,
+        n_masters: 3,
+        n_slaves: 2,
+        n_clients: 8,
+        double_check_prob: 0.0,
+        seed: 404,
+        ..SystemConfig::default()
+    };
+    let mut sys = SystemBuilder::new(cfg)
+        // Global slave indexes are shard-major: 2 and 3 serve shard 1.
+        .slave_behavior(2, SlaveBehavior::ConsistentLiar { prob: 1.0, collude: false })
+        .workload(Workload {
+            reads_per_sec: 6.0,
+            writes_per_sec: 0.0,
+            mix: QueryMix {
+                get: 0,
+                range: 0,
+                filter: 0,
+                aggregate: 0,
+                join: 0,
+                grep: 0,
+                read_file: 0,
+                stream: 0,
+                scan: 100,
+                scan_len: 200, // Spans 2-3 of the 4 125-row shards.
+            },
+            ..Workload::default()
+        })
+        .build();
+    sys.run_for(SimDuration::from_secs(30));
+    let stats = sys.stats();
+    let m = sys.world.metrics();
+
+    assert!(
+        stats.range_scans_scattered > 0,
+        "no scan crossed a shard boundary: {}",
+        stats.render()
+    );
+    assert!(
+        m.counter("read.range_stitched") > 0,
+        "no stitched scan completed: {}",
+        stats.render()
+    );
+    assert!(stats.lies_told > 0, "liar never triggered");
+    assert!(
+        stats.proof_reads_rejected > 0,
+        "forged slices were never caught: {}",
+        stats.render()
+    );
+    assert_eq!(
+        stats.wrong_accepted, 0,
+        "a corrupted slice was stitched into an accepted scan: {}",
+        stats.render()
+    );
+    assert_eq!(
+        stats.range_stitch_rejects, 0,
+        "verified honest pieces must tile the range: {}",
+        stats.render()
+    );
+    assert!(stats.range_rows_verified > 0, "no rows verified under range proofs");
 }
